@@ -1,0 +1,136 @@
+// E1 — §4.1 "Memory overhead" (bench regenerating the paper's numbers):
+//
+//   "The checkpoint process has 3.45% unique memory pages. The processes
+//    forked for exploring from the checkpoint process consume on average
+//    36.93% pages more (maximum of 39%)."
+//
+// Method, mirrored here: load the full table into the DiCE-enabled provider,
+// take a checkpoint, keep replaying a 15-minute update trace on the live
+// router (so live and checkpoint diverge, via COW, exactly as parent/child
+// diverge after fork), then run exploration and measure what each clone
+// dirties relative to the checkpoint.
+//
+// Flags: --prefixes=N (default 50000; paper scale 319355), --runs=N,
+//        --minutes=M (trace length), --seed=S.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/topology.h"
+#include "src/checkpoint/checkpoint.h"
+#include "src/dice/explorer.h"
+
+namespace dice::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Fig2Options options;
+  options.prefixes = flags.GetUint("prefixes", 50000);
+  options.seed = flags.GetUint("seed", 1);
+  options.misconfig = Misconfig::kErroneousEntry;
+  const uint64_t minutes = flags.GetUint("minutes", 15);
+  const uint64_t runs = flags.GetUint("runs", 200);
+
+  std::printf("E1: memory overhead of checkpointing and exploration (paper §4.1)\n");
+  std::printf("table=%zu prefixes, trace=%llu min, exploration=%llu runs\n\n",
+              options.prefixes, static_cast<unsigned long long>(minutes),
+              static_cast<unsigned long long>(runs));
+
+  Stopwatch build_timer;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+  std::printf("table loaded: %zu prefixes in provider RIB (%.1fs build+load)\n",
+              fig2.provider().rib().PrefixCount(), build_timer.Seconds());
+
+  // Take the checkpoint (the paper's fork()).
+  checkpoint::CheckpointManager manager;
+  Stopwatch checkpoint_timer;
+  manager.Take(fig2.provider().CheckpointState(), fig2.provider().PeerViews(),
+               fig2.loop().now());
+  double checkpoint_seconds = checkpoint_timer.Seconds();
+
+  // The live router keeps processing the update trace; COW divergence grows.
+  trace::TraceGeneratorOptions gen_options;
+  trace::Trace updates;
+  {
+    auto& generator = fig2.generator();
+    trace::Trace t = generator.UpdateTrace();
+    // Clip/extend to the requested duration.
+    for (auto& ev : t.events) {
+      if (ev.at <= minutes * 60 * net::kSecond) {
+        updates.events.push_back(ev);
+      }
+    }
+  }
+  trace::ScheduleTrace(&fig2.loop(), &fig2.feed(), updates, fig2.loop().now());
+  fig2.loop().RunUntil(fig2.loop().now() + (minutes * 60 + 5) * net::kSecond);
+
+  checkpoint::MemoryStats checkpoint_stats =
+      manager.CheckpointSharing(fig2.provider().CheckpointState());
+
+  // Exploration over the checkpoint, measuring every clone.
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = runs;
+  explorer_options.measure_memory = true;
+  Explorer explorer(explorer_options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(manager.current().state, manager.current().peers,
+                          fig2.loop().now());
+  Stopwatch explore_timer;
+  explorer.ExploreSeed(fig2.CustomerSeedUpdate(), Fig2::kCustomerNode);
+  double explore_seconds = explore_timer.Seconds();
+
+  const ExplorationReport& report = explorer.report();
+  const CloneMemoryStats& mem = report.memory;
+
+  std::printf("\n");
+  Table table({"metric", "this repro", "paper (§4.1)"});
+  table.AddRow({"checkpoint cost (s)", StrFormat("%.6f", checkpoint_seconds),
+                "O(1) fork()"});
+  table.AddRow({"checkpoint state pages",
+                StrFormat("%zu", checkpoint_stats.total_pages), "-"});
+  table.AddRow({"checkpoint unique pages (vs live)",
+                StrFormat("%zu (%.2f%%)", checkpoint_stats.unique_pages,
+                          checkpoint_stats.UniquePageFraction() * 100.0),
+                "3.45%"});
+  double avg_extra_pages = mem.runs_measured == 0
+                               ? 0.0
+                               : static_cast<double>(mem.unique_pages_sum) /
+                                     static_cast<double>(mem.runs_measured);
+  double avg_constraint_pages =
+      mem.runs_measured == 0
+          ? 0.0
+          : static_cast<double>(mem.constraint_bytes_sum) /
+                static_cast<double>(mem.runs_measured) / checkpoint::kPageSize;
+  table.AddRow({"exploration clones measured", StrFormat("%llu",
+                static_cast<unsigned long long>(mem.runs_measured)), "-"});
+  table.AddRow({"clone avg unique pages (vs checkpoint)",
+                StrFormat("%.1f (%.3f%%)", avg_extra_pages,
+                          mem.AvgUniquePageFraction() * 100.0),
+                "+36.93% (incl. engine state)"});
+  table.AddRow({"clone max unique pages",
+                StrFormat("%llu (%.3f%%)",
+                          static_cast<unsigned long long>(mem.unique_pages_max),
+                          mem.unique_page_fraction_max * 100.0),
+                "+39%"});
+  table.AddRow({"clone avg constraint memory (pages)",
+                StrFormat("%.1f", avg_constraint_pages), "(part of the +36.93%)"});
+  table.Print();
+
+  std::printf(
+      "\nnote: the paper's clone overhead includes the Oasis engine's full\n"
+      "instrumentation state inside each forked child; our value-level\n"
+      "instrumentation keeps constraints outside the clone, so routing-state\n"
+      "overhead (COW node copies) and engine constraint memory are reported\n"
+      "separately. The shape to check: checkpoint unique pages are a few\n"
+      "percent, per-clone cost is small and bounded, nothing approaches a\n"
+      "full copy. Exploration: %s in %.2fs\n",
+      report.Summary().c_str(), explore_seconds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dice::bench
+
+int main(int argc, char** argv) { return dice::bench::Run(argc, argv); }

@@ -1,0 +1,135 @@
+// F1 — Figure 1: "A concolic execution engine negates the predicates to try
+// to systematically explore code paths."
+//
+// The figure is qualitative; the measurable claim behind it is that concolic
+// negation covers distinct paths *systematically* — every run targets a new
+// path — while random input generation keeps re-executing old ones. This
+// bench prints coverage-vs-runs series for the concolic strategies and a
+// random-value baseline, on (a) a synthetic branchy handler and (b) the real
+// provider import path with a multi-entry customer filter.
+//
+// Flags: --runs=N, --seed=S, --entries=N (filter entries), --prefixes=N.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/topology.h"
+#include "src/dice/explorer.h"
+#include "src/sym/concolic.h"
+#include "src/util/rng.h"
+
+namespace dice::bench {
+namespace {
+
+// (a) Synthetic handler: 6 independent range checks -> 64 paths.
+sym::Program MakeSyntheticProgram() {
+  return [](sym::Engine& engine) {
+    for (uint64_t i = 0; i < 6; ++i) {
+      sym::Value x =
+          engine.MakeSymbolic("f" + std::to_string(i), 16, 10 * (i + 1), 0, 1000);
+      engine.Branch(x > sym::Value(500), i + 1);
+    }
+  };
+}
+
+void SyntheticSeries(uint64_t runs, uint64_t seed) {
+  std::printf("F1a — synthetic handler (6 branches, 64 feasible paths)\n");
+  Table table({"strategy", "runs", "unique paths", "branch outcomes covered"});
+  for (const char* strategy : {"generational", "dfs", "bfs", "random"}) {
+    sym::ConcolicOptions options;
+    options.max_runs = runs;
+    options.strategy = strategy;
+    options.seed = seed;
+    sym::ConcolicDriver driver(options);
+    driver.Explore(MakeSyntheticProgram());
+    table.AddRow({strategy,
+                  StrFormat("%llu", static_cast<unsigned long long>(driver.stats().runs)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(driver.stats().unique_paths)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(driver.stats().branches_covered))});
+  }
+  // Random *values* baseline (not path-guided at all): how many distinct
+  // paths do uniformly random inputs cover in the same budget?
+  {
+    Rng rng(seed);
+    std::set<uint64_t> paths;
+    sym::Engine engine;
+    for (uint64_t r = 0; r < runs; ++r) {
+      sym::Assignment a;
+      for (sym::VarId v = 0; v < 6; ++v) {
+        a[v] = rng.NextBelow(1001);
+      }
+      engine.BeginRun(a);
+      MakeSyntheticProgram()(engine);
+      paths.insert(sym::HashDecisions(engine.path()));
+    }
+    table.AddRow({"random values (no solver)",
+                  StrFormat("%llu", static_cast<unsigned long long>(runs)),
+                  StrFormat("%zu", paths.size()), "-"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void RealFilterSeries(uint64_t runs, uint64_t seed, size_t prefixes) {
+  std::printf("F1b — real import path: coverage growth per run (provider, erroneous filter)\n");
+  Fig2Options options;
+  options.prefixes = prefixes;
+  options.seed = seed;
+  options.misconfig = Misconfig::kErroneousEntry;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = runs;
+  Explorer explorer(explorer_options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fig2.provider(), fig2.loop().now());
+  explorer.StartExploration(fig2.CustomerSeedUpdate(), Fig2::kCustomerNode);
+
+  Table table({"run", "unique paths", "branch outcomes", "detections"});
+  uint64_t next_report = 1;
+  uint64_t run = 1;
+  do {
+    if (run == next_report) {
+      table.AddRow(
+          {StrFormat("%llu", static_cast<unsigned long long>(run)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(explorer.report().concolic.unique_paths)),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 explorer.report().concolic.branches_covered)),
+           StrFormat("%zu", explorer.report().detections.size())});
+      next_report = next_report < 8 ? next_report + 1 : next_report * 2;
+    }
+    ++run;
+  } while (explorer.Step());
+  table.AddRow({StrFormat("%llu (final)",
+                          static_cast<unsigned long long>(explorer.report().concolic.runs)),
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      explorer.report().concolic.unique_paths)),
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      explorer.report().concolic.branches_covered)),
+                StrFormat("%zu", explorer.report().detections.size())});
+  table.Print();
+  std::printf("\nshape check vs Fig. 1: unique paths grow ~1 per run (systematic\n"
+              "negation), and the random baseline plateaus far below the concolic\n"
+              "strategies on the synthetic handler.\n");
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t runs = flags.GetUint("runs", 128);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const size_t prefixes = flags.GetUint("prefixes", 5000);
+
+  std::printf("F1: systematic path exploration by predicate negation (paper Fig. 1)\n\n");
+  SyntheticSeries(runs, seed);
+  RealFilterSeries(runs, seed, prefixes);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dice::bench
+
+int main(int argc, char** argv) { return dice::bench::Run(argc, argv); }

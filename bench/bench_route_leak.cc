@@ -1,0 +1,177 @@
+// E4 — §4.2 "Detecting route leaks" (bench regenerating the paper's result):
+//
+// The provider's customer route filtering is misconfigured ("its policy
+// either fails to filter customer routes or has erroneous filters"); DiCE
+// explores from the live state and must report which prefix ranges can be
+// leaked — the actionable output the paper highlights ("DiCE clearly states
+// which prefix ranges can be leaked"). Anycast space is whitelisted so
+// legitimately multi-origin prefixes do not appear as false positives.
+//
+// The bench runs every misconfiguration variant plus the correct-filter
+// control, and a random-fuzz baseline at equal budget (the F1 comparison in
+// table form).
+//
+// Flags: --prefixes=N, --runs=N, --seed=S.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.h"
+#include "bench/topology.h"
+#include "src/dice/baselines.h"
+#include "src/dice/explorer.h"
+
+namespace dice::bench {
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t runs = 0;
+  size_t detections = 0;
+  size_t distinct_victims = 0;
+  std::optional<uint64_t> first_detection_run;
+  uint64_t anycast_suppressed = 0;
+  double wall_seconds = 0;
+  std::set<std::string> victim_ranges;
+};
+
+ScenarioResult RunScenario(Misconfig misconfig, size_t prefixes, uint64_t seed, uint64_t runs) {
+  Fig2Options options;
+  options.prefixes = prefixes;
+  options.seed = seed;
+  options.misconfig = misconfig;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+
+  // Plant the YouTube-incident victim and a legitimate anycast block.
+  bgp::UpdateMessage victim;
+  victim.attrs.origin = bgp::Origin::kIgp;
+  victim.attrs.as_path = bgp::AsPath::Sequence({65000, 3549, 36561});
+  victim.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+  victim.nlri.push_back(*bgp::Prefix::Parse("208.65.152.0/22"));
+  fig2.feed().SendUpdate(victim);
+  bgp::UpdateMessage anycast;
+  anycast.attrs.origin = bgp::Origin::kIgp;
+  anycast.attrs.as_path = bgp::AsPath::Sequence({65000, 42});
+  anycast.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+  anycast.nlri.push_back(*bgp::Prefix::Parse("192.175.48.0/24"));  // AS112-style
+  fig2.feed().SendUpdate(anycast);
+  fig2.Settle();
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = runs;
+  Explorer explorer(explorer_options);
+  auto checker = std::make_unique<HijackChecker>();
+  checker->AddAnycastPrefix(*bgp::Prefix::Parse("192.175.48.0/24"));
+  // The whitelist also carries space the customer is authorized to originate:
+  // the customer re-announcing its own prefixes with a different origin is
+  // expected churn, not a leak (the paper's "existing routes are trustworthy"
+  // assumption applied to the peer's own allocations).
+  checker->AddAnycastPrefix(*bgp::Prefix::Parse("10.1.0.0/16"));
+  HijackChecker* checker_ptr = checker.get();
+  explorer.AddChecker(std::move(checker));
+  explorer.TakeCheckpoint(fig2.provider(), fig2.loop().now());
+
+  Stopwatch timer;
+  explorer.ExploreSeed(fig2.CustomerSeedUpdate(), Fig2::kCustomerNode);
+
+  ScenarioResult result;
+  result.name = MisconfigName(misconfig);
+  result.wall_seconds = timer.Seconds();
+  result.runs = explorer.report().concolic.runs;
+  result.detections = explorer.report().detections.size();
+  result.first_detection_run = explorer.report().first_detection_run;
+  result.anycast_suppressed = checker_ptr->suppressed_anycast();
+  for (const Detection& d : explorer.report().detections) {
+    result.victim_ranges.insert(d.victim.has_value() ? d.victim->ToString()
+                                                     : d.prefix.ToString());
+  }
+  result.distinct_victims = result.victim_ranges.size();
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t prefixes = flags.GetUint("prefixes", 20000);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t runs = flags.GetUint("runs", 600);
+
+  std::printf("E4: detecting origin misconfiguration / route leaks (paper §4.2)\n");
+  std::printf("table=%zu prefixes + planted victim 208.65.152.0/22 (origin AS 36561),\n",
+              prefixes);
+  std::printf("anycast 192.175.48.0/24 whitelisted; budget %llu runs/scenario\n\n",
+              static_cast<unsigned long long>(runs));
+
+  Table table({"scenario", "runs", "detections", "victim ranges", "first hit (run)",
+               "anycast FPs suppressed", "wall s"});
+  std::vector<ScenarioResult> results;
+  for (Misconfig m : {Misconfig::kErroneousEntry, Misconfig::kTooBroad, Misconfig::kNoFilter,
+                      Misconfig::kCorrect}) {
+    ScenarioResult r = RunScenario(m, prefixes, seed, runs);
+    table.AddRow({r.name, StrFormat("%llu", static_cast<unsigned long long>(r.runs)),
+                  StrFormat("%zu", r.detections), StrFormat("%zu", r.distinct_victims),
+                  r.first_detection_run.has_value()
+                      ? StrFormat("%llu",
+                                  static_cast<unsigned long long>(*r.first_detection_run))
+                      : "-",
+                  StrFormat("%llu", static_cast<unsigned long long>(r.anycast_suppressed)),
+                  StrFormat("%.2f", r.wall_seconds)});
+    results.push_back(std::move(r));
+  }
+  table.Print();
+
+  std::printf("\nleakable prefix ranges reported by DiCE (erroneous-entry scenario):\n");
+  for (const std::string& range : results[0].victim_ranges) {
+    std::printf("  %s\n", range.c_str());
+  }
+
+  // Random-fuzz baseline at the same budget on the hardest scenario.
+  {
+    Fig2Options options;
+    options.prefixes = prefixes;
+    options.seed = seed;
+    options.misconfig = Misconfig::kErroneousEntry;
+    Fig2 fig2(options);
+    fig2.LoadTable();
+    bgp::UpdateMessage victim;
+    victim.attrs.origin = bgp::Origin::kIgp;
+    victim.attrs.as_path = bgp::AsPath::Sequence({65000, 3549, 36561});
+    victim.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+    victim.nlri.push_back(*bgp::Prefix::Parse("208.65.152.0/22"));
+    fig2.feed().SendUpdate(victim);
+    fig2.Settle();
+
+    RandomFuzzExplorer fuzz(SymbolicUpdateSpec{}, seed + 17);
+    fuzz.AddChecker(std::make_unique<HijackChecker>());
+    fuzz.TakeCheckpoint(fig2.provider().CheckpointState(), fig2.provider().PeerViews(),
+                        fig2.loop().now());
+    fuzz.Explore(fig2.CustomerSeedUpdate(), Fig2::kCustomerNode, runs);
+
+    size_t victim_hits = 0;
+    for (const Detection& d : fuzz.detections()) {
+      if (bgp::Prefix::Parse("208.65.152.0/22")->Covers(d.prefix)) {
+        ++victim_hits;
+      }
+    }
+    std::printf("\nbaseline (random fuzz, same budget %llu runs, erroneous-entry):\n",
+                static_cast<unsigned long long>(runs));
+    std::printf("  detections touching the victim /22: %zu (DiCE: found at run %s)\n",
+                victim_hits,
+                results[0].first_detection_run.has_value()
+                    ? StrFormat("%llu", static_cast<unsigned long long>(
+                                            *results[0].first_detection_run))
+                          .c_str()
+                    : "-");
+  }
+
+  std::printf(
+      "\nshape check vs paper: misconfigured scenarios -> leaks found with the\n"
+      "offending ranges named; correct filter -> zero detections; anycast\n"
+      "overrides suppressed, not reported.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dice::bench
+
+int main(int argc, char** argv) { return dice::bench::Run(argc, argv); }

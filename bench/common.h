@@ -1,0 +1,127 @@
+// Shared helpers for the benchmark binaries: tiny flag parsing and aligned
+// table printing, so every bench emits the same style of report.
+
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace dice::bench {
+
+// Parses --key=value flags; anything else is ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        continue;
+      }
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  uint64_t GetUint(const std::string& key, uint64_t default_value) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return default_value;
+    }
+    auto v = ParseUint64(it->second);
+    return v.has_value() ? *v : default_value;
+  }
+
+  double GetDouble(const std::string& key, double default_value) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return default_value;
+    }
+    return std::stod(it->second);
+  }
+
+  std::string GetString(const std::string& key, const std::string& default_value) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  bool GetBool(const std::string& key, bool default_value) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return default_value;
+    }
+    return it->second == "true" || it->second == "1";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// Simple aligned-column table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths;
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i >= widths.size()) {
+          widths.push_back(0);
+        }
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::string line;
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::string cell = rows_[r][i];
+        cell.resize(widths[i], ' ');
+        line += cell;
+        if (i + 1 < rows_[r].size()) {
+          line += "  ";
+        }
+      }
+      std::printf("%s\n", line.c_str());
+      if (r == 0) {
+        std::string sep;
+        for (size_t i = 0; i < widths.size(); ++i) {
+          sep += std::string(widths[i], '-');
+          if (i + 1 < widths.size()) {
+            sep += "  ";
+          }
+        }
+        std::printf("%s\n", sep.c_str());
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dice::bench
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,77 @@
+// Standalone tour of the concolic engine (§2.2 / Fig. 1), independent of BGP.
+//
+// We instrument a small "message handler" with nested, dependent branches and
+// let the driver negate predicates one at a time: every run takes a new path,
+// the solver synthesizes inputs for deep guards (including an equality needle
+// random testing would essentially never hit), and infeasible flips are
+// proven UNSAT.
+//
+// Build & run:  ./build/examples/concolic_demo
+
+#include <cstdio>
+#include <string>
+
+#include "src/sym/concolic.h"
+
+int main() {
+  using namespace dice::sym;
+
+  std::printf("=== concolic exploration of a toy message handler ===\n\n");
+
+  // The instrumented program: reads three "fields", branches on them.
+  // Feasible paths: rejected-early, small, large-but-not-magic, magic,
+  // and the nested checksum pair under 'large'.
+  auto program = [](Engine& engine) -> std::string {
+    Value type = engine.MakeSymbolic("type", 8, 1, 0, 255);
+    Value length = engine.MakeSymbolic("length", 16, 40, 0, 4096);
+    Value checksum = engine.MakeSymbolic("checksum", 32, 7, 0, 0xffffffff);
+
+    if (!engine.Branch(type == Value(1), /*site=*/1)) {
+      return "rejected: wrong type";
+    }
+    if (engine.Branch(length < Value(64), 2)) {
+      return "small message";
+    }
+    if (engine.Branch(length > Value(1024), 3)) {
+      if (engine.Branch(checksum == Value(0xfeedface), 4)) {
+        return "jumbo with MAGIC checksum  <-- the needle";
+      }
+      return "jumbo";
+    }
+    // 64 <= length <= 1024: checksum must match a derived value.
+    if (engine.Branch(checksum == length * Value(3) + Value(5), 5)) {
+      return "valid checksum (checksum == 3*length+5)";
+    }
+    return "bad checksum";
+  };
+
+  ConcolicOptions options;
+  options.max_runs = 32;
+  ConcolicDriver driver(options);
+
+  std::printf("%-4s  %-28s  %s\n", "run", "input (type,length,checksum)", "path taken");
+  std::printf("%-4s  %-28s  %s\n", "---", "----------------------------", "----------");
+  int run = 0;
+  driver.Explore(
+      [&](Engine& engine) {
+        std::string outcome = program(engine);
+        Assignment a = engine.EffectiveAssignment();
+        std::printf("%-4d  (%3llu, %4llu, 0x%08llx)      %s\n", run++,
+                    static_cast<unsigned long long>(a[0]),
+                    static_cast<unsigned long long>(a[1]),
+                    static_cast<unsigned long long>(a[2]), outcome.c_str());
+      });
+
+  const ConcolicStats& stats = driver.stats();
+  std::printf("\nstats: %llu runs, %llu unique paths, %llu branch outcomes covered,\n",
+              static_cast<unsigned long long>(stats.runs),
+              static_cast<unsigned long long>(stats.unique_paths),
+              static_cast<unsigned long long>(stats.branches_covered));
+  std::printf("       solver: %llu SAT, %llu UNSAT (infeasible flips proven), %llu unknown\n",
+              static_cast<unsigned long long>(stats.solver_sat),
+              static_cast<unsigned long long>(stats.solver_unsat),
+              static_cast<unsigned long long>(stats.solver_unknown));
+  std::printf("\nnote how run after run flips exactly one predicate (Fig. 1), and how\n"
+              "the 0xfeedface needle is reached by solving, not by luck.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Federated, cross-domain exploration (§2.4 of the paper, implemented):
+// "extend the horizon of local state space exploration to reach across the
+// network" while "nodes only communicate state information through a narrow
+// interface".
+//
+// Setup: the provider (AS 3) explores its customer's inputs; an *upstream*
+// ISP (AS 7, a different administrative domain) participates by checkpointing
+// its own router and processing the provider's exploratory routes on isolated
+// clones. The upstream never reveals its table or policy — only per-prefix
+// narrow verdicts — yet DiCE can tell which locally-detected leaks would
+// actually spread beyond the provider.
+//
+// Build & run:  ./build/examples/federated_exploration
+
+#include <cstdio>
+#include <memory>
+
+#include "src/bgp/router.h"
+#include "src/dice/distributed.h"
+#include "src/net/network.h"
+
+int main() {
+  using namespace dice;
+
+  net::EventLoop loop;
+  net::Network network(&loop);
+
+  // --- The upstream domain (remote, autonomous) ----------------------------
+  // It protects 198.51.100.0/24 with its own filter — configuration the
+  // provider cannot see.
+  auto upstream_config = bgp::ParseSingleRouterConfig(R"(
+router upstream {
+  as 7;
+  id 10.0.0.7;
+  prefix-list protected { 198.51.100.0/24 le 32; }
+  filter guard {
+    term block { match prefix in protected; then reject; }
+    default accept;
+  }
+  neighbor 10.0.0.3 { as 3; import filter guard; }
+}
+)");
+  if (!upstream_config.ok()) {
+    std::fprintf(stderr, "config error: %s\n", upstream_config.status().ToString().c_str());
+    return 1;
+  }
+  bgp::Router upstream(/*id=*/5, std::move(upstream_config).value(), &network);
+  network.AddNode(&upstream);
+  upstream.RegisterPeerNode(*bgp::Ipv4Address::Parse("10.0.0.3"), 2);
+
+  // The upstream already routes two prefixes (learned elsewhere).
+  auto install = [&](const char* prefix, bgp::AsNumber origin) {
+    bgp::Route route;
+    route.peer = 9;
+    route.peer_as = 9;
+    route.attrs.origin = bgp::Origin::kIgp;
+    route.attrs.as_path = bgp::AsPath::Sequence({9, origin});
+    upstream.mutable_state_for_test().rib.AddRoute(*bgp::Prefix::Parse(prefix), route);
+  };
+  install("192.0.2.0/24", 64500);
+  install("198.51.100.0/24", 64501);
+
+  // --- The provider (exploring domain) -------------------------------------
+  auto provider_config = std::make_shared<bgp::RouterConfig>();
+  provider_config->name = "provider";
+  provider_config->local_as = 3;
+  provider_config->router_id = *bgp::Ipv4Address::Parse("10.0.0.3");
+  bgp::NeighborConfig customer;  // no filter: the misconfiguration under test
+  customer.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+  customer.remote_as = 1;
+  provider_config->neighbors.push_back(customer);
+
+  bgp::RouterState provider_state;
+  provider_state.config = provider_config;
+  auto provider_install = [&](const char* prefix, bgp::AsNumber origin) {
+    bgp::Route route;
+    route.peer = 9;
+    route.peer_as = 9;
+    route.attrs.origin = bgp::Origin::kIgp;
+    route.attrs.as_path = bgp::AsPath::Sequence({9, origin});
+    provider_state.rib.AddRoute(*bgp::Prefix::Parse(prefix), route);
+  };
+  provider_install("192.0.2.0/24", 64500);      // also known upstream
+  provider_install("198.51.100.0/24", 64501);   // upstream filters this one
+
+  bgp::PeerView customer_view;
+  customer_view.id = 1;
+  customer_view.remote_as = 1;
+  customer_view.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+  customer_view.established = true;
+
+  // --- Federated DiCE -------------------------------------------------------
+  ExplorerOptions options;
+  options.concolic.max_runs = 300;
+  DistributedExplorer dice(options);
+  dice.AddChecker(std::make_unique<HijackChecker>());
+  dice.AddRemotePeer(std::make_unique<RemoteExplorationPeer>("upstream-isp", &upstream, 2));
+  dice.TakeCheckpoint(provider_state, {customer_view}, loop.now());
+
+  bgp::UpdateMessage seed;
+  seed.attrs.origin = bgp::Origin::kIgp;
+  seed.attrs.as_path = bgp::AsPath::Sequence({1, 100});
+  seed.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+  seed.nlri.push_back(*bgp::Prefix::Parse("10.1.7.0/24"));
+
+  std::printf("exploring at the provider; upstream participates via narrow interface...\n");
+  dice.ExploreSeed(seed, /*from=*/1);
+
+  std::printf("local findings: %zu\n", dice.local_report().detections.size());
+  std::printf("system-wide confirmed (remote clone would adopt): %zu\n\n",
+              dice.system_wide().size());
+  for (const SystemWideDetection& sw : dice.system_wide()) {
+    std::printf("SYSTEM-WIDE %s\n", sw.local.ToString().c_str());
+    std::printf("  would be adopted by:");
+    for (const std::string& domain : sw.adopting_domains) {
+      std::printf(" %s", domain.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Show the privacy property explicitly.
+  std::printf("\nprivacy check: local findings on 198.51.100.0/24 are NOT confirmed\n"
+              "system-wide — the upstream's (invisible) filter protects it, and all\n"
+              "the provider learned is the narrow verdict, not why.\n");
+  std::printf("remote live RIB untouched by exploration: %s\n",
+              upstream.rib().BestRoute(*bgp::Prefix::Parse("10.1.7.0/24")) == nullptr
+                  ? "yes"
+                  : "NO (bug!)");
+  return 0;
+}

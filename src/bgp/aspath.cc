@@ -1,0 +1,93 @@
+#include "src/bgp/aspath.h"
+
+namespace dice::bgp {
+
+AsPath AsPath::Sequence(std::vector<AsNumber> asns) {
+  AsPath path;
+  if (!asns.empty()) {
+    path.segments_.push_back(AsSegment{AsSegmentType::kAsSequence, std::move(asns)});
+  }
+  return path;
+}
+
+void AsPath::Prepend(AsNumber asn) {
+  if (!segments_.empty() && segments_.front().type == AsSegmentType::kAsSequence) {
+    segments_.front().asns.insert(segments_.front().asns.begin(), asn);
+    return;
+  }
+  segments_.insert(segments_.begin(), AsSegment{AsSegmentType::kAsSequence, {asn}});
+}
+
+AsNumber AsPath::OriginAs() const {
+  if (segments_.empty()) {
+    return 0;
+  }
+  const AsSegment& last = segments_.back();
+  if (last.type != AsSegmentType::kAsSequence || last.asns.empty()) {
+    return 0;
+  }
+  return last.asns.back();
+}
+
+AsNumber AsPath::FirstAs() const {
+  if (segments_.empty() || segments_.front().asns.empty()) {
+    return 0;
+  }
+  return segments_.front().asns.front();
+}
+
+bool AsPath::Contains(AsNumber asn) const {
+  for (const AsSegment& seg : segments_) {
+    for (AsNumber a : seg.asns) {
+      if (a == asn) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t AsPath::EffectiveLength() const {
+  size_t len = 0;
+  for (const AsSegment& seg : segments_) {
+    len += seg.type == AsSegmentType::kAsSequence ? seg.asns.size() : 1;
+  }
+  return len;
+}
+
+std::vector<AsNumber> AsPath::Flatten() const {
+  std::vector<AsNumber> out;
+  for (const AsSegment& seg : segments_) {
+    out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  }
+  return out;
+}
+
+std::string AsPath::ToString() const {
+  std::string out;
+  for (const AsSegment& seg : segments_) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    if (seg.type == AsSegmentType::kAsSet) {
+      out += '{';
+      for (size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    } else {
+      for (size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i != 0) {
+          out += ' ';
+        }
+        out += std::to_string(seg.asns[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dice::bgp

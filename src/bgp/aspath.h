@@ -1,0 +1,73 @@
+// AS_PATH attribute: ordered segments of autonomous system numbers.
+//
+// Supports the two RFC 4271 segment types (AS_SEQUENCE, AS_SET), the
+// operations routers perform on paths (prepend, loop detection, origin
+// extraction, effective length), and wire-format encode/decode helpers used by
+// src/bgp/wire.cc.
+
+#ifndef SRC_BGP_ASPATH_H_
+#define SRC_BGP_ASPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dice::bgp {
+
+using AsNumber = uint32_t;
+
+enum class AsSegmentType : uint8_t {
+  kAsSet = 1,
+  kAsSequence = 2,
+};
+
+struct AsSegment {
+  AsSegmentType type = AsSegmentType::kAsSequence;
+  std::vector<AsNumber> asns;
+
+  friend bool operator==(const AsSegment&, const AsSegment&) = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<AsSegment> segments) : segments_(std::move(segments)) {}
+
+  // Builds a single AS_SEQUENCE path, the common case.
+  static AsPath Sequence(std::vector<AsNumber> asns);
+
+  const std::vector<AsSegment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  // Prepends `asn` to the front, extending or creating an AS_SEQUENCE segment
+  // (what a router does before exporting to an eBGP peer).
+  void Prepend(AsNumber asn);
+
+  // Origin AS: the last ASN of the last AS_SEQUENCE segment; 0 if the path is
+  // empty or ends in an AS_SET (aggregated route with unknown exact origin).
+  AsNumber OriginAs() const;
+
+  // First (neighbor) AS: front of the first segment; 0 if empty.
+  AsNumber FirstAs() const;
+
+  // True if `asn` appears anywhere in the path (BGP loop detection).
+  bool Contains(AsNumber asn) const;
+
+  // Path length for the decision process: AS_SET counts as 1 (RFC 4271 9.1.2.2).
+  size_t EffectiveLength() const;
+
+  // All ASNs flattened in order (sets expanded in stored order).
+  std::vector<AsNumber> Flatten() const;
+
+  // "64500 64501 {64502,64503}" rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsSegment> segments_;
+};
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_ASPATH_H_

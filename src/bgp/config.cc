@@ -1,0 +1,568 @@
+#include "src/bgp/config.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace dice::bgp {
+namespace {
+
+enum class TokKind : uint8_t {
+  kWord,    // identifiers, numbers, addresses, prefixes
+  kPunct,   // { } ; [ ] , :
+  kCmp,     // == != <= >= < >
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Lex() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '{' || c == '}' || c == ';' || c == '[' || c == ']' || c == ',' || c == ':') {
+        tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line_});
+        ++pos_;
+        continue;
+      }
+      if (c == '=' || c == '!' || c == '<' || c == '>') {
+        std::string op(1, c);
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        ++pos_;
+        if (op == "=" || op == "!") {
+          return InvalidArgumentError(StrFormat("line %d: stray '%s'", line_, op.c_str()));
+        }
+        tokens.push_back(Token{TokKind::kCmp, op, line_});
+        continue;
+      }
+      if (IsWordChar(c)) {
+        size_t start = pos_;
+        while (pos_ < text_.size() && IsWordChar(text_[pos_])) {
+          ++pos_;
+        }
+        tokens.push_back(Token{TokKind::kWord, text_.substr(start, pos_ - start), line_});
+        continue;
+      }
+      return InvalidArgumentError(StrFormat("line %d: unexpected character '%c'", line_, c));
+    }
+    tokens.push_back(Token{TokKind::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-' || c == '_' ||
+           c == '/';
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<RouterConfig>> Parse() {
+    std::vector<RouterConfig> routers;
+    while (!AtEnd()) {
+      DICE_RETURN_IF_ERROR(ExpectWord("router"));
+      RouterConfig router;
+      DICE_ASSIGN_OR_RETURN(router.name, TakeWord("router name"));
+      DICE_RETURN_IF_ERROR(ExpectPunct("{"));
+      while (!PeekPunct("}")) {
+        DICE_RETURN_IF_ERROR(ParseRouterStmt(router));
+      }
+      DICE_RETURN_IF_ERROR(ExpectPunct("}"));
+      DICE_RETURN_IF_ERROR(router.policies.Validate());
+      for (const NeighborConfig& n : router.neighbors) {
+        if (!n.import_filter.empty() &&
+            router.policies.FindFilter(n.import_filter) == nullptr) {
+          return Error("neighbor references unknown import filter " + n.import_filter);
+        }
+        if (!n.export_filter.empty() &&
+            router.policies.FindFilter(n.export_filter) == nullptr) {
+          return Error("neighbor references unknown export filter " + n.export_filter);
+        }
+      }
+      routers.push_back(std::move(router));
+    }
+    return routers;
+  }
+
+ private:
+  bool AtEnd() const { return tokens_[pos_].kind == TokKind::kEnd; }
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(StrFormat("line %d: %s", Peek().line, message.c_str()));
+  }
+
+  bool PeekPunct(const std::string& p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+  bool PeekWord(const std::string& w) const {
+    return Peek().kind == TokKind::kWord && Peek().text == w;
+  }
+
+  Status ExpectPunct(const std::string& p) {
+    if (!PeekPunct(p)) {
+      return Error("expected '" + p + "', got '" + Peek().text + "'");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status ExpectWord(const std::string& w) {
+    if (!PeekWord(w)) {
+      return Error("expected '" + w + "', got '" + Peek().text + "'");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> TakeWord(const std::string& what) {
+    if (Peek().kind != TokKind::kWord) {
+      return Error("expected " + what + ", got '" + Peek().text + "'");
+    }
+    return tokens_[pos_++].text;
+  }
+
+  StatusOr<uint64_t> TakeNumber(const std::string& what) {
+    DICE_ASSIGN_OR_RETURN(std::string word, TakeWord(what));
+    auto n = ParseUint64(word);
+    if (!n.has_value()) {
+      return Error("expected number for " + what + ", got '" + word + "'");
+    }
+    return *n;
+  }
+
+  StatusOr<Ipv4Address> TakeAddress(const std::string& what) {
+    DICE_ASSIGN_OR_RETURN(std::string word, TakeWord(what));
+    auto a = Ipv4Address::Parse(word);
+    if (!a.has_value()) {
+      return Error("expected IPv4 address for " + what + ", got '" + word + "'");
+    }
+    return *a;
+  }
+
+  StatusOr<Prefix> TakePrefix(const std::string& what) {
+    DICE_ASSIGN_OR_RETURN(std::string word, TakeWord(what));
+    auto p = Prefix::Parse(word);
+    if (!p.has_value()) {
+      return Error("expected prefix for " + what + ", got '" + word + "'");
+    }
+    return *p;
+  }
+
+  StatusOr<CmpOp> TakeCmpOp() {
+    if (Peek().kind != TokKind::kCmp) {
+      return Error("expected comparison operator, got '" + Peek().text + "'");
+    }
+    std::string op = tokens_[pos_++].text;
+    if (op == "==") return CmpOp::kEq;
+    if (op == "!=") return CmpOp::kNe;
+    if (op == "<") return CmpOp::kLt;
+    if (op == "<=") return CmpOp::kLe;
+    if (op == ">") return CmpOp::kGt;
+    if (op == ">=") return CmpOp::kGe;
+    return Error("bad comparison operator '" + op + "'");
+  }
+
+  StatusOr<Community> TakeCommunity() {
+    DICE_ASSIGN_OR_RETURN(uint64_t asn, TakeNumber("community AS"));
+    DICE_RETURN_IF_ERROR(ExpectPunct(":"));
+    DICE_ASSIGN_OR_RETURN(uint64_t tag, TakeNumber("community tag"));
+    if (asn > 0xffff || tag > 0xffff) {
+      return Error("community parts must fit in 16 bits");
+    }
+    return MakeCommunity(static_cast<uint16_t>(asn), static_cast<uint16_t>(tag));
+  }
+
+  Status ParseRouterStmt(RouterConfig& router) {
+    if (PeekWord("as")) {
+      ++pos_;
+      DICE_ASSIGN_OR_RETURN(uint64_t asn, TakeNumber("AS number"));
+      if (asn == 0 || asn > 0xffff) {
+        return Error("AS number must be 1..65535");
+      }
+      router.local_as = static_cast<AsNumber>(asn);
+      return ExpectPunct(";");
+    }
+    if (PeekWord("id")) {
+      ++pos_;
+      DICE_ASSIGN_OR_RETURN(router.router_id, TakeAddress("router id"));
+      return ExpectPunct(";");
+    }
+    if (PeekWord("network")) {
+      ++pos_;
+      DICE_ASSIGN_OR_RETURN(Prefix p, TakePrefix("network"));
+      router.networks.push_back(p);
+      return ExpectPunct(";");
+    }
+    if (PeekWord("prefix-list")) {
+      ++pos_;
+      return ParsePrefixList(router);
+    }
+    if (PeekWord("filter")) {
+      ++pos_;
+      return ParseFilter(router);
+    }
+    if (PeekWord("neighbor")) {
+      ++pos_;
+      return ParseNeighbor(router);
+    }
+    return Error("unexpected token '" + Peek().text + "' in router block");
+  }
+
+  Status ParsePrefixList(RouterConfig& router) {
+    PrefixList list;
+    DICE_ASSIGN_OR_RETURN(list.name, TakeWord("prefix-list name"));
+    DICE_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!PeekPunct("}")) {
+      PrefixListEntry entry;
+      DICE_ASSIGN_OR_RETURN(entry.prefix, TakePrefix("prefix-list entry"));
+      if (PeekWord("ge")) {
+        ++pos_;
+        DICE_ASSIGN_OR_RETURN(uint64_t ge, TakeNumber("ge bound"));
+        if (ge > 32) {
+          return Error("ge bound must be <= 32");
+        }
+        entry.ge = static_cast<uint8_t>(ge);
+      }
+      if (PeekWord("le")) {
+        ++pos_;
+        DICE_ASSIGN_OR_RETURN(uint64_t le, TakeNumber("le bound"));
+        if (le > 32) {
+          return Error("le bound must be <= 32");
+        }
+        entry.le = static_cast<uint8_t>(le);
+      }
+      DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+      list.entries.push_back(entry);
+    }
+    DICE_RETURN_IF_ERROR(ExpectPunct("}"));
+    return router.policies.AddPrefixList(std::move(list));
+  }
+
+  Status ParseFilter(RouterConfig& router) {
+    Filter filter;
+    DICE_ASSIGN_OR_RETURN(filter.name, TakeWord("filter name"));
+    DICE_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!PeekPunct("}")) {
+      if (PeekWord("default")) {
+        ++pos_;
+        if (PeekWord("accept")) {
+          filter.default_accept = true;
+        } else if (PeekWord("reject")) {
+          filter.default_accept = false;
+        } else {
+          return Error("expected accept/reject after 'default'");
+        }
+        ++pos_;
+        DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+        continue;
+      }
+      DICE_RETURN_IF_ERROR(ExpectWord("term"));
+      FilterTerm term;
+      DICE_ASSIGN_OR_RETURN(term.name, TakeWord("term name"));
+      DICE_RETURN_IF_ERROR(ExpectPunct("{"));
+      while (!PeekPunct("}")) {
+        if (PeekWord("match")) {
+          ++pos_;
+          DICE_ASSIGN_OR_RETURN(Match m, ParseMatch());
+          term.matches.push_back(std::move(m));
+          DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+        } else if (PeekWord("then")) {
+          ++pos_;
+          DICE_ASSIGN_OR_RETURN(Action a, ParseAction());
+          term.actions.push_back(a);
+          DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+        } else {
+          return Error("expected 'match' or 'then' in term, got '" + Peek().text + "'");
+        }
+      }
+      DICE_RETURN_IF_ERROR(ExpectPunct("}"));
+      filter.terms.push_back(std::move(term));
+    }
+    DICE_RETURN_IF_ERROR(ExpectPunct("}"));
+    return router.policies.AddFilter(std::move(filter));
+  }
+
+  StatusOr<Match> ParseMatch() {
+    Match m;
+    if (PeekWord("any")) {
+      ++pos_;
+      m.kind = MatchKind::kAny;
+      return m;
+    }
+    if (PeekWord("prefix")) {
+      ++pos_;
+      if (PeekWord("in")) {
+        ++pos_;
+        m.kind = MatchKind::kPrefixInList;
+        DICE_ASSIGN_OR_RETURN(m.list_name, TakeWord("prefix-list name"));
+        return m;
+      }
+      if (PeekWord("is")) {
+        ++pos_;
+        m.kind = MatchKind::kPrefixIs;
+        DICE_ASSIGN_OR_RETURN(m.prefix, TakePrefix("prefix"));
+        return m;
+      }
+      if (PeekWord("within")) {
+        ++pos_;
+        m.kind = MatchKind::kPrefixWithin;
+        DICE_ASSIGN_OR_RETURN(m.prefix, TakePrefix("prefix"));
+        return m;
+      }
+      return Error("expected in/is/within after 'prefix'");
+    }
+    if (PeekWord("origin-as")) {
+      ++pos_;
+      if (PeekWord("is")) {
+        ++pos_;
+        m.kind = MatchKind::kOriginAsIs;
+        DICE_ASSIGN_OR_RETURN(uint64_t asn, TakeNumber("origin AS"));
+        m.number = static_cast<uint32_t>(asn);
+        return m;
+      }
+      if (PeekWord("in")) {
+        ++pos_;
+        m.kind = MatchKind::kOriginAsIn;
+        DICE_RETURN_IF_ERROR(ExpectPunct("["));
+        for (;;) {
+          DICE_ASSIGN_OR_RETURN(uint64_t asn, TakeNumber("origin AS"));
+          m.numbers.push_back(static_cast<uint32_t>(asn));
+          if (PeekPunct(",")) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        DICE_RETURN_IF_ERROR(ExpectPunct("]"));
+        return m;
+      }
+      return Error("expected is/in after 'origin-as'");
+    }
+    if (PeekWord("as-path")) {
+      ++pos_;
+      if (PeekWord("contains")) {
+        ++pos_;
+        m.kind = MatchKind::kAsPathContains;
+        DICE_ASSIGN_OR_RETURN(uint64_t asn, TakeNumber("ASN"));
+        m.number = static_cast<uint32_t>(asn);
+        return m;
+      }
+      if (PeekWord("length")) {
+        ++pos_;
+        m.kind = MatchKind::kAsPathLength;
+        DICE_ASSIGN_OR_RETURN(m.cmp, TakeCmpOp());
+        DICE_ASSIGN_OR_RETURN(uint64_t n, TakeNumber("path length"));
+        m.number = static_cast<uint32_t>(n);
+        return m;
+      }
+      return Error("expected contains/length after 'as-path'");
+    }
+    if (PeekWord("community")) {
+      ++pos_;
+      m.kind = MatchKind::kHasCommunity;
+      DICE_ASSIGN_OR_RETURN(m.community, TakeCommunity());
+      return m;
+    }
+    if (PeekWord("med")) {
+      ++pos_;
+      m.kind = MatchKind::kMedCmp;
+      DICE_ASSIGN_OR_RETURN(m.cmp, TakeCmpOp());
+      DICE_ASSIGN_OR_RETURN(uint64_t n, TakeNumber("MED"));
+      m.number = static_cast<uint32_t>(n);
+      return m;
+    }
+    if (PeekWord("local-pref")) {
+      ++pos_;
+      m.kind = MatchKind::kLocalPrefCmp;
+      DICE_ASSIGN_OR_RETURN(m.cmp, TakeCmpOp());
+      DICE_ASSIGN_OR_RETURN(uint64_t n, TakeNumber("local-pref"));
+      m.number = static_cast<uint32_t>(n);
+      return m;
+    }
+    if (PeekWord("origin")) {
+      ++pos_;
+      m.kind = MatchKind::kOriginCodeIs;
+      if (PeekWord("igp")) {
+        m.number = 0;
+      } else if (PeekWord("egp")) {
+        m.number = 1;
+      } else if (PeekWord("incomplete")) {
+        m.number = 2;
+      } else {
+        return Error("expected igp/egp/incomplete after 'origin'");
+      }
+      ++pos_;
+      return m;
+    }
+    if (PeekWord("next-hop")) {
+      ++pos_;
+      DICE_RETURN_IF_ERROR(ExpectWord("is"));
+      m.kind = MatchKind::kNextHopIs;
+      DICE_ASSIGN_OR_RETURN(m.address, TakeAddress("next-hop"));
+      return m;
+    }
+    return Error("unknown match condition '" + Peek().text + "'");
+  }
+
+  StatusOr<Action> ParseAction() {
+    Action a;
+    if (PeekWord("accept")) {
+      ++pos_;
+      a.kind = ActionKind::kAccept;
+      return a;
+    }
+    if (PeekWord("reject")) {
+      ++pos_;
+      a.kind = ActionKind::kReject;
+      return a;
+    }
+    if (PeekWord("set")) {
+      ++pos_;
+      if (PeekWord("local-pref")) {
+        ++pos_;
+        a.kind = ActionKind::kSetLocalPref;
+        DICE_ASSIGN_OR_RETURN(uint64_t n, TakeNumber("local-pref"));
+        a.number = static_cast<uint32_t>(n);
+        return a;
+      }
+      if (PeekWord("med")) {
+        ++pos_;
+        a.kind = ActionKind::kSetMed;
+        DICE_ASSIGN_OR_RETURN(uint64_t n, TakeNumber("MED"));
+        a.number = static_cast<uint32_t>(n);
+        return a;
+      }
+      if (PeekWord("next-hop")) {
+        ++pos_;
+        a.kind = ActionKind::kSetNextHop;
+        DICE_ASSIGN_OR_RETURN(a.address, TakeAddress("next-hop"));
+        return a;
+      }
+      return Error("expected local-pref/med/next-hop after 'set'");
+    }
+    if (PeekWord("prepend")) {
+      ++pos_;
+      a.kind = ActionKind::kPrependAs;
+      DICE_ASSIGN_OR_RETURN(uint64_t n, TakeNumber("ASN"));
+      a.number = static_cast<uint32_t>(n);
+      return a;
+    }
+    if (PeekWord("add")) {
+      ++pos_;
+      DICE_RETURN_IF_ERROR(ExpectWord("community"));
+      a.kind = ActionKind::kAddCommunity;
+      DICE_ASSIGN_OR_RETURN(a.community, TakeCommunity());
+      return a;
+    }
+    if (PeekWord("remove")) {
+      ++pos_;
+      DICE_RETURN_IF_ERROR(ExpectWord("community"));
+      a.kind = ActionKind::kRemoveCommunity;
+      DICE_ASSIGN_OR_RETURN(a.community, TakeCommunity());
+      return a;
+    }
+    return Error("unknown action '" + Peek().text + "'");
+  }
+
+  Status ParseNeighbor(RouterConfig& router) {
+    NeighborConfig n;
+    DICE_ASSIGN_OR_RETURN(n.address, TakeAddress("neighbor address"));
+    DICE_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!PeekPunct("}")) {
+      if (PeekWord("as")) {
+        ++pos_;
+        DICE_ASSIGN_OR_RETURN(uint64_t asn, TakeNumber("neighbor AS"));
+        if (asn == 0 || asn > 0xffff) {
+          return Error("AS number must be 1..65535");
+        }
+        n.remote_as = static_cast<AsNumber>(asn);
+        DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+        continue;
+      }
+      bool is_import = PeekWord("import");
+      bool is_export = PeekWord("export");
+      if (is_import || is_export) {
+        ++pos_;
+        if (PeekWord("filter")) {
+          ++pos_;
+          DICE_ASSIGN_OR_RETURN(std::string name, TakeWord("filter name"));
+          (is_import ? n.import_filter : n.export_filter) = name;
+        } else if (PeekWord("accept")) {
+          ++pos_;
+          (is_import ? n.import_default_accept : n.export_default_accept) = true;
+        } else if (PeekWord("reject")) {
+          ++pos_;
+          (is_import ? n.import_default_accept : n.export_default_accept) = false;
+        } else {
+          return Error("expected filter/accept/reject after import/export");
+        }
+        DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+        continue;
+      }
+      return Error("unexpected token '" + Peek().text + "' in neighbor block");
+    }
+    DICE_RETURN_IF_ERROR(ExpectPunct("}"));
+    if (n.remote_as == 0) {
+      return Error("neighbor " + n.address.ToString() + " missing 'as'");
+    }
+    router.neighbors.push_back(std::move(n));
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<RouterConfig>> ParseConfig(const std::string& text) {
+  Lexer lexer(text);
+  DICE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Lex());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+StatusOr<RouterConfig> ParseSingleRouterConfig(const std::string& text) {
+  DICE_ASSIGN_OR_RETURN(std::vector<RouterConfig> routers, ParseConfig(text));
+  if (routers.size() != 1) {
+    return InvalidArgumentError(
+        StrFormat("expected exactly one router block, found %zu", routers.size()));
+  }
+  return std::move(routers[0]);
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,77 @@
+// Router configuration: data model and a BIRD-style configuration language.
+//
+// The paper stresses that DiCE explores behaviour arising from code *and*
+// configuration: filters written in this language are interpreted by
+// policy_eval.h, so every configured condition becomes an explorable branch.
+//
+// Grammar (tokens: words, numbers, prefixes, punctuation; '#' comments):
+//
+//   config      := router_block*
+//   router_block:= "router" WORD "{" stmt* "}"
+//   stmt        := "as" NUM ";" | "id" IP ";" | "network" PREFIX ";"
+//               | "prefix-list" WORD "{" plentry* "}"
+//               | "filter" WORD "{" filter_item* "}"
+//               | "neighbor" IP "{" nstmt* "}"
+//   plentry     := PREFIX ["ge" NUM] ["le" NUM] ";"
+//   filter_item := "term" WORD "{" titem* "}" | "default" ("accept"|"reject") ";"
+//   titem       := "match" cond ";" | "then" action ";"
+//   cond        := "any" | "prefix" "in" WORD | "prefix" "is" PREFIX
+//               | "prefix" "within" PREFIX
+//               | "origin-as" "is" NUM | "origin-as" "in" "[" NUM ("," NUM)* "]"
+//               | "as-path" "contains" NUM | "as-path" "length" CMP NUM
+//               | "community" NUM ":" NUM | "med" CMP NUM | "local-pref" CMP NUM
+//               | "origin" ("igp"|"egp"|"incomplete") | "next-hop" "is" IP
+//   action      := "accept" | "reject" | "set" "local-pref" NUM | "set" "med" NUM
+//               | "prepend" NUM | "add" "community" NUM ":" NUM
+//               | "remove" "community" NUM ":" NUM | "set" "next-hop" IP
+//   nstmt       := "as" NUM ";" | "import" "filter" WORD ";" | "export" "filter" WORD ";"
+//               | "import" ("accept"|"reject") ";" | "export" ("accept"|"reject") ";"
+
+#ifndef SRC_BGP_CONFIG_H_
+#define SRC_BGP_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bgp/policy.h"
+#include "src/util/status.h"
+
+namespace dice::bgp {
+
+struct NeighborConfig {
+  Ipv4Address address;
+  AsNumber remote_as = 0;
+  // Empty filter name means "no filter": the default verdict applies to all.
+  std::string import_filter;
+  std::string export_filter;
+  bool import_default_accept = true;
+  bool export_default_accept = true;
+};
+
+struct RouterConfig {
+  std::string name;
+  AsNumber local_as = 0;
+  Ipv4Address router_id;
+  std::vector<Prefix> networks;  // locally originated prefixes
+  PolicyStore policies;
+  std::vector<NeighborConfig> neighbors;
+
+  const NeighborConfig* FindNeighbor(Ipv4Address address) const {
+    for (const NeighborConfig& n : neighbors) {
+      if (n.address == address) {
+        return &n;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Parses a full configuration file (one or more router blocks).
+StatusOr<std::vector<RouterConfig>> ParseConfig(const std::string& text);
+
+// Parses a configuration containing exactly one router block.
+StatusOr<RouterConfig> ParseSingleRouterConfig(const std::string& text);
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_CONFIG_H_

@@ -1,0 +1,45 @@
+#include "src/bgp/ip.h"
+
+#include "src/util/strings.h"
+
+namespace dice::bgp {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  auto parts = Split(text, '.');
+  if (parts.size() != 4) {
+    return std::nullopt;
+  }
+  uint32_t bits = 0;
+  for (const auto& part : parts) {
+    auto octet = ParseUint64(part);
+    if (!octet.has_value() || *octet > 255) {
+      return std::nullopt;
+    }
+    bits = (bits << 8) | static_cast<uint32_t>(*octet);
+  }
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::ToString() const {
+  return StrFormat("%u.%u.%u.%u", (bits_ >> 24) & 0xff, (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff,
+                   bits_ & 0xff);
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return std::nullopt;
+  }
+  auto addr = Ipv4Address::Parse(text.substr(0, slash));
+  auto len = ParseUint64(text.substr(slash + 1));
+  if (!addr.has_value() || !len.has_value() || *len > 32) {
+    return std::nullopt;
+  }
+  return Make(*addr, static_cast<uint8_t>(*len));
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(len_);
+}
+
+}  // namespace dice::bgp

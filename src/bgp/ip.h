@@ -1,0 +1,89 @@
+// IPv4 addressing primitives: addresses and CIDR prefixes.
+//
+// Prefixes are stored canonically (host bits zeroed) so that equality and
+// containment behave set-theoretically. These types are the keys of every RIB
+// structure and the subject of the paper's route-leak checker.
+
+#ifndef SRC_BGP_IP_H_
+#define SRC_BGP_IP_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dice::bgp {
+
+// An IPv4 address in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+              (static_cast<uint32_t>(c) << 8) | static_cast<uint32_t>(d)) {}
+
+  constexpr uint32_t bits() const { return bits_; }
+
+  // Parses dotted-quad ("192.0.2.1"); nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Address a, Ipv4Address b) = default;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+// A CIDR prefix. Canonical: bits below the mask are zero. Length 0..32.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  // Canonicalizes (masks host bits). length is clamped to 32.
+  static Prefix Make(Ipv4Address addr, uint8_t length) {
+    if (length > 32) {
+      length = 32;
+    }
+    return Prefix(Ipv4Address(addr.bits() & MaskFor(length)), length);
+  }
+
+  // Parses "a.b.c.d/len"; nullopt on malformed input or non-canonical form is
+  // canonicalized (host bits are silently masked, as routers do).
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr uint8_t length() const { return len_; }
+
+  // Network mask for this prefix length, e.g. /24 -> 0xffffff00.
+  static constexpr uint32_t MaskFor(uint8_t length) {
+    return length == 0 ? 0 : (~uint32_t{0} << (32 - length));
+  }
+  constexpr uint32_t mask() const { return MaskFor(len_); }
+
+  // True if `addr` falls inside this prefix.
+  constexpr bool Contains(Ipv4Address addr) const {
+    return (addr.bits() & mask()) == addr_.bits();
+  }
+
+  // True if `other` is equal to or more specific than this prefix.
+  constexpr bool Covers(const Prefix& other) const {
+    return other.len_ >= len_ && Contains(other.addr_);
+  }
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) = default;
+
+ private:
+  constexpr Prefix(Ipv4Address addr, uint8_t length) : addr_(addr), len_(length) {}
+
+  Ipv4Address addr_;
+  uint8_t len_ = 0;
+};
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_IP_H_

@@ -1,0 +1,59 @@
+#include "src/bgp/message.h"
+
+namespace dice::bgp {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kOpen:
+      return "OPEN";
+    case MessageType::kUpdate:
+      return "UPDATE";
+    case MessageType::kNotification:
+      return "NOTIFICATION";
+    case MessageType::kKeepalive:
+      return "KEEPALIVE";
+  }
+  return "?";
+}
+
+std::string UpdateMessage::ToString() const {
+  std::string out = "UPDATE{";
+  if (!withdrawn.empty()) {
+    out += "withdraw:[";
+    for (size_t i = 0; i < withdrawn.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += withdrawn[i].ToString();
+    }
+    out += "] ";
+  }
+  if (!nlri.empty()) {
+    out += "announce:[";
+    for (size_t i = 0; i < nlri.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += nlri[i].ToString();
+    }
+    out += "] path:" + attrs.as_path.ToString();
+    out += " nh:" + attrs.next_hop.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+MessageType TypeOf(const Message& message) {
+  if (std::holds_alternative<OpenMessage>(message)) {
+    return MessageType::kOpen;
+  }
+  if (std::holds_alternative<UpdateMessage>(message)) {
+    return MessageType::kUpdate;
+  }
+  if (std::holds_alternative<NotificationMessage>(message)) {
+    return MessageType::kNotification;
+  }
+  return MessageType::kKeepalive;
+}
+
+}  // namespace dice::bgp

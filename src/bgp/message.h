@@ -1,0 +1,154 @@
+// BGP-4 message model (RFC 4271 §4): OPEN, UPDATE, NOTIFICATION, KEEPALIVE.
+//
+// This is the in-memory form; src/bgp/wire.h converts to/from the on-the-wire
+// byte format. UPDATE is the message DiCE marks symbolic fields in: its NLRI
+// prefixes and path attributes drive all routing state change.
+
+#ifndef SRC_BGP_MESSAGE_H_
+#define SRC_BGP_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/bgp/aspath.h"
+#include "src/bgp/ip.h"
+
+namespace dice::bgp {
+
+enum class MessageType : uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+const char* MessageTypeName(MessageType type);
+
+enum class Origin : uint8_t {
+  kIgp = 0,
+  kEgp = 1,
+  kIncomplete = 2,
+};
+
+// RFC 1997 community value (upper 16 bits: AS, lower 16: tag).
+using Community = uint32_t;
+
+constexpr Community MakeCommunity(uint16_t asn, uint16_t tag) {
+  return (static_cast<Community>(asn) << 16) | tag;
+}
+
+// Well-known communities (RFC 1997).
+constexpr Community kCommunityNoExport = 0xFFFFFF01;
+constexpr Community kCommunityNoAdvertise = 0xFFFFFF02;
+constexpr Community kCommunityNoExportSubconfed = 0xFFFFFF03;
+
+// Path attribute type codes (RFC 4271 §5.1, RFC 1997).
+enum class AttrType : uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMultiExitDisc = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunities = 8,
+};
+
+// Attribute flag bits (high nibble of the flags octet).
+constexpr uint8_t kAttrFlagOptional = 0x80;
+constexpr uint8_t kAttrFlagTransitive = 0x40;
+constexpr uint8_t kAttrFlagPartial = 0x20;
+constexpr uint8_t kAttrFlagExtendedLength = 0x10;
+
+// An attribute this implementation does not interpret; carried opaquely when
+// transitive, as RFC 4271 §5 requires.
+struct UnknownAttribute {
+  uint8_t flags = 0;
+  uint8_t type = 0;
+  std::vector<uint8_t> value;
+
+  friend bool operator==(const UnknownAttribute&, const UnknownAttribute&) = default;
+};
+
+struct Aggregator {
+  AsNumber asn = 0;
+  Ipv4Address address;
+
+  friend bool operator==(const Aggregator&, const Aggregator&) = default;
+};
+
+// The recognized path attributes of one UPDATE / one route.
+struct PathAttributes {
+  Origin origin = Origin::kIncomplete;
+  AsPath as_path;
+  Ipv4Address next_hop;
+  std::optional<uint32_t> med;
+  std::optional<uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<Aggregator> aggregator;
+  std::vector<Community> communities;
+  std::vector<UnknownAttribute> unknown;
+
+  bool HasCommunity(Community c) const {
+    for (Community x : communities) {
+      if (x == c) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  friend bool operator==(const PathAttributes&, const PathAttributes&) = default;
+};
+
+struct OpenMessage {
+  uint8_t version = 4;
+  AsNumber my_as = 0;       // wire carries 16-bit; AS_TRANS semantics not modeled
+  uint16_t hold_time = 90;  // seconds
+  Ipv4Address bgp_id;
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+struct UpdateMessage {
+  std::vector<Prefix> withdrawn;
+  PathAttributes attrs;
+  std::vector<Prefix> nlri;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+
+  std::string ToString() const;
+};
+
+// NOTIFICATION error codes (RFC 4271 §6).
+enum class NotificationCode : uint8_t {
+  kMessageHeaderError = 1,
+  kOpenMessageError = 2,
+  kUpdateMessageError = 3,
+  kHoldTimerExpired = 4,
+  kFsmError = 5,
+  kCease = 6,
+};
+
+struct NotificationMessage {
+  NotificationCode code = NotificationCode::kCease;
+  uint8_t subcode = 0;
+  std::vector<uint8_t> data;
+
+  friend bool operator==(const NotificationMessage&, const NotificationMessage&) = default;
+};
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&, const KeepaliveMessage&) = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage, KeepaliveMessage>;
+
+MessageType TypeOf(const Message& message);
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_MESSAGE_H_

@@ -1,0 +1,215 @@
+#include "src/bgp/policy.h"
+
+#include "src/bgp/policy_eval.h"
+#include "src/bgp/rib.h"
+#include "src/util/strings.h"
+
+namespace dice::bgp {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Match::ToString() const {
+  switch (kind) {
+    case MatchKind::kAny: return "any";
+    case MatchKind::kPrefixInList: return "prefix in " + list_name;
+    case MatchKind::kPrefixIs: return "prefix is " + prefix.ToString();
+    case MatchKind::kPrefixWithin: return "prefix within " + prefix.ToString();
+    case MatchKind::kOriginAsIs: return StrFormat("origin-as is %u", number);
+    case MatchKind::kOriginAsIn: {
+      std::string out = "origin-as in [";
+      for (size_t i = 0; i < numbers.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += std::to_string(numbers[i]);
+      }
+      return out + "]";
+    }
+    case MatchKind::kAsPathContains: return StrFormat("as-path contains %u", number);
+    case MatchKind::kAsPathLength:
+      return StrFormat("as-path length %s %u", CmpOpName(cmp), number);
+    case MatchKind::kHasCommunity:
+      return StrFormat("community %u:%u", community >> 16, community & 0xffff);
+    case MatchKind::kMedCmp: return StrFormat("med %s %u", CmpOpName(cmp), number);
+    case MatchKind::kLocalPrefCmp:
+      return StrFormat("local-pref %s %u", CmpOpName(cmp), number);
+    case MatchKind::kOriginCodeIs: return StrFormat("origin code %u", number);
+    case MatchKind::kNextHopIs: return "next-hop is " + address.ToString();
+  }
+  return "?";
+}
+
+std::string Action::ToString() const {
+  switch (kind) {
+    case ActionKind::kAccept: return "accept";
+    case ActionKind::kReject: return "reject";
+    case ActionKind::kSetLocalPref: return StrFormat("set local-pref %u", number);
+    case ActionKind::kSetMed: return StrFormat("set med %u", number);
+    case ActionKind::kAddCommunity:
+      return StrFormat("add community %u:%u", community >> 16, community & 0xffff);
+    case ActionKind::kRemoveCommunity:
+      return StrFormat("remove community %u:%u", community >> 16, community & 0xffff);
+    case ActionKind::kPrependAs: return StrFormat("prepend %u", number);
+    case ActionKind::kSetNextHop: return "set next-hop " + address.ToString();
+  }
+  return "?";
+}
+
+Status PolicyStore::AddPrefixList(PrefixList list) {
+  if (list.name.empty()) {
+    return InvalidArgumentError("prefix-list with empty name");
+  }
+  for (PrefixListEntry& e : list.entries) {
+    if (e.ge == 0) {
+      e.ge = e.prefix.length();
+    }
+    if (e.le == 0) {
+      e.le = e.prefix.length();
+    }
+    if (e.ge < e.prefix.length() || e.le > 32 || e.ge > e.le) {
+      return InvalidArgumentError(StrFormat("prefix-list %s: bad ge/le bounds %u/%u for %s",
+                                            list.name.c_str(), e.ge, e.le,
+                                            e.prefix.ToString().c_str()));
+    }
+  }
+  auto [it, inserted] = prefix_lists_.emplace(list.name, std::move(list));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("duplicate prefix-list " + it->first);
+  }
+  return Status::Ok();
+}
+
+Status PolicyStore::AddFilter(Filter filter) {
+  if (filter.name.empty()) {
+    return InvalidArgumentError("filter with empty name");
+  }
+  auto [it, inserted] = filters_.emplace(filter.name, std::move(filter));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("duplicate filter " + it->first);
+  }
+  return Status::Ok();
+}
+
+const PrefixList* PolicyStore::FindPrefixList(const std::string& name) const {
+  auto it = prefix_lists_.find(name);
+  return it == prefix_lists_.end() ? nullptr : &it->second;
+}
+
+const Filter* PolicyStore::FindFilter(const std::string& name) const {
+  auto it = filters_.find(name);
+  return it == filters_.end() ? nullptr : &it->second;
+}
+
+Status PolicyStore::Validate() const {
+  for (const auto& [name, filter] : filters_) {
+    for (const FilterTerm& term : filter.terms) {
+      for (const Match& match : term.matches) {
+        if (match.kind == MatchKind::kPrefixInList &&
+            FindPrefixList(match.list_name) == nullptr) {
+          return NotFoundError(StrFormat("filter %s references unknown prefix-list %s",
+                                         name.c_str(), match.list_name.c_str()));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+RouteView<uint64_t> MakeConcreteView(const Prefix& prefix, const PathAttributes& attrs) {
+  RouteView<uint64_t> view;
+  view.prefix_addr = prefix.address().bits();
+  view.prefix_len = prefix.length();
+  for (AsNumber asn : attrs.as_path.Flatten()) {
+    view.as_path.push_back(asn);
+  }
+  view.origin_code = static_cast<uint64_t>(attrs.origin);
+  view.next_hop = attrs.next_hop.bits();
+  view.med = attrs.med.value_or(0);
+  view.med_present = attrs.med.has_value();
+  view.local_pref = attrs.local_pref.value_or(kDefaultLocalPref);
+  view.local_pref_present = attrs.local_pref.has_value();
+  for (Community c : attrs.communities) {
+    view.communities.push_back(c);
+  }
+  return view;
+}
+
+FilterVerdict EvaluateFilterConcrete(const Filter& filter, const PolicyStore& store,
+                                     const Prefix& prefix, const PathAttributes& attrs) {
+  ConcreteCtx ctx;
+  RouteView<uint64_t> view = MakeConcreteView(prefix, attrs);
+  // Preserve structural info the view cannot carry back (AS path segmentation)
+  // by applying view-level deltas onto a copy of the original attributes.
+  size_t original_path_len = view.as_path.size();
+  EvalOutcome<uint64_t> out = EvaluateFilter(ctx, filter, store, std::move(view));
+
+  FilterVerdict verdict;
+  verdict.accepted = out.accepted;
+  verdict.attrs = attrs;
+  if (!out.accepted) {
+    return verdict;
+  }
+  if (out.route.local_pref_present) {
+    verdict.attrs.local_pref = static_cast<uint32_t>(out.route.local_pref);
+  }
+  if (out.route.med_present) {
+    verdict.attrs.med = static_cast<uint32_t>(out.route.med);
+  }
+  verdict.attrs.next_hop = Ipv4Address(static_cast<uint32_t>(out.route.next_hop));
+  // Any ASNs prepended by actions appear at the front of the view path.
+  size_t prepended = out.route.as_path.size() > original_path_len
+                         ? out.route.as_path.size() - original_path_len
+                         : 0;
+  for (size_t i = prepended; i > 0; --i) {
+    verdict.attrs.as_path.Prepend(static_cast<AsNumber>(out.route.as_path[i - 1]));
+  }
+  // Communities are rebuilt from the view (add/remove actions are concrete).
+  verdict.attrs.communities.clear();
+  for (const auto& c : out.route.communities) {
+    verdict.attrs.communities.push_back(static_cast<Community>(c));
+  }
+  return verdict;
+}
+
+Filter MakeCustomerImportFilter(const std::string& name, const std::string& prefix_list_name) {
+  Filter filter;
+  filter.name = name;
+  FilterTerm allow;
+  allow.name = "allow-customer";
+  Match m;
+  m.kind = MatchKind::kPrefixInList;
+  m.list_name = prefix_list_name;
+  allow.matches.push_back(m);
+  Action set_lp;
+  set_lp.kind = ActionKind::kSetLocalPref;
+  set_lp.number = 200;  // customer routes preferred, standard ISP practice
+  allow.actions.push_back(set_lp);
+  Action accept;
+  accept.kind = ActionKind::kAccept;
+  allow.actions.push_back(accept);
+  filter.terms.push_back(std::move(allow));
+
+  FilterTerm deny;
+  deny.name = "deny-rest";
+  Action reject;
+  reject.kind = ActionKind::kReject;
+  deny.actions.push_back(reject);
+  filter.terms.push_back(std::move(deny));
+
+  filter.default_accept = false;
+  return filter;
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,152 @@
+// Routing policy: prefix lists, filters, and their evaluation.
+//
+// Filters are small interpreted programs (BIRD-style): an ordered list of
+// terms, each a conjunction of match conditions plus actions; the first term
+// whose matches all hold applies its actions, and an accept/reject action
+// terminates evaluation. Because filters are *interpreted*, every condition
+// evaluated is a branch on route data — exactly the property the paper relies
+// on when it says exploration covers "both code and configuration" (§3.2).
+//
+// Evaluation (policy_eval.h) is templated over a value context, so the same
+// interpreter runs concretely in the live router and symbolically (recording
+// constraints) inside DiCE's exploration clones.
+
+#ifndef SRC_BGP_POLICY_H_
+#define SRC_BGP_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bgp/message.h"
+#include "src/util/status.h"
+
+namespace dice::bgp {
+
+// One prefix-list entry: matches route prefixes covered by `prefix` whose
+// length lies in [ge, le]. ge defaults to the prefix's own length, le to 32
+// for "orlonger" semantics or the prefix length for exact-match.
+struct PrefixListEntry {
+  Prefix prefix;
+  uint8_t ge = 0;
+  uint8_t le = 0;
+
+  friend bool operator==(const PrefixListEntry&, const PrefixListEntry&) = default;
+};
+
+struct PrefixList {
+  std::string name;
+  std::vector<PrefixListEntry> entries;
+};
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+enum class MatchKind : uint8_t {
+  kAny,              // always true
+  kPrefixInList,     // route prefix matches a named prefix list
+  kPrefixIs,         // route prefix equals a literal prefix
+  kPrefixWithin,     // route prefix covered by a literal prefix (any length)
+  kOriginAsIs,       // origin AS == asn
+  kOriginAsIn,       // origin AS in set
+  kAsPathContains,   // asn appears anywhere in AS path
+  kAsPathLength,     // path length cmp n
+  kHasCommunity,     // community present
+  kMedCmp,           // MED cmp n (absent MED compares as 0)
+  kLocalPrefCmp,     // LOCAL_PREF cmp n (absent compares as default 100)
+  kOriginCodeIs,     // ORIGIN attribute (IGP/EGP/INCOMPLETE)
+  kNextHopIs,        // NEXT_HOP equals address
+};
+
+struct Match {
+  MatchKind kind = MatchKind::kAny;
+  CmpOp cmp = CmpOp::kEq;
+  std::string list_name;         // kPrefixInList
+  Prefix prefix;                 // kPrefixIs / kPrefixWithin
+  uint32_t number = 0;           // ASN / length bound / MED / local-pref / origin code
+  std::vector<uint32_t> numbers; // kOriginAsIn
+  Community community = 0;       // kHasCommunity
+  Ipv4Address address;           // kNextHopIs
+
+  std::string ToString() const;
+};
+
+enum class ActionKind : uint8_t {
+  kAccept,
+  kReject,
+  kSetLocalPref,
+  kSetMed,
+  kAddCommunity,
+  kRemoveCommunity,
+  kPrependAs,
+  kSetNextHop,
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kAccept;
+  uint32_t number = 0;    // local-pref / MED / ASN to prepend
+  Community community = 0;
+  Ipv4Address address;
+
+  bool terminal() const { return kind == ActionKind::kAccept || kind == ActionKind::kReject; }
+
+  std::string ToString() const;
+};
+
+struct FilterTerm {
+  std::string name;
+  std::vector<Match> matches;   // conjunction; empty = match-any
+  std::vector<Action> actions;  // applied in order when matched
+};
+
+struct Filter {
+  std::string name;
+  std::vector<FilterTerm> terms;
+  // Verdict when no term terminates evaluation.
+  bool default_accept = false;
+};
+
+// Named prefix lists + filters of one router; referenced by neighbor configs.
+class PolicyStore {
+ public:
+  Status AddPrefixList(PrefixList list);
+  Status AddFilter(Filter filter);
+
+  const PrefixList* FindPrefixList(const std::string& name) const;
+  const Filter* FindFilter(const std::string& name) const;
+
+  const std::map<std::string, PrefixList>& prefix_lists() const { return prefix_lists_; }
+  const std::map<std::string, Filter>& filters() const { return filters_; }
+
+  // Verifies every prefix-list referenced by a filter exists.
+  Status Validate() const;
+
+ private:
+  std::map<std::string, PrefixList> prefix_lists_;
+  std::map<std::string, Filter> filters_;
+};
+
+// Result of running a filter over one route.
+struct FilterVerdict {
+  bool accepted = false;
+  PathAttributes attrs;  // attributes after modifier actions
+};
+
+// Convenience concrete evaluation (the live router's import/export path).
+// `prefix` is the route's NLRI prefix; `attrs` its attributes on entry.
+FilterVerdict EvaluateFilterConcrete(const Filter& filter, const PolicyStore& store,
+                                     const Prefix& prefix, const PathAttributes& attrs);
+
+// Builds the "accept customer prefixes, reject everything else" filter that a
+// provider applies on a customer session — the best common practice whose
+// *absence or misconfiguration* §4.2 of the paper explores. `holes` removes
+// entries (simulating forgotten prefixes); if `no_filter` the filter accepts
+// everything (the PCCW mistake).
+Filter MakeCustomerImportFilter(const std::string& name, const std::string& prefix_list_name);
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_POLICY_H_

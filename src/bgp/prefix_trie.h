@@ -1,0 +1,377 @@
+// Copy-on-write path-compressed binary trie keyed by IPv4 prefix.
+//
+// This is both the router's RIB data structure (longest-prefix match, exact
+// match, ordered walk) and the mechanism behind DiCE's cheap checkpoints: a
+// snapshot is one shared_ptr copy, and mutations path-copy only the nodes on
+// the way to the change while everything else stays structurally shared —
+// the user-space analogue of fork()'s copy-on-write pages that the paper's
+// §4.1 memory measurements rely on. When a node is not shared (use_count()==1
+// along the spine) mutation happens in place, so a non-snapshotted trie
+// behaves like an ordinary mutable radix tree.
+//
+// Sharing statistics between two tries (SharingStats) are exact, by pointer
+// identity, and feed the checkpoint PageAccountant.
+
+#ifndef SRC_BGP_PREFIX_TRIE_H_
+#define SRC_BGP_PREFIX_TRIE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/bgp/ip.h"
+#include "src/util/logging.h"
+
+namespace dice::bgp {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  // Snapshots share all nodes; both sides copy-on-write afterwards.
+  PrefixTrie(const PrefixTrie&) = default;
+  PrefixTrie& operator=(const PrefixTrie&) = default;
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts or overwrites the value at `prefix`. Returns true if inserted.
+  bool Insert(const Prefix& prefix, V value) {
+    bool added = false;
+    root_ = InsertRec(root_, prefix, std::move(value), added);
+    if (added) {
+      ++size_;
+    }
+    return added;
+  }
+
+  // Returns the value at exactly `prefix`, or nullptr.
+  const V* Find(const Prefix& prefix) const {
+    const Node* node = FindNode(prefix);
+    return node != nullptr && node->value.has_value() ? &*node->value : nullptr;
+  }
+
+  // Returns a mutable value at exactly `prefix`, path-copying shared nodes so
+  // the write cannot be observed through snapshots. Returns nullptr if absent.
+  V* FindMutable(const Prefix& prefix) {
+    const Node* node = FindNode(prefix);
+    if (node == nullptr || !node->value.has_value()) {
+      return nullptr;  // absent, or a valueless fork node at this key
+    }
+    V* out = nullptr;
+    root_ = FindMutableRec(root_, prefix, out);
+    return out;
+  }
+
+  // Longest-prefix match for a single address; nullopt if no covering prefix.
+  std::optional<std::pair<Prefix, const V*>> LongestMatch(Ipv4Address addr) const {
+    std::optional<std::pair<Prefix, const V*>> best;
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      if (!node->key.Contains(addr)) {
+        break;
+      }
+      if (node->value.has_value()) {
+        best = {node->key, &*node->value};
+      }
+      if (node->key.length() >= 32) {
+        break;
+      }
+      node = node->child[BitAt(addr.bits(), node->key.length())].get();
+    }
+    return best;
+  }
+
+  // Removes `prefix`. Returns true if it was present.
+  bool Erase(const Prefix& prefix) {
+    bool removed = false;
+    root_ = EraseRec(root_, prefix, removed);
+    if (removed) {
+      --size_;
+    }
+    return removed;
+  }
+
+  // Calls fn(prefix, value) for every entry in prefix order (address, then
+  // length). Return false from fn to stop early.
+  void Walk(const std::function<bool(const Prefix&, const V&)>& fn) const {
+    WalkRec(root_.get(), fn);
+  }
+
+  // Visits the nodes on the longest-prefix-match descent for `addr`, in
+  // root-to-leaf order: fn(node_key, has_value). This exposes the branch
+  // structure of an LPM lookup so instrumented (concolic) callers can record
+  // the address comparisons the lookup performs; see dice/instrumented.cc.
+  void WalkDescent(Ipv4Address addr,
+                   const std::function<void(const Prefix&, bool)>& fn) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      fn(node->key, node->value.has_value());
+      if (!node->key.Contains(addr) || node->key.length() >= 32) {
+        break;
+      }
+      node = node->child[BitAt(addr.bits(), node->key.length())].get();
+    }
+  }
+
+  // Calls fn for every entry covered by `covering` (itself included).
+  void WalkCovered(const Prefix& covering,
+                   const std::function<bool(const Prefix&, const V&)>& fn) const {
+    const Node* node = root_.get();
+    // Descend to the subtree rooted at or below `covering`.
+    while (node != nullptr && node->key.length() < covering.length()) {
+      if (!node->key.Covers(covering)) {
+        return;
+      }
+      node = node->child[BitAt(covering.address().bits(), node->key.length())].get();
+    }
+    if (node != nullptr && covering.Covers(node->key)) {
+      WalkRec(node, fn);
+    }
+  }
+
+  void Clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+  // Number of trie nodes reachable from the root (shared or not).
+  size_t NodeCount() const { return CountRec(root_.get()); }
+
+  struct SharingStats {
+    size_t total_nodes = 0;   // nodes reachable in *this*
+    size_t shared_nodes = 0;  // of those, also reachable in `other`
+    size_t unique_nodes = 0;  // total - shared
+  };
+
+  // Exact structural-sharing statistics of this trie versus `other`.
+  SharingStats SharingWith(const PrefixTrie& other) const {
+    std::unordered_set<const Node*> theirs;
+    CollectRec(other.root_.get(), theirs);
+    SharingStats stats;
+    std::unordered_set<const Node*> visited;
+    ShareRec(root_.get(), theirs, visited, stats);
+    stats.unique_nodes = stats.total_nodes - stats.shared_nodes;
+    return stats;
+  }
+
+  // Approximate heap bytes per node, used by the checkpoint page accounting.
+  static constexpr size_t kNodeBytes = sizeof(void*) * 4 + sizeof(Prefix) + sizeof(V);
+
+ private:
+  struct Node {
+    Prefix key;
+    std::optional<V> value;
+    std::shared_ptr<Node> child[2];
+  };
+  using NodePtr = std::shared_ptr<Node>;
+
+  static int BitAt(uint32_t bits, uint8_t position) {
+    DICE_CHECK_LT(position, 32);
+    return (bits >> (31 - position)) & 1;
+  }
+
+  // Length of the longest common prefix of a and b.
+  static uint8_t CommonLength(const Prefix& a, const Prefix& b) {
+    uint8_t max = std::min(a.length(), b.length());
+    uint32_t diff = a.address().bits() ^ b.address().bits();
+    if (diff == 0) {
+      return max;
+    }
+    uint8_t same = static_cast<uint8_t>(__builtin_clz(diff));
+    return same < max ? same : max;
+  }
+
+  // Returns a node we are allowed to mutate: `node` itself when unshared, or
+  // a shallow copy otherwise (children stay shared).
+  static NodePtr Own(const NodePtr& node) {
+    if (node.use_count() == 1) {
+      return node;
+    }
+    auto copy = std::make_shared<Node>();
+    copy->key = node->key;
+    copy->value = node->value;
+    copy->child[0] = node->child[0];
+    copy->child[1] = node->child[1];
+    return copy;
+  }
+
+  static NodePtr InsertRec(const NodePtr& node, const Prefix& prefix, V&& value, bool& added) {
+    if (node == nullptr) {
+      auto leaf = std::make_shared<Node>();
+      leaf->key = prefix;
+      leaf->value = std::move(value);
+      added = true;
+      return leaf;
+    }
+    uint8_t common = CommonLength(node->key, prefix);
+    if (common == node->key.length() && common == prefix.length()) {
+      // Exact node.
+      NodePtr owned = Own(node);
+      added = !owned->value.has_value();
+      owned->value = std::move(value);
+      return owned;
+    }
+    if (common == node->key.length()) {
+      // prefix extends below node.
+      int bit = BitAt(prefix.address().bits(), common);
+      NodePtr owned = Own(node);
+      owned->child[bit] = InsertRec(owned->child[bit], prefix, std::move(value), added);
+      return owned;
+    }
+    if (common == prefix.length()) {
+      // prefix is an ancestor of node->key: new node above.
+      auto parent = std::make_shared<Node>();
+      parent->key = prefix;
+      parent->value = std::move(value);
+      parent->child[BitAt(node->key.address().bits(), common)] = node;
+      added = true;
+      return parent;
+    }
+    // Diverge: internal node at the common prefix, both below it.
+    auto fork = std::make_shared<Node>();
+    fork->key = Prefix::Make(prefix.address(), common);
+    auto leaf = std::make_shared<Node>();
+    leaf->key = prefix;
+    leaf->value = std::move(value);
+    fork->child[BitAt(prefix.address().bits(), common)] = leaf;
+    fork->child[BitAt(node->key.address().bits(), common)] = node;
+    added = true;
+    return fork;
+  }
+
+  const Node* FindNode(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      uint8_t common = CommonLength(node->key, prefix);
+      if (common < node->key.length()) {
+        return nullptr;  // diverged
+      }
+      if (node->key.length() == prefix.length()) {
+        return node;
+      }
+      node = node->child[BitAt(prefix.address().bits(), node->key.length())].get();
+    }
+    return nullptr;
+  }
+
+  static NodePtr FindMutableRec(const NodePtr& node, const Prefix& prefix, V*& out) {
+    DICE_CHECK(node != nullptr);
+    NodePtr owned = Own(node);
+    if (owned->key.length() == prefix.length()) {
+      DICE_CHECK(owned->value.has_value());
+      out = &*owned->value;
+      return owned;
+    }
+    int bit = BitAt(prefix.address().bits(), owned->key.length());
+    owned->child[bit] = FindMutableRec(owned->child[bit], prefix, out);
+    return owned;
+  }
+
+  static NodePtr EraseRec(const NodePtr& node, const Prefix& prefix, bool& removed) {
+    if (node == nullptr) {
+      return nullptr;
+    }
+    uint8_t common = CommonLength(node->key, prefix);
+    if (common < node->key.length()) {
+      return node;  // not present
+    }
+    if (node->key.length() == prefix.length()) {
+      if (!node->value.has_value()) {
+        return node;
+      }
+      removed = true;
+      // Drop the value; then collapse if possible.
+      bool has0 = node->child[0] != nullptr;
+      bool has1 = node->child[1] != nullptr;
+      if (!has0 && !has1) {
+        return nullptr;
+      }
+      if (has0 != has1) {
+        return node->child[has0 ? 0 : 1];  // splice out pass-through node
+      }
+      NodePtr owned = Own(node);
+      owned->value.reset();
+      return owned;
+    }
+    int bit = BitAt(prefix.address().bits(), node->key.length());
+    if (node->child[bit] == nullptr) {
+      return node;
+    }
+    NodePtr owned = Own(node);
+    owned->child[bit] = EraseRec(owned->child[bit], prefix, removed);
+    if (removed && !owned->value.has_value()) {
+      // This may have become a pass-through internal node; collapse it.
+      bool has0 = owned->child[0] != nullptr;
+      bool has1 = owned->child[1] != nullptr;
+      if (!has0 && !has1) {
+        return nullptr;
+      }
+      if (has0 != has1) {
+        return owned->child[has0 ? 0 : 1];
+      }
+    }
+    return owned;
+  }
+
+  static bool WalkRec(const Node* node, const std::function<bool(const Prefix&, const V&)>& fn) {
+    if (node == nullptr) {
+      return true;
+    }
+    if (node->value.has_value()) {
+      if (!fn(node->key, *node->value)) {
+        return false;
+      }
+    }
+    return WalkRec(node->child[0].get(), fn) && WalkRec(node->child[1].get(), fn);
+  }
+
+  static size_t CountRec(const Node* node) {
+    if (node == nullptr) {
+      return 0;
+    }
+    return 1 + CountRec(node->child[0].get()) + CountRec(node->child[1].get());
+  }
+
+  static void CollectRec(const Node* node, std::unordered_set<const Node*>& out) {
+    if (node == nullptr || !out.insert(node).second) {
+      return;
+    }
+    CollectRec(node->child[0].get(), out);
+    CollectRec(node->child[1].get(), out);
+  }
+
+  static void ShareRec(const Node* node, const std::unordered_set<const Node*>& theirs,
+                       std::unordered_set<const Node*>& visited, SharingStats& stats) {
+    if (node == nullptr || !visited.insert(node).second) {
+      return;
+    }
+    ++stats.total_nodes;
+    if (theirs.count(node) != 0) {
+      // A node present in both tries is shared, and so is its entire subtree
+      // (immutability of shared nodes guarantees it); count it wholesale.
+      size_t subtree = CountRec(node);
+      stats.shared_nodes += subtree;
+      stats.total_nodes += subtree - 1;
+      // Mark subtree visited so overlapping walks do not double count.
+      CollectRec(node, visited);
+      return;
+    }
+    ShareRec(node->child[0].get(), theirs, visited, stats);
+    ShareRec(node->child[1].get(), theirs, visited, stats);
+  }
+
+  NodePtr root_;
+  size_t size_ = 0;
+};
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_PREFIX_TRIE_H_

@@ -1,0 +1,183 @@
+#include "src/bgp/rib.h"
+
+namespace dice::bgp {
+
+bool RoutePreferred(const Route& a, const Route& b) {
+  // 1. Higher LOCAL_PREF.
+  uint32_t lp_a = a.attrs.local_pref.value_or(kDefaultLocalPref);
+  uint32_t lp_b = b.attrs.local_pref.value_or(kDefaultLocalPref);
+  if (lp_a != lp_b) {
+    return lp_a > lp_b;
+  }
+  // 2. Shorter AS path.
+  size_t len_a = a.attrs.as_path.EffectiveLength();
+  size_t len_b = b.attrs.as_path.EffectiveLength();
+  if (len_a != len_b) {
+    return len_a < len_b;
+  }
+  // 3. Lower ORIGIN (IGP < EGP < INCOMPLETE).
+  if (a.attrs.origin != b.attrs.origin) {
+    return static_cast<uint8_t>(a.attrs.origin) < static_cast<uint8_t>(b.attrs.origin);
+  }
+  // 4. Lower MED, comparable only between routes from the same neighbor AS
+  //    (RFC 4271 §9.1.2.2 c). Missing MED is treated as 0 (lowest).
+  if (a.peer_as == b.peer_as) {
+    uint32_t med_a = a.attrs.med.value_or(0);
+    uint32_t med_b = b.attrs.med.value_or(0);
+    if (med_a != med_b) {
+      return med_a < med_b;
+    }
+  }
+  // 5. Lower peer id (stands in for lowest BGP identifier; local routes win).
+  return a.peer < b.peer;
+}
+
+RibUpdateResult Rib::Reselect(RibEntry& entry, std::optional<Route> previous_best) {
+  size_t best = RibEntry::kNoBest;
+  for (size_t i = 0; i < entry.routes.size(); ++i) {
+    if (best == RibEntry::kNoBest || RoutePreferred(entry.routes[i], entry.routes[best])) {
+      best = i;
+    }
+  }
+  entry.best = best;
+
+  RibUpdateResult result;
+  result.previous_best = std::move(previous_best);
+  if (best != RibEntry::kNoBest) {
+    result.new_best = entry.routes[best];
+  }
+  const bool had = result.previous_best.has_value();
+  const bool has = result.new_best.has_value();
+  result.best_changed = had != has || (had && has && !(*result.previous_best == *result.new_best));
+  return result;
+}
+
+RibUpdateResult Rib::AddRoute(const Prefix& prefix, Route route) {
+  route.sequence = next_sequence_++;
+
+  RibEntry* entry = trie_.FindMutable(prefix);
+  if (entry == nullptr) {
+    RibEntry fresh;
+    fresh.routes.push_back(std::move(route));
+    RibUpdateResult result = Reselect(fresh, std::nullopt);
+    trie_.Insert(prefix, std::move(fresh));
+    return result;
+  }
+
+  std::optional<Route> previous;
+  if (const Route* b = entry->BestRoute()) {
+    previous = *b;
+  }
+  // Implicit withdraw: a route from the same peer replaces the old one.
+  bool replaced = false;
+  for (Route& existing : entry->routes) {
+    if (existing.peer == route.peer) {
+      existing = std::move(route);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    entry->routes.push_back(std::move(route));
+  }
+  return Reselect(*entry, std::move(previous));
+}
+
+RibUpdateResult Rib::RemoveRoute(const Prefix& prefix, PeerId peer) {
+  RibEntry* entry = trie_.FindMutable(prefix);
+  if (entry == nullptr) {
+    return {};
+  }
+  std::optional<Route> previous;
+  if (const Route* b = entry->BestRoute()) {
+    previous = *b;
+  }
+  bool removed = false;
+  for (size_t i = 0; i < entry->routes.size(); ++i) {
+    if (entry->routes[i].peer == peer) {
+      entry->routes.erase(entry->routes.begin() + static_cast<ptrdiff_t>(i));
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) {
+    return {};
+  }
+  if (entry->routes.empty()) {
+    trie_.Erase(prefix);
+    RibUpdateResult result;
+    result.previous_best = std::move(previous);
+    result.best_changed = result.previous_best.has_value();
+    return result;
+  }
+  return Reselect(*entry, std::move(previous));
+}
+
+std::vector<Prefix> Rib::RemovePeer(PeerId peer) {
+  // Collect affected prefixes first; mutating while walking is not supported.
+  std::vector<Prefix> affected;
+  trie_.Walk([&](const Prefix& prefix, const RibEntry& entry) {
+    for (const Route& r : entry.routes) {
+      if (r.peer == peer) {
+        affected.push_back(prefix);
+        break;
+      }
+    }
+    return true;
+  });
+  std::vector<Prefix> changed;
+  for (const Prefix& prefix : affected) {
+    RibUpdateResult result = RemoveRoute(prefix, peer);
+    if (result.best_changed) {
+      changed.push_back(prefix);
+    }
+  }
+  return changed;
+}
+
+const Route* Rib::BestRoute(const Prefix& prefix) const {
+  const RibEntry* entry = trie_.Find(prefix);
+  return entry == nullptr ? nullptr : entry->BestRoute();
+}
+
+std::vector<Route> Rib::Candidates(const Prefix& prefix) const {
+  const RibEntry* entry = trie_.Find(prefix);
+  return entry == nullptr ? std::vector<Route>{} : entry->routes;
+}
+
+std::optional<std::pair<Prefix, Route>> Rib::Lookup(Ipv4Address addr) const {
+  // Longest-prefix match over entries that have a selected route.
+  std::optional<std::pair<Prefix, Route>> best;
+  // The trie's LongestMatch returns the longest covering entry; it may lack a
+  // best route (all candidates gone mid-churn), in which case we fall back to
+  // walking shorter covering prefixes.
+  auto m = trie_.LongestMatch(addr);
+  while (m.has_value()) {
+    const RibEntry* entry = m->second;
+    if (const Route* r = entry->BestRoute()) {
+      best = {m->first, *r};
+      break;
+    }
+    if (m->first.length() == 0) {
+      break;
+    }
+    // Retry with the next shorter covering prefix by shrinking the query.
+    Prefix shorter = Prefix::Make(m->first.address(), static_cast<uint8_t>(m->first.length() - 1));
+    (void)shorter;
+    // Simplest correct fallback: scan covering lengths downwards.
+    std::optional<std::pair<Prefix, Route>> found;
+    for (int len = m->first.length() - 1; len >= 0 && !found.has_value(); --len) {
+      Prefix p = Prefix::Make(addr, static_cast<uint8_t>(len));
+      const RibEntry* e = trie_.Find(p);
+      if (e != nullptr) {
+        if (const Route* r = e->BestRoute()) {
+          found = {p, *r};
+        }
+      }
+    }
+    return found;
+  }
+  return best;
+}
+
+}  // namespace dice::bgp

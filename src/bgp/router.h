@@ -1,0 +1,103 @@
+// The BGP router: a network node tying together sessions, the RIB, policy,
+// and update processing — this repo's analogue of the BIRD daemon the paper
+// instruments.
+
+#ifndef SRC_BGP_ROUTER_H_
+#define SRC_BGP_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bgp/config.h"
+#include "src/bgp/session.h"
+#include "src/bgp/update_processing.h"
+#include "src/net/network.h"
+
+namespace dice::bgp {
+
+class Router : public net::Node {
+ public:
+  // `config` is frozen at construction; reconfiguration is modeled as building
+  // a new Router. The Router does not own the network.
+  Router(net::NodeId id, RouterConfig config, net::Network* network);
+
+  // Maps a configured neighbor address to the simulator node implementing it.
+  // Must be called for every neighbor before links come up.
+  void RegisterPeerNode(Ipv4Address neighbor_address, net::NodeId node);
+
+  // Administratively starts all sessions and originates configured networks.
+  void Start();
+
+  // net::Node:
+  void OnMessage(net::NodeId from, const Bytes& bytes) override;
+  void OnLinkUp(net::NodeId peer) override;
+  void OnLinkDown(net::NodeId peer) override;
+
+  const RouterConfig& config() const { return *state_.config; }
+  const Rib& rib() const { return state_.rib; }
+  const RouterState& state() const { return state_; }
+  Ipv4Address address() const { return state_.config->router_id; }
+
+  SessionState PeerSessionState(net::NodeId peer) const;
+  bool Established(net::NodeId peer) const;
+
+  // Statistics.
+  uint64_t updates_received() const { return updates_received_; }
+  uint64_t updates_sent() const { return updates_sent_; }
+  uint64_t decode_errors() const { return decode_errors_; }
+
+  // --- DiCE integration hooks -------------------------------------------
+
+  // O(1) copy-on-write checkpoint of the routing state (the analogue of the
+  // paper's fork()-based checkpoint).
+  RouterState CheckpointState() const { return state_; }
+
+  // Test-only: direct access to the live state, for installing fixture routes
+  // without driving a full peering session.
+  RouterState& mutable_state_for_test() { return state_; }
+
+  // Peer table snapshot for exploration clones.
+  std::vector<PeerView> PeerViews() const;
+
+  // The most recently received UPDATE per peer — DiCE's exploration seeds.
+  const std::map<net::NodeId, UpdateMessage>& last_updates() const { return last_updates_; }
+
+  // Observer invoked for every UPDATE received while Established (the "record
+  // recently observed inputs" tap DiCE installs; see dice::Explorer).
+  using UpdateObserver = std::function<void(net::NodeId from, const UpdateMessage&)>;
+  void set_update_observer(UpdateObserver observer) { update_observer_ = std::move(observer); }
+
+ private:
+  struct Peer {
+    net::NodeId node = 0;
+    const NeighborConfig* neighbor = nullptr;
+    std::unique_ptr<Session> session;
+  };
+
+  Peer* FindPeerByNode(net::NodeId node);
+  const Peer* FindPeerByNode(net::NodeId node) const;
+  PeerView ViewOf(const Peer& peer) const;
+
+  void SendMessage(net::NodeId to, const Message& message);
+  void HandleUpdate(Peer& peer, const UpdateMessage& update);
+  void HandleEstablished(Peer& peer);
+  void HandlePeerLost(Peer& peer);
+
+  RouterState state_;
+  net::Network* network_;
+  std::map<net::NodeId, Peer> peers_;            // keyed by simulator node id
+  std::map<uint32_t, net::NodeId> addr_to_node_; // neighbor address -> node
+
+  std::map<net::NodeId, UpdateMessage> last_updates_;
+  UpdateObserver update_observer_;
+
+  uint64_t updates_received_ = 0;
+  uint64_t updates_sent_ = 0;
+  uint64_t decode_errors_ = 0;
+};
+
+}  // namespace dice::bgp
+
+#endif  // SRC_BGP_ROUTER_H_

@@ -1,0 +1,209 @@
+#include "src/bgp/session.h"
+
+#include "src/util/logging.h"
+
+namespace dice::bgp {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle:
+      return "Idle";
+    case SessionState::kConnect:
+      return "Connect";
+    case SessionState::kOpenSent:
+      return "OpenSent";
+    case SessionState::kOpenConfirm:
+      return "OpenConfirm";
+    case SessionState::kEstablished:
+      return "Established";
+  }
+  return "?";
+}
+
+void Session::Start() {
+  started_ = true;
+  if (state_ == SessionState::kIdle) {
+    state_ = SessionState::kConnect;
+    if (link_up_) {
+      SendOpen();
+    }
+  }
+}
+
+void Session::Stop(bool send_notification) {
+  started_ = false;
+  if (state_ == SessionState::kIdle) {
+    return;
+  }
+  Drop(NotificationCode::kCease, 0, send_notification);
+}
+
+void Session::OnLinkUp() {
+  link_up_ = true;
+  if (started_ && (state_ == SessionState::kConnect || state_ == SessionState::kIdle)) {
+    state_ = SessionState::kConnect;
+    SendOpen();
+  }
+}
+
+void Session::OnLinkDown() {
+  link_up_ = false;
+  if (state_ != SessionState::kIdle) {
+    Drop(NotificationCode::kCease, 0, /*notify=*/false);
+    if (started_) {
+      state_ = SessionState::kConnect;  // retry when the link returns
+    }
+  }
+}
+
+void Session::SendOpen() {
+  OpenMessage open;
+  open.version = 4;
+  open.my_as = local_as_;
+  open.hold_time = configured_hold_time_;
+  open.bgp_id = local_id_;
+  callbacks_.send(Message(open));
+  state_ = SessionState::kOpenSent;
+  ArmHoldTimer();
+}
+
+void Session::OnMessage(const Message& message) {
+  switch (state_) {
+    case SessionState::kIdle:
+      return;  // §8.2.2: ignore everything in Idle
+
+    case SessionState::kConnect:
+      // Transport races can deliver the peer's OPEN before our link-up event;
+      // treat it as if we had just sent ours (simultaneous open).
+      if (std::holds_alternative<OpenMessage>(message)) {
+        SendOpen();
+        OnMessage(message);
+      }
+      return;
+
+    case SessionState::kOpenSent: {
+      if (const auto* open = std::get_if<OpenMessage>(&message)) {
+        if (open->version != 4) {
+          Drop(NotificationCode::kOpenMessageError, 1, /*notify=*/true);
+          return;
+        }
+        if (expected_peer_as_ != 0 && open->my_as != expected_peer_as_) {
+          Drop(NotificationCode::kOpenMessageError, 2, /*notify=*/true);  // bad peer AS
+          return;
+        }
+        negotiated_hold_time_ = std::min(configured_hold_time_, open->hold_time);
+        callbacks_.send(Message(KeepaliveMessage{}));
+        state_ = SessionState::kOpenConfirm;
+        ArmHoldTimer();
+        return;
+      }
+      if (std::holds_alternative<NotificationMessage>(message)) {
+        ++notifications_received_;
+        Drop(NotificationCode::kCease, 0, /*notify=*/false);
+        return;
+      }
+      Drop(NotificationCode::kFsmError, 0, /*notify=*/true);
+      return;
+    }
+
+    case SessionState::kOpenConfirm: {
+      if (std::holds_alternative<KeepaliveMessage>(message)) {
+        ++keepalives_received_;
+        EnterEstablished();
+        return;
+      }
+      if (std::holds_alternative<NotificationMessage>(message)) {
+        ++notifications_received_;
+        Drop(NotificationCode::kCease, 0, /*notify=*/false);
+        return;
+      }
+      Drop(NotificationCode::kFsmError, 0, /*notify=*/true);
+      return;
+    }
+
+    case SessionState::kEstablished: {
+      if (const auto* update = std::get_if<UpdateMessage>(&message)) {
+        ++updates_received_;
+        ArmHoldTimer();
+        callbacks_.on_update(*update);
+        return;
+      }
+      if (std::holds_alternative<KeepaliveMessage>(message)) {
+        ++keepalives_received_;
+        ArmHoldTimer();
+        return;
+      }
+      if (std::holds_alternative<NotificationMessage>(message)) {
+        ++notifications_received_;
+        Drop(NotificationCode::kCease, 0, /*notify=*/false);
+        return;
+      }
+      // A second OPEN in Established is an FSM error.
+      Drop(NotificationCode::kFsmError, 0, /*notify=*/true);
+      return;
+    }
+  }
+}
+
+void Session::EnterEstablished() {
+  state_ = SessionState::kEstablished;
+  ArmHoldTimer();
+  ArmKeepaliveTimer();
+  callbacks_.on_established();
+}
+
+void Session::Drop(NotificationCode code, uint8_t subcode, bool notify) {
+  if (notify) {
+    NotificationMessage n;
+    n.code = code;
+    n.subcode = subcode;
+    callbacks_.send(Message(n));
+  }
+  bool was_established = state_ == SessionState::kEstablished;
+  state_ = SessionState::kIdle;
+  ++session_drops_;
+  ++hold_generation_;       // cancel timers
+  ++keepalive_generation_;
+  negotiated_hold_time_ = 0;
+  if (was_established) {
+    callbacks_.on_down();
+  }
+  // Automatic restart: if administratively started and the link is up, retry.
+  if (started_ && link_up_) {
+    state_ = SessionState::kConnect;
+    loop_->After(net::kSecond, [this, gen = hold_generation_] {
+      if (gen == hold_generation_ && state_ == SessionState::kConnect && link_up_) {
+        SendOpen();
+      }
+    });
+  }
+}
+
+void Session::ArmHoldTimer() {
+  if (negotiated_hold_time_ == 0 && state_ != SessionState::kOpenSent) {
+    return;  // hold time negotiated to zero: timers disabled (§4.2)
+  }
+  uint64_t gen = ++hold_generation_;
+  uint16_t seconds = negotiated_hold_time_ != 0 ? negotiated_hold_time_ : configured_hold_time_;
+  loop_->After(static_cast<net::SimTime>(seconds) * net::kSecond, [this, gen] {
+    if (gen == hold_generation_ && state_ != SessionState::kIdle) {
+      Drop(NotificationCode::kHoldTimerExpired, 0, /*notify=*/true);
+    }
+  });
+}
+
+void Session::ArmKeepaliveTimer() {
+  if (negotiated_hold_time_ == 0) {
+    return;
+  }
+  uint64_t gen = ++keepalive_generation_;
+  net::SimTime interval = static_cast<net::SimTime>(negotiated_hold_time_) * net::kSecond / 3;
+  loop_->After(interval, [this, gen] {
+    if (gen == keepalive_generation_ && state_ == SessionState::kEstablished) {
+      callbacks_.send(Message(KeepaliveMessage{}));
+      ArmKeepaliveTimer();
+    }
+  });
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,232 @@
+#include "src/bgp/update_processing.h"
+
+#include "src/bgp/policy_eval.h"
+#include "src/util/logging.h"
+
+namespace dice::bgp {
+namespace {
+
+// Looks up the NeighborConfig for a peer view; peers present in the topology
+// but absent from the configuration get an implicit accept-all neighbor
+// (matches BIRD's behaviour of only peering with configured neighbors — the
+// Router never creates such a PeerView, but clones processing synthetic
+// inputs defend against it).
+const NeighborConfig* FindNeighbor(const RouterState& state, const PeerView& peer) {
+  return state.config->FindNeighbor(peer.address);
+}
+
+}  // namespace
+
+bool IsMartian(const Prefix& prefix) {
+  if (prefix.length() == 0) {
+    return true;  // default route is never accepted from an eBGP peer here
+  }
+  static const Prefix kLoopback = *Prefix::Parse("127.0.0.0/8");
+  static const Prefix kClassDE = *Prefix::Parse("224.0.0.0/3");  // multicast + class E
+  return kLoopback.Covers(prefix) || kClassDE.Covers(prefix);
+}
+
+ImportOutcome ImportRoute(RouterState& state, const PeerView& peer,
+                          const NeighborConfig& neighbor, const Prefix& prefix,
+                          const PathAttributes& attrs) {
+  ImportOutcome out;
+
+  if (IsMartian(prefix)) {
+    out.disposition = ImportDisposition::kMartianRejected;
+    return out;
+  }
+  // AS-path loop detection (§9.1.2): our own AS in the path means the route
+  // has already transited us.
+  if (attrs.as_path.Contains(state.config->local_as)) {
+    ++state.routes_loop_rejected;
+    out.disposition = ImportDisposition::kLoopRejected;
+    return out;
+  }
+
+  // Import policy.
+  PathAttributes imported = attrs;
+  if (!neighbor.import_filter.empty()) {
+    const Filter* filter = state.config->policies.FindFilter(neighbor.import_filter);
+    DICE_CHECK(filter != nullptr) << "validated at parse time";
+    FilterVerdict verdict =
+        EvaluateFilterConcrete(*filter, state.config->policies, prefix, imported);
+    if (!verdict.accepted) {
+      ++state.routes_filtered;
+      out.disposition = ImportDisposition::kFilteredOut;
+      return out;
+    }
+    imported = std::move(verdict.attrs);
+  } else if (!neighbor.import_default_accept) {
+    ++state.routes_filtered;
+    out.disposition = ImportDisposition::kFilteredOut;
+    return out;
+  }
+
+  Route route;
+  route.peer = peer.id;
+  route.peer_as = peer.remote_as;
+  route.attrs = std::move(imported);
+  out.rib = state.rib.AddRoute(prefix, std::move(route));
+  out.disposition = ImportDisposition::kAccepted;
+  ++state.routes_accepted;
+  return out;
+}
+
+std::optional<PathAttributes> ExportAttributes(const RouterState& state,
+                                               const NeighborConfig& neighbor,
+                                               Ipv4Address own_address, const Prefix& prefix,
+                                               const Route& route) {
+  // Well-known communities (RFC 1997): NO_EXPORT / NO_ADVERTISE routes are
+  // never sent to an eBGP peer, before any configured policy runs.
+  if (route.attrs.HasCommunity(kCommunityNoExport) ||
+      route.attrs.HasCommunity(kCommunityNoAdvertise)) {
+    return std::nullopt;
+  }
+
+  // Split horizon: never advertise a route back to its source peer.
+  // (Local routes have peer == kLocalPeer and are advertised to everyone.)
+  PathAttributes attrs = route.attrs;
+
+  if (!neighbor.export_filter.empty()) {
+    const Filter* filter = state.config->policies.FindFilter(neighbor.export_filter);
+    DICE_CHECK(filter != nullptr) << "validated at parse time";
+    FilterVerdict verdict = EvaluateFilterConcrete(*filter, state.config->policies, prefix, attrs);
+    if (!verdict.accepted) {
+      return std::nullopt;
+    }
+    attrs = std::move(verdict.attrs);
+  } else if (!neighbor.export_default_accept) {
+    return std::nullopt;
+  }
+
+  // eBGP export transformations (§5.1): prepend own AS, next-hop self,
+  // LOCAL_PREF stays inside the AS, MED is not propagated onward.
+  attrs.as_path.Prepend(state.config->local_as);
+  attrs.next_hop = own_address;
+  attrs.local_pref.reset();
+  attrs.med.reset();
+  return attrs;
+}
+
+void SyncAdjOut(RouterState& state, const PeerView& peer, const NeighborConfig& neighbor,
+                Ipv4Address own_address, const Prefix& prefix, const UpdateSink& sink) {
+  if (!peer.established) {
+    return;
+  }
+  const Route* best = state.rib.BestRoute(prefix);
+
+  std::optional<PathAttributes> desired;
+  if (best != nullptr && best->peer != peer.id) {
+    desired = ExportAttributes(state, neighbor, own_address, prefix, *best);
+  }
+
+  PrefixTrie<PathAttributes>& adj = state.adj_out[peer.id];
+  const PathAttributes* current = adj.Find(prefix);
+
+  if (desired.has_value()) {
+    if (current != nullptr && *current == *desired) {
+      return;  // already advertised identically
+    }
+    adj.Insert(prefix, *desired);
+    UpdateMessage update;
+    update.nlri.push_back(prefix);
+    update.attrs = std::move(*desired);
+    sink(peer.id, update);
+  } else if (current != nullptr) {
+    adj.Erase(prefix);
+    UpdateMessage withdraw;
+    withdraw.withdrawn.push_back(prefix);
+    sink(peer.id, withdraw);
+  }
+}
+
+void ProcessUpdate(RouterState& state, const std::vector<PeerView>& peers, const PeerView& from,
+                   const NeighborConfig& from_neighbor, const UpdateMessage& update,
+                   const UpdateSink& sink) {
+  ++state.updates_processed;
+  std::vector<Prefix> changed;
+
+  for (const Prefix& prefix : update.withdrawn) {
+    ++state.routes_withdrawn_in;
+    RibUpdateResult result = state.rib.RemoveRoute(prefix, from.id);
+    if (result.best_changed) {
+      changed.push_back(prefix);
+    }
+  }
+
+  for (const Prefix& prefix : update.nlri) {
+    ++state.routes_announced_in;
+    ImportOutcome outcome = ImportRoute(state, from, from_neighbor, prefix, update.attrs);
+    if (outcome.disposition == ImportDisposition::kAccepted && outcome.rib.best_changed) {
+      changed.push_back(prefix);
+    }
+  }
+
+  for (const Prefix& prefix : changed) {
+    for (const PeerView& peer : peers) {
+      if (peer.id == kLocalPeer) {
+        continue;
+      }
+      const NeighborConfig* neighbor = FindNeighbor(state, peer);
+      if (neighbor == nullptr) {
+        continue;
+      }
+      SyncAdjOut(state, peer, *neighbor, state.config->router_id, prefix, sink);
+    }
+  }
+}
+
+void OriginateNetworks(RouterState& state, const std::vector<PeerView>& peers,
+                       Ipv4Address own_address, const UpdateSink& sink) {
+  for (const Prefix& prefix : state.config->networks) {
+    Route route;
+    route.peer = kLocalPeer;
+    route.peer_as = 0;
+    route.attrs.origin = Origin::kIgp;
+    route.attrs.next_hop = own_address;
+    RibUpdateResult result = state.rib.AddRoute(prefix, std::move(route));
+    if (!result.best_changed) {
+      continue;
+    }
+    for (const PeerView& peer : peers) {
+      const NeighborConfig* neighbor = FindNeighbor(state, peer);
+      if (neighbor != nullptr) {
+        SyncAdjOut(state, peer, *neighbor, own_address, prefix, sink);
+      }
+    }
+  }
+}
+
+void AnnounceAllTo(RouterState& state, const PeerView& peer, const NeighborConfig& neighbor,
+                   Ipv4Address own_address, const UpdateSink& sink) {
+  // Walk a snapshot of prefixes first: SyncAdjOut mutates adj_out tries but
+  // not the RIB, so walking the RIB directly would be safe — the snapshot
+  // keeps the contract obvious.
+  std::vector<Prefix> prefixes;
+  state.rib.Walk([&](const Prefix& prefix, const RibEntry&) {
+    prefixes.push_back(prefix);
+    return true;
+  });
+  for (const Prefix& prefix : prefixes) {
+    SyncAdjOut(state, peer, neighbor, own_address, prefix, sink);
+  }
+}
+
+void HandlePeerDown(RouterState& state, const std::vector<PeerView>& peers, PeerId lost_peer,
+                    Ipv4Address own_address, const UpdateSink& sink) {
+  std::vector<Prefix> changed = state.rib.RemovePeer(lost_peer);
+  state.adj_out.erase(lost_peer);
+  for (const Prefix& prefix : changed) {
+    for (const PeerView& peer : peers) {
+      if (peer.id == lost_peer) {
+        continue;
+      }
+      const NeighborConfig* neighbor = FindNeighbor(state, peer);
+      if (neighbor != nullptr) {
+        SyncAdjOut(state, peer, *neighbor, own_address, prefix, sink);
+      }
+    }
+  }
+}
+
+}  // namespace dice::bgp

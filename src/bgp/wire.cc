@@ -1,0 +1,478 @@
+#include "src/bgp/wire.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace dice::bgp {
+namespace {
+
+void PutHeader(ByteWriter& w, MessageType type) {
+  for (int i = 0; i < 16; ++i) {
+    w.PutU8(0xff);  // marker, all ones (§4.1)
+  }
+  w.PutU16(0);  // length, patched once the body is known
+  w.PutU8(static_cast<uint8_t>(type));
+}
+
+Bytes Finish(ByteWriter& w) {
+  DICE_CHECK_LE(w.size(), kMaxMessageSize);
+  w.PatchU16(16, static_cast<uint16_t>(w.size()));
+  return w.Take();
+}
+
+void EncodeAsPath(ByteWriter& w, const AsPath& path) {
+  for (const AsSegment& seg : path.segments()) {
+    w.PutU8(static_cast<uint8_t>(seg.type));
+    w.PutU8(static_cast<uint8_t>(seg.asns.size()));
+    for (AsNumber asn : seg.asns) {
+      w.PutU16(static_cast<uint16_t>(asn));
+    }
+  }
+}
+
+// Writes one path attribute with automatic extended-length selection.
+void PutAttribute(ByteWriter& w, uint8_t flags, AttrType type, const Bytes& value) {
+  if (value.size() > 255) {
+    flags |= kAttrFlagExtendedLength;
+  }
+  w.PutU8(flags);
+  w.PutU8(static_cast<uint8_t>(type));
+  if (flags & kAttrFlagExtendedLength) {
+    w.PutU16(static_cast<uint16_t>(value.size()));
+  } else {
+    w.PutU8(static_cast<uint8_t>(value.size()));
+  }
+  w.PutBytes(value);
+}
+
+void EncodeAttributes(ByteWriter& w, const PathAttributes& attrs, bool has_nlri) {
+  constexpr uint8_t kWellKnown = kAttrFlagTransitive;
+  constexpr uint8_t kOptionalTransitive = kAttrFlagOptional | kAttrFlagTransitive;
+  constexpr uint8_t kOptionalNonTransitive = kAttrFlagOptional;
+
+  if (has_nlri) {
+    // ORIGIN (well-known mandatory).
+    PutAttribute(w, kWellKnown, AttrType::kOrigin, {static_cast<uint8_t>(attrs.origin)});
+
+    // AS_PATH (well-known mandatory).
+    {
+      ByteWriter pw;
+      EncodeAsPath(pw, attrs.as_path);
+      PutAttribute(w, kWellKnown, AttrType::kAsPath, pw.bytes());
+    }
+
+    // NEXT_HOP (well-known mandatory).
+    {
+      ByteWriter pw;
+      pw.PutU32(attrs.next_hop.bits());
+      PutAttribute(w, kWellKnown, AttrType::kNextHop, pw.bytes());
+    }
+  }
+
+  if (attrs.med.has_value()) {
+    ByteWriter pw;
+    pw.PutU32(*attrs.med);
+    PutAttribute(w, kOptionalNonTransitive, AttrType::kMultiExitDisc, pw.bytes());
+  }
+  if (attrs.local_pref.has_value()) {
+    ByteWriter pw;
+    pw.PutU32(*attrs.local_pref);
+    PutAttribute(w, kWellKnown, AttrType::kLocalPref, pw.bytes());
+  }
+  if (attrs.atomic_aggregate) {
+    PutAttribute(w, kWellKnown, AttrType::kAtomicAggregate, {});
+  }
+  if (attrs.aggregator.has_value()) {
+    ByteWriter pw;
+    pw.PutU16(static_cast<uint16_t>(attrs.aggregator->asn));
+    pw.PutU32(attrs.aggregator->address.bits());
+    PutAttribute(w, kOptionalTransitive, AttrType::kAggregator, pw.bytes());
+  }
+  if (!attrs.communities.empty()) {
+    ByteWriter pw;
+    for (Community c : attrs.communities) {
+      pw.PutU32(c);
+    }
+    PutAttribute(w, kOptionalTransitive, AttrType::kCommunities, pw.bytes());
+  }
+  for (const UnknownAttribute& u : attrs.unknown) {
+    ByteWriter pw;
+    pw.PutBytes(u.value.data(), u.value.size());
+    // Preserve the original flags but force "partial" since we forwarded it
+    // without understanding it (§5).
+    PutAttribute(w, static_cast<uint8_t>(u.flags | kAttrFlagPartial),
+                 static_cast<AttrType>(u.type), pw.bytes());
+  }
+}
+
+Status UpdateError(uint8_t subcode, const std::string& message) {
+  return InvalidArgumentError(StrFormat("UPDATE error subcode %u: %s", subcode, message.c_str()));
+}
+
+StatusOr<AsPath> DecodeAsPath(const Bytes& value) {
+  ByteReader r(value);
+  std::vector<AsSegment> segments;
+  while (!r.AtEnd()) {
+    DICE_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    if (type != static_cast<uint8_t>(AsSegmentType::kAsSet) &&
+        type != static_cast<uint8_t>(AsSegmentType::kAsSequence)) {
+      return UpdateError(11, StrFormat("malformed AS_PATH: bad segment type %u", type));
+    }
+    DICE_ASSIGN_OR_RETURN(uint8_t count, r.ReadU8());
+    if (count == 0) {
+      return UpdateError(11, "malformed AS_PATH: empty segment");
+    }
+    AsSegment seg;
+    seg.type = static_cast<AsSegmentType>(type);
+    seg.asns.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      DICE_ASSIGN_OR_RETURN(uint16_t asn, r.ReadU16());
+      seg.asns.push_back(asn);
+    }
+    segments.push_back(std::move(seg));
+  }
+  return AsPath(std::move(segments));
+}
+
+}  // namespace
+
+void EncodePrefix(ByteWriter& writer, const Prefix& prefix) {
+  writer.PutU8(prefix.length());
+  uint32_t bits = prefix.address().bits();
+  int bytes = (prefix.length() + 7) / 8;
+  for (int i = 0; i < bytes; ++i) {
+    writer.PutU8(static_cast<uint8_t>(bits >> (24 - 8 * i)));
+  }
+}
+
+StatusOr<std::vector<Prefix>> DecodePrefixes(ByteReader& reader, size_t byte_count) {
+  std::vector<Prefix> out;
+  size_t end = reader.position() + byte_count;
+  while (reader.position() < end) {
+    DICE_ASSIGN_OR_RETURN(uint8_t len, reader.ReadU8());
+    if (len > 32) {
+      return UpdateError(10, StrFormat("invalid prefix length %u", len));
+    }
+    int bytes = (len + 7) / 8;
+    if (reader.position() + static_cast<size_t>(bytes) > end) {
+      return UpdateError(10, "prefix bytes overrun field boundary");
+    }
+    uint32_t bits = 0;
+    for (int i = 0; i < bytes; ++i) {
+      DICE_ASSIGN_OR_RETURN(uint8_t b, reader.ReadU8());
+      bits |= static_cast<uint32_t>(b) << (24 - 8 * i);
+    }
+    // Canonicalize: routers accept prefixes with set host bits but mask them.
+    out.push_back(Prefix::Make(Ipv4Address(bits), len));
+  }
+  if (reader.position() != end) {
+    return UpdateError(10, "prefix field length mismatch");
+  }
+  return out;
+}
+
+Bytes EncodeOpen(const OpenMessage& open) {
+  ByteWriter w;
+  PutHeader(w, MessageType::kOpen);
+  w.PutU8(open.version);
+  w.PutU16(static_cast<uint16_t>(open.my_as));
+  w.PutU16(open.hold_time);
+  w.PutU32(open.bgp_id.bits());
+  w.PutU8(0);  // no optional parameters
+  return Finish(w);
+}
+
+Bytes EncodeUpdate(const UpdateMessage& update) {
+  ByteWriter w;
+  PutHeader(w, MessageType::kUpdate);
+
+  // Withdrawn routes.
+  size_t withdrawn_len_at = w.size();
+  w.PutU16(0);
+  size_t before = w.size();
+  for (const Prefix& p : update.withdrawn) {
+    EncodePrefix(w, p);
+  }
+  w.PatchU16(withdrawn_len_at, static_cast<uint16_t>(w.size() - before));
+
+  // Path attributes.
+  size_t attrs_len_at = w.size();
+  w.PutU16(0);
+  before = w.size();
+  EncodeAttributes(w, update.attrs, /*has_nlri=*/!update.nlri.empty());
+  w.PatchU16(attrs_len_at, static_cast<uint16_t>(w.size() - before));
+
+  // NLRI runs to the end of the message.
+  for (const Prefix& p : update.nlri) {
+    EncodePrefix(w, p);
+  }
+  return Finish(w);
+}
+
+Bytes EncodeNotification(const NotificationMessage& notification) {
+  ByteWriter w;
+  PutHeader(w, MessageType::kNotification);
+  w.PutU8(static_cast<uint8_t>(notification.code));
+  w.PutU8(notification.subcode);
+  w.PutBytes(notification.data.data(), notification.data.size());
+  return Finish(w);
+}
+
+Bytes EncodeKeepalive() {
+  ByteWriter w;
+  PutHeader(w, MessageType::kKeepalive);
+  return Finish(w);
+}
+
+Bytes Encode(const Message& message) {
+  switch (TypeOf(message)) {
+    case MessageType::kOpen:
+      return EncodeOpen(std::get<OpenMessage>(message));
+    case MessageType::kUpdate:
+      return EncodeUpdate(std::get<UpdateMessage>(message));
+    case MessageType::kNotification:
+      return EncodeNotification(std::get<NotificationMessage>(message));
+    case MessageType::kKeepalive:
+      return EncodeKeepalive();
+  }
+  DICE_LOG(kFatal) << "unreachable message type";
+  return {};
+}
+
+namespace {
+
+StatusOr<UpdateMessage> DecodeUpdateBody(ByteReader& r) {
+  UpdateMessage update;
+
+  DICE_ASSIGN_OR_RETURN(uint16_t withdrawn_len, r.ReadU16());
+  if (withdrawn_len > r.remaining()) {
+    return UpdateError(1, "withdrawn routes length overruns message");
+  }
+  DICE_ASSIGN_OR_RETURN(update.withdrawn, DecodePrefixes(r, withdrawn_len));
+
+  DICE_ASSIGN_OR_RETURN(uint16_t attrs_len, r.ReadU16());
+  if (attrs_len > r.remaining()) {
+    return UpdateError(1, "attribute length overruns message");
+  }
+  size_t attrs_end = r.position() + attrs_len;
+
+  bool saw_origin = false;
+  bool saw_as_path = false;
+  bool saw_next_hop = false;
+
+  while (r.position() < attrs_end) {
+    DICE_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+    DICE_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    size_t len;
+    if (flags & kAttrFlagExtendedLength) {
+      DICE_ASSIGN_OR_RETURN(uint16_t l16, r.ReadU16());
+      len = l16;
+    } else {
+      DICE_ASSIGN_OR_RETURN(uint8_t l8, r.ReadU8());
+      len = l8;
+    }
+    if (r.position() + len > attrs_end) {
+      return UpdateError(5, StrFormat("attribute %u length overruns attribute field", type));
+    }
+    DICE_ASSIGN_OR_RETURN(Bytes value, r.ReadBytes(len));
+
+    const bool optional = (flags & kAttrFlagOptional) != 0;
+    const bool transitive = (flags & kAttrFlagTransitive) != 0;
+
+    switch (static_cast<AttrType>(type)) {
+      case AttrType::kOrigin: {
+        if (optional || !transitive) {
+          return UpdateError(4, "ORIGIN attribute flags error");
+        }
+        if (value.size() != 1) {
+          return UpdateError(5, "ORIGIN attribute length error");
+        }
+        if (value[0] > 2) {
+          return UpdateError(6, StrFormat("invalid ORIGIN value %u", value[0]));
+        }
+        update.attrs.origin = static_cast<Origin>(value[0]);
+        saw_origin = true;
+        break;
+      }
+      case AttrType::kAsPath: {
+        if (optional || !transitive) {
+          return UpdateError(4, "AS_PATH attribute flags error");
+        }
+        DICE_ASSIGN_OR_RETURN(update.attrs.as_path, DecodeAsPath(value));
+        saw_as_path = true;
+        break;
+      }
+      case AttrType::kNextHop: {
+        if (optional || !transitive) {
+          return UpdateError(4, "NEXT_HOP attribute flags error");
+        }
+        if (value.size() != 4) {
+          return UpdateError(5, "NEXT_HOP attribute length error");
+        }
+        update.attrs.next_hop =
+            Ipv4Address((static_cast<uint32_t>(value[0]) << 24) |
+                        (static_cast<uint32_t>(value[1]) << 16) |
+                        (static_cast<uint32_t>(value[2]) << 8) | static_cast<uint32_t>(value[3]));
+        saw_next_hop = true;
+        break;
+      }
+      case AttrType::kMultiExitDisc: {
+        if (!optional || transitive) {
+          return UpdateError(4, "MULTI_EXIT_DISC attribute flags error");
+        }
+        if (value.size() != 4) {
+          return UpdateError(5, "MULTI_EXIT_DISC attribute length error");
+        }
+        ByteReader vr(value);
+        update.attrs.med = vr.ReadU32().value();
+        break;
+      }
+      case AttrType::kLocalPref: {
+        if (optional) {
+          return UpdateError(4, "LOCAL_PREF attribute flags error");
+        }
+        if (value.size() != 4) {
+          return UpdateError(5, "LOCAL_PREF attribute length error");
+        }
+        ByteReader vr(value);
+        update.attrs.local_pref = vr.ReadU32().value();
+        break;
+      }
+      case AttrType::kAtomicAggregate: {
+        if (optional) {
+          return UpdateError(4, "ATOMIC_AGGREGATE attribute flags error");
+        }
+        if (!value.empty()) {
+          return UpdateError(5, "ATOMIC_AGGREGATE attribute length error");
+        }
+        update.attrs.atomic_aggregate = true;
+        break;
+      }
+      case AttrType::kAggregator: {
+        if (!optional || !transitive) {
+          return UpdateError(4, "AGGREGATOR attribute flags error");
+        }
+        if (value.size() != 6) {
+          return UpdateError(5, "AGGREGATOR attribute length error");
+        }
+        ByteReader vr(value);
+        Aggregator agg;
+        agg.asn = vr.ReadU16().value();
+        agg.address = Ipv4Address(vr.ReadU32().value());
+        update.attrs.aggregator = agg;
+        break;
+      }
+      case AttrType::kCommunities: {
+        if (!optional || !transitive) {
+          return UpdateError(4, "COMMUNITIES attribute flags error");
+        }
+        if (value.size() % 4 != 0) {
+          return UpdateError(5, "COMMUNITIES attribute length error");
+        }
+        ByteReader vr(value);
+        while (!vr.AtEnd()) {
+          update.attrs.communities.push_back(vr.ReadU32().value());
+        }
+        break;
+      }
+      default: {
+        if (!optional) {
+          return UpdateError(2, StrFormat("unrecognized well-known attribute %u", type));
+        }
+        // Optional attribute we do not interpret: keep it if transitive.
+        if (transitive) {
+          update.attrs.unknown.push_back(UnknownAttribute{flags, type, value});
+        }
+        break;
+      }
+    }
+  }
+
+  // NLRI consumes the remainder of the message.
+  DICE_ASSIGN_OR_RETURN(update.nlri, DecodePrefixes(r, r.remaining()));
+
+  if (!update.nlri.empty()) {
+    if (!saw_origin) {
+      return UpdateError(3, "missing well-known mandatory attribute ORIGIN");
+    }
+    if (!saw_as_path) {
+      return UpdateError(3, "missing well-known mandatory attribute AS_PATH");
+    }
+    if (!saw_next_hop) {
+      return UpdateError(3, "missing well-known mandatory attribute NEXT_HOP");
+    }
+  }
+  return update;
+}
+
+}  // namespace
+
+StatusOr<Message> Decode(const Bytes& bytes) {
+  ByteReader r(bytes);
+  if (bytes.size() < kHeaderSize) {
+    return InvalidArgumentError("message shorter than BGP header");
+  }
+  for (int i = 0; i < 16; ++i) {
+    DICE_ASSIGN_OR_RETURN(uint8_t b, r.ReadU8());
+    if (b != 0xff) {
+      return InvalidArgumentError("connection not synchronized: bad marker");
+    }
+  }
+  DICE_ASSIGN_OR_RETURN(uint16_t length, r.ReadU16());
+  if (length < kHeaderSize || length > kMaxMessageSize) {
+    return InvalidArgumentError(StrFormat("bad message length %u", length));
+  }
+  if (length != bytes.size()) {
+    return InvalidArgumentError(StrFormat("length field %u does not match buffer size %zu", length,
+                                          bytes.size()));
+  }
+  DICE_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kOpen: {
+      OpenMessage open;
+      DICE_ASSIGN_OR_RETURN(open.version, r.ReadU8());
+      if (open.version != 4) {
+        return InvalidArgumentError(StrFormat("unsupported BGP version %u", open.version));
+      }
+      DICE_ASSIGN_OR_RETURN(uint16_t my_as, r.ReadU16());
+      open.my_as = my_as;
+      DICE_ASSIGN_OR_RETURN(open.hold_time, r.ReadU16());
+      if (open.hold_time == 1 || open.hold_time == 2) {
+        return InvalidArgumentError("unacceptable hold time");  // §6.2
+      }
+      DICE_ASSIGN_OR_RETURN(uint32_t id, r.ReadU32());
+      open.bgp_id = Ipv4Address(id);
+      DICE_ASSIGN_OR_RETURN(uint8_t opt_len, r.ReadU8());
+      DICE_RETURN_IF_ERROR(r.Skip(opt_len));  // optional parameters ignored
+      return Message(open);
+    }
+    case MessageType::kUpdate: {
+      DICE_ASSIGN_OR_RETURN(UpdateMessage update, DecodeUpdateBody(r));
+      return Message(update);
+    }
+    case MessageType::kNotification: {
+      NotificationMessage n;
+      DICE_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+      if (code < 1 || code > 6) {
+        return InvalidArgumentError(StrFormat("bad NOTIFICATION code %u", code));
+      }
+      n.code = static_cast<NotificationCode>(code);
+      DICE_ASSIGN_OR_RETURN(n.subcode, r.ReadU8());
+      DICE_ASSIGN_OR_RETURN(Bytes data, r.ReadBytes(r.remaining()));
+      n.data = std::move(data);
+      return Message(n);
+    }
+    case MessageType::kKeepalive: {
+      if (length != kHeaderSize) {
+        return InvalidArgumentError("KEEPALIVE with a body");
+      }
+      return Message(KeepaliveMessage{});
+    }
+    default:
+      return InvalidArgumentError(StrFormat("bad message type %u", type));
+  }
+}
+
+}  // namespace dice::bgp

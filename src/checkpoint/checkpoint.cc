@@ -1,0 +1,80 @@
+#include "src/checkpoint/checkpoint.h"
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace dice::checkpoint {
+
+std::string MemoryStats::ToString() const {
+  return StrFormat(
+      "nodes total=%zu shared=%zu unique=%zu | pages total=%zu unique=%zu (%.2f%% unique)",
+      total_nodes, shared_nodes, unique_nodes, total_pages, unique_pages,
+      UniquePageFraction() * 100.0);
+}
+
+MemoryStats ComputeSharing(const bgp::RouterState& state, const bgp::RouterState& reference) {
+  MemoryStats stats;
+
+  auto accumulate = [&stats](auto sharing, size_t node_bytes) {
+    stats.total_nodes += sharing.total_nodes;
+    stats.shared_nodes += sharing.shared_nodes;
+    stats.unique_nodes += sharing.unique_nodes;
+    stats.total_bytes += sharing.total_nodes * node_bytes;
+    stats.unique_bytes += sharing.unique_nodes * node_bytes;
+  };
+
+  accumulate(state.rib.trie().SharingWith(reference.rib.trie()),
+             bgp::PrefixTrie<bgp::RibEntry>::kNodeBytes);
+
+  static const bgp::PrefixTrie<bgp::PathAttributes> kEmptyAdjOut;
+  for (const auto& [peer, trie] : state.adj_out) {
+    auto ref = reference.adj_out.find(peer);
+    if (ref != reference.adj_out.end()) {
+      accumulate(trie.SharingWith(ref->second),
+                 bgp::PrefixTrie<bgp::PathAttributes>::kNodeBytes);
+    } else {
+      accumulate(trie.SharingWith(kEmptyAdjOut),
+                 bgp::PrefixTrie<bgp::PathAttributes>::kNodeBytes);
+    }
+  }
+
+  stats.total_pages = (stats.total_bytes + kPageSize - 1) / kPageSize;
+  stats.unique_pages = (stats.unique_bytes + kPageSize - 1) / kPageSize;
+  if (stats.unique_bytes == 0) {
+    stats.unique_pages = 0;
+  }
+  return stats;
+}
+
+const Checkpoint& CheckpointManager::Take(const bgp::RouterState& state,
+                                          std::vector<bgp::PeerView> peers, net::SimTime now) {
+  current_.state = state;  // O(1): trie roots + shared config pointer
+  current_.peers = std::move(peers);
+  current_.taken_at = now;
+  current_.id = next_id_++;
+  have_ = true;
+  return current_;
+}
+
+const Checkpoint& CheckpointManager::current() const {
+  DICE_CHECK(have_) << "no checkpoint taken";
+  return current_;
+}
+
+bgp::RouterState CheckpointManager::Clone() const {
+  DICE_CHECK(have_) << "no checkpoint taken";
+  ++clones_made_;
+  return current_.state;
+}
+
+MemoryStats CheckpointManager::CheckpointSharing(const bgp::RouterState& live) const {
+  DICE_CHECK(have_);
+  return ComputeSharing(current_.state, live);
+}
+
+MemoryStats CheckpointManager::CloneSharing(const bgp::RouterState& clone) const {
+  DICE_CHECK(have_);
+  return ComputeSharing(clone, current_.state);
+}
+
+}  // namespace dice::checkpoint

@@ -1,0 +1,163 @@
+#include "src/dice/baselines.h"
+
+#include <chrono>
+
+#include "src/bgp/policy_eval.h"
+#include "src/util/logging.h"
+
+namespace dice {
+
+void RandomFuzzExplorer::TakeCheckpoint(const bgp::RouterState& state,
+                                        std::vector<bgp::PeerView> peers, net::SimTime now) {
+  checkpoints_.Take(state, std::move(peers), now);
+  for (auto& checker : checkers_) {
+    checker->OnCheckpoint(checkpoints_.current().state);
+  }
+}
+
+bgp::UpdateMessage RandomFuzzExplorer::Mutate(const bgp::UpdateMessage& seed) {
+  bgp::UpdateMessage out = seed;
+  DICE_CHECK(!out.nlri.empty());
+
+  uint32_t addr = out.nlri[0].address().bits();
+  uint8_t len = out.nlri[0].length();
+  if (spec_.nlri_address && rng_.NextBool(0.8)) {
+    addr = rng_.NextU32();
+  }
+  if (spec_.nlri_length && rng_.NextBool(0.5)) {
+    len = static_cast<uint8_t>(rng_.NextBelow(33));
+  }
+  out.nlri[0] = bgp::Prefix::Make(bgp::Ipv4Address(addr), len);
+
+  if (spec_.as_path && rng_.NextBool(0.5)) {
+    std::vector<bgp::AsNumber> path = out.attrs.as_path.Flatten();
+    if (!path.empty()) {
+      size_t i = rng_.NextBelow(path.size());
+      path[i] = static_cast<bgp::AsNumber>(
+          rng_.NextInRange(static_cast<int64_t>(spec_.asn_lo), static_cast<int64_t>(spec_.asn_hi)));
+      out.attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+    }
+  }
+  if (spec_.origin_code && rng_.NextBool(0.3)) {
+    out.attrs.origin = static_cast<bgp::Origin>(rng_.NextBelow(3));
+  }
+  if (spec_.med && out.attrs.med.has_value() && rng_.NextBool(0.3)) {
+    out.attrs.med = rng_.NextU32();
+  }
+  return out;
+}
+
+size_t RandomFuzzExplorer::Explore(const bgp::UpdateMessage& seed_update, bgp::PeerId from,
+                                   size_t max_runs) {
+  const checkpoint::Checkpoint& cp = checkpoints_.current();
+  const bgp::PeerView* from_view = nullptr;
+  for (const bgp::PeerView& peer : cp.peers) {
+    if (peer.id == from) {
+      from_view = &peer;
+    }
+  }
+  bgp::PeerView fallback;
+  if (from_view == nullptr) {
+    fallback.id = from;
+    fallback.established = true;
+    from_view = &fallback;
+  }
+
+  // Nothing marked symbolic: ExploreUpdateOnClone degenerates to the plain
+  // concrete processing path (same semantics, no constraints recorded).
+  SymbolicUpdateSpec none;
+  none.nlri_address = false;
+  none.nlri_length = false;
+  none.as_path = false;
+  none.origin_code = false;
+  none.med = false;
+
+  bgp::UpdateSink sink = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+  for (size_t i = 0; i < max_runs; ++i) {
+    bgp::UpdateMessage input = i == 0 ? seed_update : Mutate(seed_update);
+    bgp::RouterState clone = checkpoints_.Clone();
+    sym::Engine engine;
+    engine.BeginRun({});
+    ExplorationOutcome outcome =
+        ExploreUpdateOnClone(engine, clone, cp.peers, *from_view, input, none, sink);
+    if (outcome.installed) {
+      ++runs_accepted_;
+    }
+
+    RunInfo info;
+    info.run_index = run_counter_;
+    info.outcome = &outcome;
+    info.clone_after = &clone;
+    size_t before = detections_.size();
+    for (auto& checker : checkers_) {
+      checker->OnRun(info, &detections_);
+    }
+    if (detections_.size() > before && !first_detection_run_.has_value()) {
+      first_detection_run_ = run_counter_;
+    }
+    ++run_counter_;
+  }
+  return max_runs;
+}
+
+WholeMessageFuzzStats WholeMessageFuzzer::Run(const bgp::UpdateMessage& seed, size_t attempts,
+                                              size_t mutations_per_attempt) {
+  WholeMessageFuzzStats stats;
+  Bytes encoded = bgp::EncodeUpdate(seed);
+  for (size_t i = 0; i < attempts; ++i) {
+    ++stats.attempts;
+    Bytes mutated = encoded;
+    size_t mutations = 1 + rng_.NextBelow(mutations_per_attempt);
+    for (size_t m = 0; m < mutations; ++m) {
+      size_t pos = rng_.NextBelow(mutated.size());
+      mutated[pos] = static_cast<uint8_t>(rng_.NextBelow(256));
+    }
+    StatusOr<bgp::Message> decoded = bgp::Decode(mutated);
+    if (!decoded.ok()) {
+      continue;
+    }
+    ++stats.decode_ok;
+    if (const auto* update = std::get_if<bgp::UpdateMessage>(&*decoded)) {
+      ++stats.decode_update_ok;
+      if (!update->nlri.empty()) {
+        ++stats.reached_routing_logic;
+      }
+    }
+  }
+  return stats;
+}
+
+ReplayCost MeasureReplayFromInitial(const bgp::RouterConfig& config,
+                                    const std::vector<bgp::UpdateMessage>& history,
+                                    const bgp::PeerView& from,
+                                    const checkpoint::CheckpointManager& checkpointed) {
+  using Clock = std::chrono::steady_clock;
+  ReplayCost cost;
+  cost.history_updates = history.size();
+
+  const bgp::NeighborConfig* neighbor = config.FindNeighbor(from.address);
+  static const bgp::NeighborConfig kAcceptAll;
+  if (neighbor == nullptr) {
+    neighbor = &kAcceptAll;
+  }
+
+  auto t0 = Clock::now();
+  bgp::RouterState fresh;
+  fresh.config = std::make_shared<const bgp::RouterConfig>(config);
+  bgp::UpdateSink sink = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+  std::vector<bgp::PeerView> peers{from};
+  for (const bgp::UpdateMessage& update : history) {
+    bgp::ProcessUpdate(fresh, peers, from, *neighbor, update, sink);
+  }
+  auto t1 = Clock::now();
+  cost.replay_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  auto t2 = Clock::now();
+  bgp::RouterState clone = checkpointed.Clone();
+  (void)clone;
+  auto t3 = Clock::now();
+  cost.checkpoint_seconds = std::chrono::duration<double>(t3 - t2).count();
+  return cost;
+}
+
+}  // namespace dice

@@ -1,0 +1,102 @@
+// Baselines the evaluation compares DiCE against.
+//
+//  * RandomFuzzExplorer — mutates the same fields DiCE marks symbolic, but
+//    with uniformly random values instead of solver-derived ones (shows why
+//    constraint-guided exploration finds filter holes quickly; used by F1).
+//  * WholeMessageFuzzer — mutates raw wire bytes of the encoded UPDATE, the
+//    strawman §3.2 rejects: almost every input dies in parsing (used by A1).
+//  * ReplayFromInitialState — reaches the exploration point by replaying the
+//    whole input history into a fresh RouterState instead of resuming from a
+//    checkpoint, the approach §2.3 argues is prohibitively expensive for
+//    long-running systems (used by A2).
+
+#ifndef SRC_DICE_BASELINES_H_
+#define SRC_DICE_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/bgp/wire.h"
+#include "src/checkpoint/checkpoint.h"
+#include "src/dice/checkers.h"
+#include "src/dice/symbolic_update.h"
+#include "src/trace/trace.h"
+#include "src/util/rng.h"
+
+namespace dice {
+
+// Random-value exploration over the spec'd fields.
+class RandomFuzzExplorer {
+ public:
+  RandomFuzzExplorer(SymbolicUpdateSpec spec, uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  void AddChecker(std::unique_ptr<Checker> checker) { checkers_.push_back(std::move(checker)); }
+
+  void TakeCheckpoint(const bgp::RouterState& state, std::vector<bgp::PeerView> peers,
+                      net::SimTime now);
+
+  // Runs `max_runs` random mutants of `seed_update` from peer `from`.
+  // Returns the number of runs executed (always max_runs).
+  size_t Explore(const bgp::UpdateMessage& seed_update, bgp::PeerId from, size_t max_runs);
+
+  const std::vector<Detection>& detections() const { return detections_; }
+  std::optional<uint64_t> first_detection_run() const { return first_detection_run_; }
+  uint64_t runs_accepted() const { return runs_accepted_; }
+
+ private:
+  bgp::UpdateMessage Mutate(const bgp::UpdateMessage& seed);
+
+  SymbolicUpdateSpec spec_;
+  Rng rng_;
+  checkpoint::CheckpointManager checkpoints_;
+  std::vector<std::unique_ptr<Checker>> checkers_;
+  std::vector<Detection> detections_;
+  std::optional<uint64_t> first_detection_run_;
+  uint64_t runs_accepted_ = 0;
+  uint64_t run_counter_ = 0;
+};
+
+// Byte-level fuzzing of the encoded message; reports wire validity rates.
+struct WholeMessageFuzzStats {
+  uint64_t attempts = 0;
+  uint64_t decode_ok = 0;           // parsed as some BGP message
+  uint64_t decode_update_ok = 0;    // parsed specifically as a valid UPDATE
+  uint64_t reached_routing_logic = 0;  // valid UPDATE announcing >= 1 prefix
+
+  double ValidFraction() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(decode_update_ok) / static_cast<double>(attempts);
+  }
+};
+
+class WholeMessageFuzzer {
+ public:
+  explicit WholeMessageFuzzer(uint64_t seed) : rng_(seed) {}
+
+  // Mutates up to `mutations_per_attempt` random bytes of the encoded seed and
+  // tries to decode, `attempts` times.
+  WholeMessageFuzzStats Run(const bgp::UpdateMessage& seed, size_t attempts,
+                            size_t mutations_per_attempt);
+
+ private:
+  Rng rng_;
+};
+
+// Cost comparison: checkpoint-resume versus replay-from-initial-state.
+struct ReplayCost {
+  uint64_t history_updates = 0;   // inputs replayed to rebuild the state
+  double replay_seconds = 0;      // wall time to rebuild by replay
+  double checkpoint_seconds = 0;  // wall time to clone the checkpoint
+};
+
+// Rebuilds the router state reached after `history` by replaying it into a
+// fresh RouterState, timing it against cloning `checkpointed`.
+ReplayCost MeasureReplayFromInitial(const bgp::RouterConfig& config,
+                                    const std::vector<bgp::UpdateMessage>& history,
+                                    const bgp::PeerView& from,
+                                    const checkpoint::CheckpointManager& checkpointed);
+
+}  // namespace dice
+
+#endif  // SRC_DICE_BASELINES_H_

@@ -1,0 +1,125 @@
+#include "src/dice/checkers.h"
+
+#include "src/util/strings.h"
+
+namespace dice {
+
+std::string Detection::ToString() const {
+  std::string out = "[" + checker + "] " + description + ": " + prefix.ToString();
+  if (victim.has_value()) {
+    out += " (victim " + victim->ToString() + ")";
+  }
+  out += StrFormat(" origin %u -> %u, found at run %llu", old_origin, new_origin,
+                   static_cast<unsigned long long>(run_index));
+  return out;
+}
+
+void HijackChecker::OnCheckpoint(const bgp::RouterState& checkpoint) {
+  baseline_ = checkpoint.rib.Snapshot();  // O(1), copy-on-write
+  local_as_ = checkpoint.config->local_as;
+}
+
+std::optional<bgp::AsNumber> HijackChecker::BaselineOriginExact(
+    const bgp::Prefix& prefix) const {
+  const bgp::Route* best = baseline_.BestRoute(prefix);
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  if (best->peer == bgp::kLocalPeer) {
+    return local_as_;  // locally originated
+  }
+  return best->attrs.as_path.OriginAs();
+}
+
+bool HijackChecker::IsAnycast(const bgp::Prefix& prefix) const {
+  for (const bgp::Prefix& block : anycast_) {
+    if (block.Covers(prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HijackChecker::OnRun(const RunInfo& info, std::vector<Detection>* out) {
+  const ExplorationOutcome& outcome = *info.outcome;
+  // Only *accepted* announcements can hijack: the whole point of the checker
+  // is to find inputs that pass the (mis)configured filters.
+  if (!outcome.installed || !outcome.new_origin_as.has_value()) {
+    return;
+  }
+  const bgp::AsNumber new_origin = *outcome.new_origin_as;
+
+  // Case 1: exact-prefix origin override. The announced prefix already existed
+  // in the checkpoint Loc-RIB with a different origin, and the exploratory
+  // route won the decision process.
+  if (std::optional<bgp::AsNumber> old_origin = BaselineOriginExact(outcome.prefix)) {
+    if (*old_origin != new_origin && outcome.became_best) {
+      if (IsAnycast(outcome.prefix)) {
+        ++suppressed_anycast_;
+      } else {
+        Detection d;
+        d.checker = name();
+        d.description = "accepted route overrides origin AS of existing route";
+        d.prefix = outcome.prefix;
+        d.victim = outcome.prefix;
+        d.old_origin = *old_origin;
+        d.new_origin = new_origin;
+        d.input = outcome.input;
+        d.run_index = info.run_index;
+        out->push_back(std::move(d));
+      }
+    }
+    return;
+  }
+
+  // Case 2: more-specific hijack (the YouTube incident pattern): the
+  // announced prefix is new but lies inside an existing, differently-
+  // originated route — traffic to the covered space now prefers the
+  // more-specific exploratory route regardless of the decision process.
+  auto covering = baseline_.Lookup(outcome.prefix.address());
+  if (!covering.has_value() || !covering->first.Covers(outcome.prefix)) {
+    return;
+  }
+  bgp::AsNumber covering_origin = covering->second.peer == bgp::kLocalPeer
+                                      ? local_as_
+                                      : covering->second.attrs.as_path.OriginAs();
+  if (covering_origin != new_origin) {
+    if (IsAnycast(outcome.prefix)) {
+      ++suppressed_anycast_;
+      return;
+    }
+    Detection d;
+    d.checker = name();
+    d.description = "accepted more-specific route hijacks covering prefix";
+    d.prefix = outcome.prefix;
+    d.victim = covering->first;
+    d.old_origin = covering_origin;
+    d.new_origin = new_origin;
+    d.input = outcome.input;
+    d.run_index = info.run_index;
+    out->push_back(std::move(d));
+  }
+}
+
+void LocalNetworksIntactChecker::OnCheckpoint(const bgp::RouterState& checkpoint) {
+  networks_ = checkpoint.config->networks;
+}
+
+void LocalNetworksIntactChecker::OnRun(const RunInfo& info, std::vector<Detection>* out) {
+  for (const bgp::Prefix& network : networks_) {
+    const bgp::Route* best = info.clone_after->rib.BestRoute(network);
+    if (best == nullptr || best->peer != bgp::kLocalPeer) {
+      Detection d;
+      d.checker = name();
+      d.description = "locally originated network displaced or lost in clone RIB";
+      d.prefix = network;
+      d.new_origin = best != nullptr ? best->attrs.as_path.OriginAs() : 0;
+      d.old_origin = info.clone_after->config->local_as;
+      d.input = info.outcome->input;
+      d.run_index = info.run_index;
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace dice

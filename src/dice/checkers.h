@@ -1,0 +1,106 @@
+// Fault checkers: notions of "desired behaviour" evaluated on every
+// exploration run (§2.4, §4.2).
+//
+// The flagship checker reproduces the paper's origin-misconfiguration /
+// route-leak detector: before exploration starts it snapshots the origin AS
+// of every route in the checkpointed Loc-RIB; an exploratory announcement
+// that the router *accepts* and that overrides the origin of an existing
+// route (exactly, or by announcing a more-specific as in the Pakistan
+// Telecom/YouTube incident) is a potential prefix hijack. Prefixes that are
+// legitimately multi-origin (IP anycast) are whitelisted to suppress false
+// positives, as §4.2 describes.
+
+#ifndef SRC_DICE_CHECKERS_H_
+#define SRC_DICE_CHECKERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bgp/prefix_trie.h"
+#include "src/bgp/update_processing.h"
+#include "src/dice/instrumented.h"
+
+namespace dice {
+
+// One detected potential fault.
+struct Detection {
+  std::string checker;
+  std::string description;
+  bgp::Prefix prefix;                 // the prefix the exploratory input announced
+  std::optional<bgp::Prefix> victim;  // the existing route being overridden
+  bgp::AsNumber old_origin = 0;
+  bgp::AsNumber new_origin = 0;
+  bgp::UpdateMessage input;           // the concrete input that triggers the fault
+  uint64_t run_index = 0;
+
+  std::string ToString() const;
+};
+
+// Context handed to checkers after each exploration run.
+struct RunInfo {
+  uint64_t run_index = 0;
+  const ExplorationOutcome* outcome = nullptr;
+  const bgp::RouterState* clone_after = nullptr;  // post-run clone state
+};
+
+class Checker {
+ public:
+  virtual ~Checker() = default;
+  virtual std::string name() const = 0;
+
+  // Called once when exploration starts, with the checkpoint state.
+  virtual void OnCheckpoint(const bgp::RouterState& checkpoint) = 0;
+
+  // Called after every exploration run; append detections to `out`.
+  virtual void OnRun(const RunInfo& info, std::vector<Detection>* out) = 0;
+};
+
+// The origin-misconfiguration (route leak / prefix hijack) checker of §4.2.
+class HijackChecker : public Checker {
+ public:
+  HijackChecker() = default;
+
+  // Registers an anycast block: accepted origin changes inside it are not
+  // faults (§4.2's false-positive filtering).
+  void AddAnycastPrefix(const bgp::Prefix& prefix) { anycast_.push_back(prefix); }
+
+  std::string name() const override { return "hijack"; }
+  void OnCheckpoint(const bgp::RouterState& checkpoint) override;
+  void OnRun(const RunInfo& info, std::vector<Detection>* out) override;
+
+  uint64_t suppressed_anycast() const { return suppressed_anycast_; }
+
+ private:
+  bool IsAnycast(const bgp::Prefix& prefix) const;
+
+  // Origin AS of the checkpoint-time best route at exactly `prefix`, or
+  // nullopt. Locally originated routes report the checkpoint's local AS.
+  std::optional<bgp::AsNumber> BaselineOriginExact(const bgp::Prefix& prefix) const;
+
+  // The baseline is an O(1) copy-on-write snapshot of the checkpoint RIB
+  // ("existing routes are trustworthy", §4.2 footnote); origins are looked up
+  // on demand, so re-checkpointing is cheap enough for continuous online use.
+  bgp::Rib baseline_;
+  bgp::AsNumber local_as_ = 0;
+  std::vector<bgp::Prefix> anycast_;
+  uint64_t suppressed_anycast_ = 0;
+};
+
+// Invariant checker: exploration clones must never shrink the RIB below the
+// checkpoint's locally-originated networks (a regression guard on the
+// processing path itself; exercises the "desired behaviour" interface with a
+// second, unrelated property).
+class LocalNetworksIntactChecker : public Checker {
+ public:
+  std::string name() const override { return "local-networks-intact"; }
+  void OnCheckpoint(const bgp::RouterState& checkpoint) override;
+  void OnRun(const RunInfo& info, std::vector<Detection>* out) override;
+
+ private:
+  std::vector<bgp::Prefix> networks_;
+};
+
+}  // namespace dice
+
+#endif  // SRC_DICE_CHECKERS_H_

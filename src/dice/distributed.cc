@@ -1,0 +1,121 @@
+#include "src/dice/distributed.h"
+
+#include "src/util/logging.h"
+
+namespace dice {
+
+RemoteExplorationPeer::RemoteExplorationPeer(std::string domain_name, const bgp::Router* router,
+                                             bgp::PeerId from_peer)
+    : domain_name_(std::move(domain_name)), router_(router), from_peer_(from_peer) {}
+
+void RemoteExplorationPeer::TakeCheckpoint(net::SimTime now) {
+  checkpoints_.Take(router_->CheckpointState(), router_->PeerViews(), now);
+}
+
+NarrowReply RemoteExplorationPeer::ProcessExploratory(const bgp::UpdateMessage& update) {
+  DICE_CHECK(checkpoints_.HasCheckpoint())
+      << domain_name_ << ": exploratory message before checkpoint";
+  NarrowReply reply;
+  if (update.nlri.empty()) {
+    return reply;
+  }
+  reply.prefix = update.nlri[0];
+
+  bgp::RouterState clone = checkpoints_.Clone();
+  const checkpoint::Checkpoint& cp = checkpoints_.current();
+
+  const bgp::PeerView* from_view = nullptr;
+  for (const bgp::PeerView& peer : cp.peers) {
+    if (peer.id == from_peer_) {
+      from_view = &peer;
+    }
+  }
+  bgp::PeerView fallback;
+  if (from_view == nullptr) {
+    fallback.id = from_peer_;
+    fallback.established = true;
+    from_view = &fallback;
+  }
+  const bgp::NeighborConfig* neighbor = clone.config->FindNeighbor(from_view->address);
+  static const bgp::NeighborConfig kAcceptAll;
+  if (neighbor == nullptr) {
+    neighbor = &kAcceptAll;
+  }
+
+  const bgp::Route* previous_best = clone.rib.BestRoute(reply.prefix);
+  bgp::AsNumber previous_origin =
+      previous_best != nullptr ? previous_best->attrs.as_path.OriginAs() : 0;
+  bool had_previous = previous_best != nullptr;
+
+  // Isolation: the clone's outbound messages are intercepted; only their
+  // count crosses the domain boundary.
+  uint64_t emitted = 0;
+  bgp::UpdateSink sink = [&emitted](bgp::PeerId, const bgp::UpdateMessage&) { ++emitted; };
+  bgp::ProcessUpdate(clone, cp.peers, *from_view, *neighbor, update, sink);
+
+  const bgp::Route* new_best = clone.rib.BestRoute(reply.prefix);
+  reply.accepted = false;
+  for (const bgp::Route& candidate : clone.rib.Candidates(reply.prefix)) {
+    if (candidate.peer == from_peer_) {
+      reply.accepted = true;
+    }
+  }
+  reply.adopted_as_best = new_best != nullptr && new_best->peer == from_peer_;
+  reply.origin_changed = had_previous && reply.adopted_as_best &&
+                         new_best->attrs.as_path.OriginAs() != previous_origin;
+  reply.would_propagate = emitted;
+  return reply;
+}
+
+DistributedExplorer::DistributedExplorer(ExplorerOptions options) : local_(std::move(options)) {}
+
+void DistributedExplorer::AddChecker(std::unique_ptr<Checker> checker) {
+  local_.AddChecker(std::move(checker));
+}
+
+void DistributedExplorer::AddRemotePeer(std::unique_ptr<RemoteExplorationPeer> peer) {
+  remotes_.push_back(std::move(peer));
+}
+
+void DistributedExplorer::TakeCheckpoint(const bgp::Router& router, net::SimTime now) {
+  TakeCheckpoint(router.CheckpointState(), router.PeerViews(), now);
+}
+
+void DistributedExplorer::TakeCheckpoint(const bgp::RouterState& state,
+                                         std::vector<bgp::PeerView> peers, net::SimTime now) {
+  checkpoint_time_ = now;
+  local_.TakeCheckpoint(state, std::move(peers), now);
+  for (auto& remote : remotes_) {
+    remote->TakeCheckpoint(now);
+  }
+}
+
+size_t DistributedExplorer::ExploreSeed(const bgp::UpdateMessage& seed, bgp::PeerId from) {
+  size_t runs = local_.ExploreSeed(seed, from);
+
+  // For every local detection, extend the horizon across the network: would
+  // the remote domains adopt the offending route? Their clones process the
+  // exact route the provider's clone would have exported; we use the
+  // detection's triggering input re-exported the way the provider would.
+  system_wide_.clear();
+  for (const Detection& detection : local_.report().detections) {
+    SystemWideDetection sw;
+    sw.local = detection;
+    for (auto& remote : remotes_) {
+      // The remote judges the offending route as arriving on its session with
+      // the exploring node (from_peer_ inside the peer wrapper); its own
+      // import policy then applies next-hop/AS handling as it would live.
+      NarrowReply reply = remote->ProcessExploratory(detection.input);
+      if (reply.adopted_as_best) {
+        sw.adopting_domains.push_back(remote->domain_name());
+        sw.total_spread += reply.would_propagate;
+      }
+    }
+    if (!sw.adopting_domains.empty()) {
+      system_wide_.push_back(std::move(sw));
+    }
+  }
+  return runs;
+}
+
+}  // namespace dice

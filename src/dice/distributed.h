@@ -1,0 +1,124 @@
+// Distributed exploration — the paper's §2.4 roadmap, implemented:
+//
+//   "once we can locally exercise all possible node actions, we can then turn
+//    to how to observe their consequences on the system-wide state. ... we
+//    could intercept all messages and let them go through isolated
+//    communication channels. In addition, we would enable remote nodes to
+//    checkpoint their state and process these messages in isolation over
+//    their checkpointed states."
+//
+//   "we would want to control the information shared across domains and
+//    ensure that nodes only communicate state information through a narrow
+//    interface yet capable to allow us to detect faults."
+//
+// RemoteExplorationPeer gives a remote (differently-administered) router the
+// two capabilities above: checkpoint-on-request and processing of exploratory
+// messages on isolated clones. Crucially for federation, it never exposes the
+// remote RIB or configuration — results cross the domain boundary only as a
+// NarrowReply (§2.4's "narrow interface"): per-prefix verdicts, no paths, no
+// policies, no table contents.
+//
+// DistributedExplorer drives the local (provider-side) exploration and, for
+// every exploratory input the local clone would have propagated, asks each
+// remote peer's clone what *it* would do — letting checkers judge the
+// system-wide consequence of a node action (e.g. "this leak would be adopted
+// by the neighbor and spread") instead of only the local one.
+
+#ifndef SRC_DICE_DISTRIBUTED_H_
+#define SRC_DICE_DISTRIBUTED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bgp/router.h"
+#include "src/checkpoint/checkpoint.h"
+#include "src/dice/explorer.h"
+
+namespace dice {
+
+// What a remote domain is willing to reveal about processing one exploratory
+// message on its isolated clone. Deliberately minimal: enough to detect
+// faults, nothing about internal policy or table contents (§2.4).
+struct NarrowReply {
+  bgp::Prefix prefix;
+  bool accepted = false;       // clone's import policy accepted the route
+  bool adopted_as_best = false;  // clone's decision process selected it
+  bool origin_changed = false;   // it displaced a route with another origin
+  // How many further messages the remote clone would have emitted (spread
+  // potential) — a count only, never the messages themselves.
+  uint64_t would_propagate = 0;
+};
+
+// A remote node participating in exploration: owns its own checkpoints and
+// clones; processes exploratory messages in isolation.
+class RemoteExplorationPeer {
+ public:
+  // `router` is the remote domain's live router (not owned). `from_peer` is
+  // the PeerId under which the exploring node's messages arrive there.
+  RemoteExplorationPeer(std::string domain_name, const bgp::Router* router,
+                        bgp::PeerId from_peer);
+
+  const std::string& domain_name() const { return domain_name_; }
+
+  // Checkpoints the remote node's current live state (invoked when the
+  // exploring node checkpoints, so the cross-network exploration base is
+  // consistent-ish; BGP tolerates the skew exactly as it tolerates
+  // propagation delay).
+  void TakeCheckpoint(net::SimTime now);
+
+  // Processes one exploratory UPDATE on a fresh clone of the remote
+  // checkpoint, entirely isolated (the clone's own outbound messages are
+  // intercepted and only counted). Returns the narrow reply.
+  NarrowReply ProcessExploratory(const bgp::UpdateMessage& update);
+
+  uint64_t clones_made() const { return checkpoints_.clones_made(); }
+
+ private:
+  std::string domain_name_;
+  const bgp::Router* router_;
+  bgp::PeerId from_peer_;
+  checkpoint::CheckpointManager checkpoints_;
+};
+
+// A fault whose system-wide consequence was confirmed by remote clones.
+struct SystemWideDetection {
+  Detection local;                       // the provider-side finding
+  std::vector<std::string> adopting_domains;  // remote domains that would adopt
+  uint64_t total_spread = 0;             // sum of remote would_propagate counts
+};
+
+// Orchestrates local exploration plus remote confirmation.
+class DistributedExplorer {
+ public:
+  explicit DistributedExplorer(ExplorerOptions options = {});
+
+  // Local-side configuration (same as Explorer).
+  void AddChecker(std::unique_ptr<Checker> checker);
+
+  // Registers a remote domain's node. Not owned.
+  void AddRemotePeer(std::unique_ptr<RemoteExplorationPeer> peer);
+
+  // Checkpoints the exploring node and every remote peer.
+  void TakeCheckpoint(const bgp::Router& router, net::SimTime now);
+  void TakeCheckpoint(const bgp::RouterState& state, std::vector<bgp::PeerView> peers,
+                      net::SimTime now);
+
+  // Runs the full exploration; for every local detection, replays the
+  // triggering input against each remote clone to judge system-wide impact.
+  size_t ExploreSeed(const bgp::UpdateMessage& seed, bgp::PeerId from);
+
+  const ExplorationReport& local_report() const { return local_.report(); }
+  const std::vector<SystemWideDetection>& system_wide() const { return system_wide_; }
+
+ private:
+  Explorer local_;
+  std::vector<std::unique_ptr<RemoteExplorationPeer>> remotes_;
+  std::vector<SystemWideDetection> system_wide_;
+  net::SimTime checkpoint_time_ = 0;
+};
+
+}  // namespace dice
+
+#endif  // SRC_DICE_DISTRIBUTED_H_

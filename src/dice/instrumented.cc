@@ -1,0 +1,209 @@
+#include "src/dice/instrumented.h"
+
+#include "src/bgp/policy_eval.h"
+#include "src/dice/symbolic_ctx.h"
+#include "src/util/logging.h"
+
+namespace dice {
+namespace {
+
+// Stable site ids for the fixed (non-filter) branches of the import path.
+constexpr uint64_t kSiteMartian = 0xd1ce000000000001ULL;
+constexpr uint64_t kSiteLoop = 0xd1ce000000000002ULL;
+constexpr uint64_t kSiteDecision = 0xd1ce000000000003ULL;
+constexpr uint64_t kSiteLpmBase = 0xd1ce100000000000ULL;
+
+// Instrumented RIB lookup: the concrete Loc-RIB descent performs an
+// address-containment test at every trie node it visits; recording those
+// tests over the symbolic NLRI address is exactly what source-instrumented
+// lookup code (CIL in the paper, §3.1) would contribute to the path
+// condition. Negating them steers later inputs *into* occupied regions of
+// the routing table — which is how exploration reaches take-over inputs even
+// when the import policy constrains nothing.
+void RecordLpmDescent(SymbolicCtx& ctx, const bgp::Rib& rib,
+                      const bgp::RouteView<sym::Value>& view, bgp::Ipv4Address concrete_addr) {
+  if (!view.prefix_addr.symbolic()) {
+    return;
+  }
+  rib.trie().WalkDescent(concrete_addr, [&](const bgp::Prefix& key, bool has_value) {
+    (void)has_value;
+    uint64_t lo = key.address().bits();
+    uint64_t hi = lo | (~static_cast<uint64_t>(key.mask()) & 0xffffffffULL);
+    // Site ids derived from the node's prefix so coverage distinguishes
+    // distinct table regions.
+    uint64_t site = kSiteLpmBase ^ (static_cast<uint64_t>(key.address().bits()) << 8) ^
+                    key.length();
+    bool contains = ctx.Decide(ctx.InRange(view.prefix_addr, lo, hi), site);
+    if (contains && key.length() < 32) {
+      // The descent's child choice: does the address fall in the upper half
+      // of this node's range (next bit set)? In compiled trie code this is
+      // the bit-test branch selecting child[1]; negating it sends later
+      // inputs into the sibling subtree.
+      uint64_t upper_lo = lo | (uint64_t{1} << (31 - key.length()));
+      ctx.Decide(ctx.InRange(view.prefix_addr, upper_lo, hi), site ^ 0x1);
+    }
+  });
+}
+
+// Symbolic version of bgp::IsMartian: default route, 127.0.0.0/8, 224.0.0.0/3.
+sym::Bool MartianCond(SymbolicCtx& ctx, const bgp::RouteView<sym::Value>& view) {
+  sym::Bool is_default = ctx.Cmp(bgp::CmpOp::kEq, view.prefix_len, 0);
+  // Covered-by tests: address inside the block and length >= block length.
+  auto covered = [&](uint32_t net, uint8_t len) {
+    uint64_t lo = net;
+    uint64_t hi = net | (~static_cast<uint64_t>(bgp::Prefix::MaskFor(len)) & 0xffffffffULL);
+    return ctx.And(ctx.InRange(view.prefix_addr, lo, hi),
+                   ctx.Cmp(bgp::CmpOp::kGe, view.prefix_len, len));
+  };
+  sym::Bool in_loopback = covered(0x7f000000u, 8);
+  sym::Bool in_class_de = covered(0xe0000000u, 3);
+  return ctx.Or(is_default, ctx.Or(in_loopback, in_class_de));
+}
+
+// Symbolic decision-process preference of the (new) route view over the
+// current best `incumbent` — the same ordering bgp::RoutePreferred applies:
+// LOCAL_PREF desc, path length asc, ORIGIN asc, MED asc (same neighbor AS),
+// peer id asc. Path length and peer ids are concrete (structure is concrete).
+sym::Bool NewRoutePreferred(const bgp::RouteView<sym::Value>& view, bgp::PeerId new_peer,
+                            bgp::AsNumber new_peer_as, const bgp::Route& incumbent) {
+  using sym::Bool;
+  using sym::Value;
+
+  const Value lp_new = view.local_pref;
+  const Value lp_old(incumbent.attrs.local_pref.value_or(bgp::kDefaultLocalPref));
+  const Value len_new(static_cast<uint64_t>(view.as_path.size()));
+  const Value len_old(static_cast<uint64_t>(incumbent.attrs.as_path.EffectiveLength()));
+  const Value origin_new = view.origin_code;
+  const Value origin_old(static_cast<uint64_t>(incumbent.attrs.origin));
+
+  Bool tie5(new_peer < incumbent.peer);
+  Bool med_wins = tie5;
+  if (new_peer_as == incumbent.peer_as) {
+    const Value med_new = view.med;  // absent MED already models as 0
+    const Value med_old(incumbent.attrs.med.value_or(0));
+    med_wins = (med_new < med_old) || ((med_new == med_old) && tie5);
+  }
+  Bool origin_wins = (origin_new < origin_old) || ((origin_new == origin_old) && med_wins);
+  Bool len_wins = (len_new < len_old) || ((len_new == len_old) && origin_wins);
+  return (lp_new > lp_old) || ((lp_new == lp_old) && len_wins);
+}
+
+}  // namespace
+
+ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& clone,
+                                        const std::vector<bgp::PeerView>& peers,
+                                        const bgp::PeerView& from,
+                                        const bgp::UpdateMessage& seed,
+                                        const SymbolicUpdateSpec& spec,
+                                        const bgp::UpdateSink& sink) {
+  SymbolicCtx ctx(&engine);
+  SymbolicUpdate symbolic = BuildSymbolicUpdate(engine, seed, spec);
+
+  ExplorationOutcome outcome;
+  outcome.input = symbolic.concrete;
+  outcome.prefix = symbolic.concrete.nlri[0];
+  ++clone.updates_processed;
+
+  // --- Sanity screening (symbolic IsMartian / loop detection) --------------
+  if (ctx.Decide(MartianCond(ctx, symbolic.view), kSiteMartian)) {
+    outcome.martian = true;
+    return outcome;
+  }
+  {
+    sym::Bool loop = ctx.False();
+    for (const sym::Value& asn : symbolic.view.as_path) {
+      loop = ctx.Or(loop, ctx.Cmp(bgp::CmpOp::kEq, asn, clone.config->local_as));
+    }
+    if (ctx.Decide(loop, kSiteLoop)) {
+      outcome.loop_rejected = true;
+      ++clone.routes_loop_rejected;
+      return outcome;
+    }
+  }
+
+  // --- Import policy (the interpreted filter: code + configuration) --------
+  const bgp::NeighborConfig* neighbor = clone.config->FindNeighbor(from.address);
+  bgp::RouteView<sym::Value> route_view = symbolic.view;
+  if (neighbor != nullptr && !neighbor->import_filter.empty()) {
+    const bgp::Filter* filter = clone.config->policies.FindFilter(neighbor->import_filter);
+    DICE_CHECK(filter != nullptr);
+    auto eval =
+        bgp::EvaluateFilter(ctx, *filter, clone.config->policies, std::move(route_view));
+    if (!eval.accepted) {
+      ++clone.routes_filtered;
+      return outcome;
+    }
+    route_view = std::move(eval.route);
+  } else if (neighbor != nullptr && !neighbor->import_default_accept) {
+    ++clone.routes_filtered;
+    return outcome;
+  }
+  outcome.filter_accepted = true;
+
+  // --- Build the concrete imported route from the (possibly modified) view -
+  bgp::Route route;
+  route.peer = from.id;
+  route.peer_as = from.remote_as;
+  route.attrs = symbolic.concrete.attrs;
+  if (route_view.local_pref_present) {
+    route.attrs.local_pref = static_cast<uint32_t>(route_view.local_pref.concrete());
+  }
+  if (route_view.med_present) {
+    route.attrs.med = static_cast<uint32_t>(route_view.med.concrete());
+  }
+  // Prepends applied by filter actions extend the view's path at the front.
+  size_t original_len = symbolic.view.as_path.size();
+  if (route_view.as_path.size() > original_len) {
+    size_t prepended = route_view.as_path.size() - original_len;
+    for (size_t i = prepended; i > 0; --i) {
+      route.attrs.as_path.Prepend(
+          static_cast<bgp::AsNumber>(route_view.as_path[i - 1].concrete()));
+    }
+  }
+  route.attrs.communities.clear();
+  for (const sym::Value& c : route_view.communities) {
+    route.attrs.communities.push_back(static_cast<bgp::Community>(c.concrete()));
+  }
+
+  outcome.new_origin_as = route.attrs.as_path.OriginAs();
+
+  // Instrumented RIB lookup (see RecordLpmDescent).
+  RecordLpmDescent(ctx, clone.rib, symbolic.view, outcome.prefix.address());
+
+  if (const bgp::Route* prev = clone.rib.BestRoute(outcome.prefix)) {
+    outcome.previous_origin_as = prev->attrs.as_path.OriginAs();
+    // Symbolic decision process: record the preference predicate so the
+    // engine can steer exploration toward (or away from) takeover inputs.
+    ctx.Decide(NewRoutePreferred(route_view, from.id, from.remote_as, *prev),
+               kSiteDecision);
+  }
+
+  bgp::RibUpdateResult rib_result = clone.rib.AddRoute(outcome.prefix, std::move(route));
+  outcome.installed = true;
+  ++clone.routes_accepted;
+  outcome.became_best =
+      rib_result.new_best.has_value() && rib_result.new_best->peer == from.id;
+
+  // --- Propagate on the clone (intercepted by the sink) --------------------
+  if (rib_result.best_changed) {
+    size_t emitted = 0;
+    bgp::UpdateSink counting_sink = [&](bgp::PeerId to, const bgp::UpdateMessage& u) {
+      ++emitted;
+      sink(to, u);
+    };
+    for (const bgp::PeerView& peer : peers) {
+      if (peer.id == from.id) {
+        continue;
+      }
+      const bgp::NeighborConfig* out_neighbor = clone.config->FindNeighbor(peer.address);
+      if (out_neighbor != nullptr) {
+        bgp::SyncAdjOut(clone, peer, *out_neighbor, clone.config->router_id, outcome.prefix,
+                        counting_sink);
+      }
+    }
+    outcome.messages_emitted = emitted;
+  }
+  return outcome;
+}
+
+}  // namespace dice

@@ -1,0 +1,48 @@
+// The instrumented UPDATE-processing path executed on exploration clones.
+//
+// Mirrors bgp::ImportRoute/ProcessUpdate step for step, but runs the shared
+// templated interpreters under SymbolicCtx so every branch on a marked field
+// is recorded: martian screening, AS-path loop detection, the neighbor's
+// import filter (code + configuration), and the decision-process preference
+// comparison against the clone's current best route. RIB mutation and
+// Adj-RIB-Out synchronization then proceed concretely on the clone, with all
+// outbound messages intercepted by the caller's sink.
+
+#ifndef SRC_DICE_INSTRUMENTED_H_
+#define SRC_DICE_INSTRUMENTED_H_
+
+#include <optional>
+
+#include "src/bgp/update_processing.h"
+#include "src/dice/symbolic_update.h"
+#include "src/sym/engine.h"
+
+namespace dice {
+
+// What one exploration run did to the clone. Consumed by checkers.
+struct ExplorationOutcome {
+  bgp::UpdateMessage input;            // the concrete message this run processed
+  bgp::Prefix prefix;                  // the announced prefix (canonicalized)
+  bool martian = false;
+  bool loop_rejected = false;
+  bool filter_accepted = false;
+  bool installed = false;              // entered the clone's RIB
+  bool became_best = false;            // won the decision process
+  std::optional<bgp::AsNumber> new_origin_as;
+  std::optional<bgp::AsNumber> previous_origin_as;  // previous best's origin (exact prefix)
+  size_t messages_emitted = 0;         // intercepted outbound messages
+};
+
+// Processes one symbolic UPDATE (seed + spec under `engine`'s current
+// assignment) against `clone`. Returns the outcome; path constraints
+// accumulate in `engine`.
+ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& clone,
+                                        const std::vector<bgp::PeerView>& peers,
+                                        const bgp::PeerView& from,
+                                        const bgp::UpdateMessage& seed,
+                                        const SymbolicUpdateSpec& spec,
+                                        const bgp::UpdateSink& sink);
+
+}  // namespace dice
+
+#endif  // SRC_DICE_INSTRUMENTED_H_

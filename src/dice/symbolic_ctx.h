@@ -1,0 +1,53 @@
+// SymbolicCtx: the policy_eval.h context that records constraints.
+//
+// Instantiating the shared filter/decision templates with this context is this
+// repo's equivalent of running BIRD's *instrumented* build inside an
+// exploration clone (§3.2): identical control flow, but every branch on
+// symbolic route data passes through sym::Engine::Branch.
+
+#ifndef SRC_DICE_SYMBOLIC_CTX_H_
+#define SRC_DICE_SYMBOLIC_CTX_H_
+
+#include "src/bgp/policy.h"
+#include "src/sym/engine.h"
+#include "src/sym/value.h"
+
+namespace dice {
+
+struct SymbolicCtx {
+  using V = sym::Value;
+  using B = sym::Bool;
+
+  explicit SymbolicCtx(sym::Engine* engine_in) : engine(engine_in) {}
+
+  sym::Engine* engine;
+
+  V Const(uint64_t c) { return sym::Value(c); }
+
+  B Cmp(bgp::CmpOp op, const V& a, uint64_t b) {
+    V rhs(b);
+    switch (op) {
+      case bgp::CmpOp::kEq: return a == rhs;
+      case bgp::CmpOp::kNe: return a != rhs;
+      case bgp::CmpOp::kLt: return a < rhs;
+      case bgp::CmpOp::kLe: return a <= rhs;
+      case bgp::CmpOp::kGt: return a > rhs;
+      case bgp::CmpOp::kGe: return a >= rhs;
+    }
+    return B(false);
+  }
+
+  B InRange(const V& v, uint64_t lo, uint64_t hi) { return (v >= V(lo)) && (v <= V(hi)); }
+
+  B And(const B& a, const B& b) { return a && b; }
+  B Or(const B& a, const B& b) { return a || b; }
+  B Not(const B& a) { return !a; }
+  B True() { return B(true); }
+  B False() { return B(false); }
+
+  bool Decide(const B& b, uint64_t site) { return engine->Branch(b, site); }
+};
+
+}  // namespace dice
+
+#endif  // SRC_DICE_SYMBOLIC_CTX_H_

@@ -1,0 +1,111 @@
+#include "src/dice/symbolic_update.h"
+
+#include "src/bgp/rib.h"
+#include "src/util/logging.h"
+
+namespace dice {
+namespace {
+
+// Applies one (name, bits, seed, lo, hi) binding and mirrors the concrete
+// value into `out`.
+sym::Value Bind(sym::Engine& engine, const std::string& name, uint8_t bits, uint64_t seed,
+                uint64_t lo, uint64_t hi, uint64_t* out) {
+  sym::Value v = engine.MakeSymbolic(name, bits, seed, lo, hi);
+  *out = v.concrete();
+  return v;
+}
+
+}  // namespace
+
+SymbolicUpdate BuildSymbolicUpdate(sym::Engine& engine, const bgp::UpdateMessage& seed,
+                                   const SymbolicUpdateSpec& spec) {
+  DICE_CHECK(!seed.nlri.empty()) << "exploration seed must announce a prefix";
+  SymbolicUpdate out;
+  out.concrete = seed;
+
+  const bgp::Prefix& seed_prefix = seed.nlri[0];
+  uint64_t addr = seed_prefix.address().bits();
+  uint64_t len = seed_prefix.length();
+
+  if (spec.nlri_address) {
+    out.view.prefix_addr =
+        Bind(engine, "nlri.addr", 32, addr, 0, 0xffffffffULL, &addr);
+  } else {
+    out.view.prefix_addr = sym::Value(addr);
+  }
+  if (spec.nlri_length) {
+    out.view.prefix_len = Bind(engine, "nlri.len", 8, len, 0, 32, &len);
+  } else {
+    out.view.prefix_len = sym::Value(len);
+  }
+
+  std::vector<bgp::AsNumber> flat = seed.attrs.as_path.Flatten();
+  std::vector<bgp::AsNumber> concrete_path;
+  concrete_path.reserve(flat.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    uint64_t asn = flat[i];
+    if (spec.as_path) {
+      out.view.as_path.push_back(Bind(engine, "aspath." + std::to_string(i), 16, asn,
+                                      spec.asn_lo, spec.asn_hi, &asn));
+    } else {
+      out.view.as_path.push_back(sym::Value(asn));
+    }
+    concrete_path.push_back(static_cast<bgp::AsNumber>(asn));
+  }
+
+  uint64_t origin = static_cast<uint64_t>(seed.attrs.origin);
+  if (spec.origin_code) {
+    out.view.origin_code = Bind(engine, "origin", 8, origin, 0, 2, &origin);
+  } else {
+    out.view.origin_code = sym::Value(origin);
+  }
+
+  out.view.next_hop = sym::Value(seed.attrs.next_hop.bits());
+
+  uint64_t med = seed.attrs.med.value_or(0);
+  out.view.med_present = seed.attrs.med.has_value();
+  if (spec.med && out.view.med_present) {
+    out.view.med = Bind(engine, "med", 32, med, 0, 0xffffffffULL, &med);
+  } else {
+    out.view.med = sym::Value(med);
+  }
+
+  out.view.local_pref = sym::Value(seed.attrs.local_pref.value_or(bgp::kDefaultLocalPref));
+  out.view.local_pref_present = seed.attrs.local_pref.has_value();
+
+  std::vector<bgp::Community> concrete_communities;
+  for (size_t i = 0; i < seed.attrs.communities.size(); ++i) {
+    uint64_t c = seed.attrs.communities[i];
+    if (spec.communities) {
+      out.view.communities.push_back(Bind(engine, "community." + std::to_string(i), 32, c, 0,
+                                          0xffffffffULL, &c));
+    } else {
+      out.view.communities.push_back(sym::Value(c));
+    }
+    concrete_communities.push_back(static_cast<bgp::Community>(c));
+  }
+
+  // Assemble the concrete message for this run.
+  out.concrete.nlri[0] = bgp::Prefix::Make(bgp::Ipv4Address(static_cast<uint32_t>(addr)),
+                                           static_cast<uint8_t>(len));
+  out.concrete.attrs.as_path = bgp::AsPath::Sequence(std::move(concrete_path));
+  out.concrete.attrs.origin = static_cast<bgp::Origin>(origin);
+  if (out.view.med_present) {
+    out.concrete.attrs.med = static_cast<uint32_t>(med);
+  }
+  out.concrete.attrs.communities = std::move(concrete_communities);
+  return out;
+}
+
+bgp::UpdateMessage MaterializeUpdate(const bgp::UpdateMessage& seed,
+                                     const SymbolicUpdateSpec& spec,
+                                     const sym::Assignment& model) {
+  // Reuse the binding logic with a scratch engine primed by `model`; this
+  // guarantees materialization can never drift from the binding order.
+  sym::Engine scratch;
+  scratch.BeginRun(model);
+  SymbolicUpdate rebuilt = BuildSymbolicUpdate(scratch, seed, spec);
+  return rebuilt.concrete;
+}
+
+}  // namespace dice

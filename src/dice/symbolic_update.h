@@ -1,0 +1,77 @@
+// Selective symbolic marking of UPDATE fields (§3.2).
+//
+// Marking a whole UPDATE symbolic floods exploration with syntactically
+// invalid messages that only exercise parsing; DiCE instead marks small,
+// semantically meaningful fields inside a structurally intact message — NLRI
+// address and length, AS-path elements, ORIGIN, MED, communities — so every
+// generated input is a valid message and exploration goes deep into routing
+// logic. SymbolicUpdateSpec selects the fields; BuildSymbolicUpdate binds them
+// to engine variables (with proper domains); MaterializeUpdate writes a
+// solver model back into a concrete UpdateMessage.
+
+#ifndef SRC_DICE_SYMBOLIC_UPDATE_H_
+#define SRC_DICE_SYMBOLIC_UPDATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/bgp/message.h"
+#include "src/bgp/policy_eval.h"
+#include "src/sym/engine.h"
+
+namespace dice {
+
+struct SymbolicUpdateSpec {
+  bool nlri_address = true;
+  bool nlri_length = true;
+  bool as_path = true;      // every ASN in the path
+  bool origin_code = true;  // ORIGIN attribute
+  bool med = true;          // only when the seed carries a MED
+  bool communities = false; // each community value
+
+  // Field domains. ASNs keep to 16-bit BGP-4 range; 0 is excluded because an
+  // empty/zero ASN would not appear in a valid AS_SEQUENCE.
+  uint64_t asn_lo = 1;
+  uint64_t asn_hi = 0xffff;
+
+  static SymbolicUpdateSpec All() {
+    SymbolicUpdateSpec spec;
+    spec.communities = true;
+    return spec;
+  }
+  static SymbolicUpdateSpec NlriOnly() {
+    SymbolicUpdateSpec spec;
+    spec.as_path = false;
+    spec.origin_code = false;
+    spec.med = false;
+    return spec;
+  }
+};
+
+// The symbolic view plus enough bookkeeping to materialize concrete messages.
+struct SymbolicUpdate {
+  bgp::RouteView<sym::Value> view;  // for the templated interpreter
+  // The concrete message this run processes (seed with the engine's current
+  // assignment substituted into marked fields).
+  bgp::UpdateMessage concrete;
+};
+
+// Binds the marked fields of `seed`'s first announced route to engine
+// variables and returns both the symbolic view and the concrete message for
+// this run. The seed must announce at least one prefix.
+//
+// Variable binding order is deterministic (address, length, path elements,
+// origin, med, communities), which keeps ids stable across runs as the
+// engine requires.
+SymbolicUpdate BuildSymbolicUpdate(sym::Engine& engine, const bgp::UpdateMessage& seed,
+                                   const SymbolicUpdateSpec& spec);
+
+// Rewrites `seed`'s marked fields from a solver `model` (same binding order).
+// Produces a syntactically valid UpdateMessage by construction.
+bgp::UpdateMessage MaterializeUpdate(const bgp::UpdateMessage& seed,
+                                     const SymbolicUpdateSpec& spec,
+                                     const sym::Assignment& model);
+
+}  // namespace dice
+
+#endif  // SRC_DICE_SYMBOLIC_UPDATE_H_

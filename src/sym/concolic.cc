@@ -1,0 +1,82 @@
+#include "src/sym/concolic.h"
+
+#include <algorithm>
+
+namespace dice::sym {
+
+ConcolicDriver::ConcolicDriver(ConcolicOptions options)
+    : options_(options),
+      solver_(options.solver),
+      strategy_(MakeStrategy(options.strategy, options.seed)) {}
+
+void ConcolicDriver::RunOnce(const Assignment& assignment, size_t bound) {
+  engine_.BeginRun(assignment);
+  program_(engine_);
+  ++stats_.runs;
+
+  const Path& path = engine_.path();
+  stats_.max_path_depth = std::max<uint64_t>(stats_.max_path_depth, path.size());
+  uint64_t hash = HashDecisions(path);
+  if (seen_paths_.insert(hash).second) {
+    ++stats_.unique_paths;
+  } else {
+    ++stats_.duplicate_paths;
+  }
+  for (const BranchRecord& b : path) {
+    covered_.insert({b.site, b.taken});
+  }
+  stats_.branches_covered = covered_.size();
+
+  Assignment effective = engine_.EffectiveAssignment();
+  strategy_->AddPath(path, effective, bound);
+  if (on_run_) {
+    on_run_(effective, path);
+  }
+}
+
+void ConcolicDriver::StartIncremental(const Program& program, RunObserver on_run) {
+  program_ = program;
+  on_run_ = std::move(on_run);
+  incremental_active_ = true;
+  // Seed run on the originally observed input (empty assignment = seeds).
+  RunOnce(Assignment{}, /*bound=*/0);
+}
+
+bool ConcolicDriver::StepIncremental() {
+  if (!incremental_active_) {
+    return false;
+  }
+  if (stats_.runs >= options_.max_runs) {
+    incremental_active_ = false;
+    return false;
+  }
+  while (auto candidate = strategy_->Next()) {
+    SolveResult solved =
+        solver_.Solve(candidate->Constraints(), engine_.vars(), candidate->parent_assignment);
+    switch (solved.kind) {
+      case SolveKind::kSat: {
+        ++stats_.solver_sat;
+        RunOnce(solved.model, candidate->bound);
+        return true;
+      }
+      case SolveKind::kUnsat:
+        ++stats_.solver_unsat;
+        continue;  // infeasible flip: try the next candidate
+      case SolveKind::kUnknown:
+        ++stats_.solver_unknown;
+        continue;
+    }
+  }
+  incremental_active_ = false;
+  return false;  // frontier exhausted
+}
+
+size_t ConcolicDriver::Explore(const Program& program, RunObserver on_run) {
+  StartIncremental(program, std::move(on_run));
+  while (stats_.runs < options_.max_runs && StepIncremental()) {
+  }
+  incremental_active_ = false;
+  return stats_.runs;
+}
+
+}  // namespace dice::sym

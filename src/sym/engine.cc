@@ -1,0 +1,65 @@
+#include "src/sym/engine.h"
+
+namespace dice::sym {
+
+Value Engine::MakeSymbolic(const std::string& name, uint8_t bits, uint64_t seed, uint64_t lo,
+                           uint64_t hi) {
+  DICE_CHECK_LE(lo, hi);
+  VarId id;
+  if (next_var_index_ < vars_.size()) {
+    // Re-run: rebind the existing variable in declaration order. The program
+    // must declare the same variables in the same order each run.
+    VarInfo& info = vars_[next_var_index_];
+    DICE_CHECK_EQ(info.bits, bits) << "variable " << name << " redeclared with different width";
+    id = info.id;
+  } else {
+    VarInfo info;
+    info.id = static_cast<VarId>(vars_.size());
+    info.name = name;
+    info.bits = bits;
+    info.seed = Expr::MaskTo(seed, bits);
+    info.lo = lo;
+    info.hi = hi;
+    vars_.push_back(info);
+    id = info.id;
+  }
+  ++next_var_index_;
+
+  uint64_t concrete = vars_[id].seed;
+  auto it = current_.find(id);
+  if (it != current_.end()) {
+    concrete = Expr::MaskTo(it->second, bits);
+  }
+  return Value(concrete, Expr::MakeVar(id, bits));
+}
+
+bool Engine::Branch(const Bool& condition, uint64_t site) {
+  if (!condition.symbolic()) {
+    return condition.concrete();  // no constraint: branch does not depend on inputs
+  }
+  BranchRecord record;
+  record.predicate = condition.expr();
+  record.taken = condition.concrete();
+  record.site = site;
+  path_.push_back(std::move(record));
+  ++total_branches_;
+  return condition.concrete();
+}
+
+void Engine::BeginRun(const Assignment& assignment) {
+  current_ = assignment;
+  path_.clear();
+  next_var_index_ = 0;
+}
+
+Assignment Engine::EffectiveAssignment() const {
+  Assignment out = current_;
+  for (const VarInfo& v : vars_) {
+    if (out.find(v.id) == out.end()) {
+      out[v.id] = v.seed;
+    }
+  }
+  return out;
+}
+
+}  // namespace dice::sym

@@ -1,0 +1,96 @@
+// The concolic engine: symbolic variable registry, current input assignment,
+// and path-constraint recording.
+//
+// One Engine drives many runs of the same instrumented program. Before each
+// run the driver installs the input assignment to try; during the run the
+// program (a) obtains its inputs via MakeSymbolic — which returns the
+// assignment's concrete value for that variable — and (b) funnels every
+// branch on symbolic data through Branch(), which records the predicate with
+// its concrete outcome and lets execution continue down the concrete side.
+// After the run the recorded path is the run's path condition (§2.2).
+//
+// Variables are identified by creation order, so a program that marks its
+// inputs deterministically gets stable ids across runs — the property that
+// makes "negate constraint k, solve, re-execute" meaningful.
+
+#ifndef SRC_SYM_ENGINE_H_
+#define SRC_SYM_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sym/value.h"
+#include "src/util/logging.h"
+
+namespace dice::sym {
+
+struct VarInfo {
+  VarId id = 0;
+  std::string name;
+  uint8_t bits = 32;
+  uint64_t seed = 0;  // concrete value from the originally observed input
+  // Domain bounds (inclusive) the solver may assume, e.g. prefix length 0..32.
+  uint64_t lo = 0;
+  uint64_t hi = ~uint64_t{0};
+};
+
+// One recorded branch: the predicate as evaluated, whether the concrete run
+// took it, and a stable site id for coverage accounting.
+struct BranchRecord {
+  ExprPtr predicate;  // the condition expression (before taking `taken` into account)
+  bool taken = false;
+  uint64_t site = 0;
+
+  // The constraint this branch contributes to the path condition.
+  ExprPtr Constraint() const { return taken ? predicate : Expr::Negate(predicate); }
+};
+
+using Path = std::vector<BranchRecord>;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Program-facing API -------------------------------------------------
+
+  // Declares (or re-binds, on re-runs) the next symbolic input. The returned
+  // Value's concrete part is the current assignment's value for this variable
+  // (falling back to `seed`). Calls must occur in the same order every run.
+  Value MakeSymbolic(const std::string& name, uint8_t bits, uint64_t seed, uint64_t lo,
+                     uint64_t hi);
+
+  // Branch on `condition`: records the predicate when symbolic and returns
+  // the concrete outcome. `site` identifies the static branch location.
+  bool Branch(const Bool& condition, uint64_t site);
+
+  // --- Driver-facing API ---------------------------------------------------
+
+  // Begins a new run under `assignment` (variables absent from it take their
+  // seed values). Clears the recorded path and resets variable binding order.
+  void BeginRun(const Assignment& assignment);
+
+  // The path condition recorded by the current/last run.
+  const Path& path() const { return path_; }
+
+  // All variables declared so far (stable across runs).
+  const std::vector<VarInfo>& vars() const { return vars_; }
+
+  // The assignment that produced the last run, completed with seed values.
+  Assignment EffectiveAssignment() const;
+
+  uint64_t total_branches_recorded() const { return total_branches_; }
+
+ private:
+  std::vector<VarInfo> vars_;
+  size_t next_var_index_ = 0;  // rebinding cursor within a run
+  Assignment current_;
+  Path path_;
+  uint64_t total_branches_ = 0;
+};
+
+}  // namespace dice::sym
+
+#endif  // SRC_SYM_ENGINE_H_

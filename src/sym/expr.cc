@@ -1,0 +1,239 @@
+#include "src/sym/expr.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace dice::sym {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kVar: return "var";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kAndBits: return "&";
+    case Op::kOrBits: return "|";
+    case Op::kXorBits: return "^";
+    case Op::kShl: return "<<";
+    case Op::kShr: return ">>";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kULt: return "<";
+    case Op::kULe: return "<=";
+    case Op::kUGt: return ">";
+    case Op::kUGe: return ">=";
+    case Op::kLAnd: return "&&";
+    case Op::kLOr: return "||";
+    case Op::kLNot: return "!";
+  }
+  return "?";
+}
+
+bool Expr::IsBool() const { return bits_ == 1; }
+
+ExprPtr Expr::MakeConst(uint64_t value, uint8_t bits) {
+  return ExprPtr(new Expr(Op::kConst, bits, MaskTo(value, bits), nullptr, nullptr));
+}
+
+ExprPtr Expr::MakeVar(VarId id, uint8_t bits) {
+  return ExprPtr(new Expr(Op::kVar, bits, id, nullptr, nullptr));
+}
+
+ExprPtr Expr::MakeBinary(Op op, uint8_t bits, ExprPtr a, ExprPtr b) {
+  return ExprPtr(new Expr(op, bits, 0, std::move(a), std::move(b)));
+}
+
+namespace {
+
+uint64_t ApplyBinary(Op op, uint64_t a, uint64_t b, uint8_t bits) {
+  uint64_t r = 0;
+  switch (op) {
+    case Op::kAdd: r = a + b; break;
+    case Op::kSub: r = a - b; break;
+    case Op::kMul: r = a * b; break;
+    case Op::kAndBits: r = a & b; break;
+    case Op::kOrBits: r = a | b; break;
+    case Op::kXorBits: r = a ^ b; break;
+    case Op::kShl: r = b >= 64 ? 0 : a << b; break;
+    case Op::kShr: r = b >= 64 ? 0 : a >> b; break;
+    case Op::kEq: return a == b ? 1 : 0;
+    case Op::kNe: return a != b ? 1 : 0;
+    case Op::kULt: return a < b ? 1 : 0;
+    case Op::kULe: return a <= b ? 1 : 0;
+    case Op::kUGt: return a > b ? 1 : 0;
+    case Op::kUGe: return a >= b ? 1 : 0;
+    case Op::kLAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case Op::kLOr: return (a != 0 || b != 0) ? 1 : 0;
+    default:
+      DICE_LOG(kFatal) << "ApplyBinary on non-binary op " << OpName(op);
+  }
+  return Expr::MaskTo(r, bits);
+}
+
+}  // namespace
+
+#define DICE_SYM_BINOP(Name, OPK)                                                       \
+  ExprPtr Expr::Name(ExprPtr a, ExprPtr b) {                                            \
+    DICE_CHECK(a != nullptr && b != nullptr);                                           \
+    uint8_t bits = std::max(a->bits(), b->bits());                                      \
+    if (a->IsConst() && b->IsConst()) {                                                 \
+      return MakeConst(ApplyBinary(Op::OPK, a->imm(), b->imm(), bits), bits);           \
+    }                                                                                   \
+    return MakeBinary(Op::OPK, bits, std::move(a), std::move(b));                       \
+  }
+
+DICE_SYM_BINOP(Add, kAdd)
+DICE_SYM_BINOP(Sub, kSub)
+DICE_SYM_BINOP(Mul, kMul)
+DICE_SYM_BINOP(AndBits, kAndBits)
+DICE_SYM_BINOP(OrBits, kOrBits)
+DICE_SYM_BINOP(XorBits, kXorBits)
+DICE_SYM_BINOP(Shl, kShl)
+DICE_SYM_BINOP(Shr, kShr)
+#undef DICE_SYM_BINOP
+
+#define DICE_SYM_CMPOP(Name, OPK)                                                       \
+  ExprPtr Expr::Name(ExprPtr a, ExprPtr b) {                                            \
+    DICE_CHECK(a != nullptr && b != nullptr);                                           \
+    if (a->IsConst() && b->IsConst()) {                                                 \
+      return MakeConst(ApplyBinary(Op::OPK, a->imm(), b->imm(), 1), 1);                 \
+    }                                                                                   \
+    return MakeBinary(Op::OPK, 1, std::move(a), std::move(b));                          \
+  }
+
+DICE_SYM_CMPOP(Eq, kEq)
+DICE_SYM_CMPOP(Ne, kNe)
+DICE_SYM_CMPOP(ULt, kULt)
+DICE_SYM_CMPOP(ULe, kULe)
+DICE_SYM_CMPOP(UGt, kUGt)
+DICE_SYM_CMPOP(UGe, kUGe)
+#undef DICE_SYM_CMPOP
+
+ExprPtr Expr::LAnd(ExprPtr a, ExprPtr b) {
+  DICE_CHECK(a != nullptr && b != nullptr);
+  if (a->IsConst()) {
+    return a->imm() != 0 ? b : MakeConst(0, 1);
+  }
+  if (b->IsConst()) {
+    return b->imm() != 0 ? a : MakeConst(0, 1);
+  }
+  return MakeBinary(Op::kLAnd, 1, std::move(a), std::move(b));
+}
+
+ExprPtr Expr::LOr(ExprPtr a, ExprPtr b) {
+  DICE_CHECK(a != nullptr && b != nullptr);
+  if (a->IsConst()) {
+    return a->imm() != 0 ? MakeConst(1, 1) : b;
+  }
+  if (b->IsConst()) {
+    return b->imm() != 0 ? MakeConst(1, 1) : a;
+  }
+  return MakeBinary(Op::kLOr, 1, std::move(a), std::move(b));
+}
+
+ExprPtr Expr::LNot(ExprPtr a) {
+  DICE_CHECK(a != nullptr);
+  if (a->IsConst()) {
+    return MakeConst(a->imm() != 0 ? 0 : 1, 1);
+  }
+  return ExprPtr(new Expr(Op::kLNot, 1, 0, std::move(a), nullptr));
+}
+
+ExprPtr Expr::Negate(const ExprPtr& e) {
+  DICE_CHECK(e != nullptr);
+  switch (e->op()) {
+    case Op::kConst:
+      return MakeConst(e->imm() != 0 ? 0 : 1, 1);
+    case Op::kEq:
+      return MakeBinary(Op::kNe, 1, e->lhs(), e->rhs());
+    case Op::kNe:
+      return MakeBinary(Op::kEq, 1, e->lhs(), e->rhs());
+    case Op::kULt:
+      return MakeBinary(Op::kUGe, 1, e->lhs(), e->rhs());
+    case Op::kULe:
+      return MakeBinary(Op::kUGt, 1, e->lhs(), e->rhs());
+    case Op::kUGt:
+      return MakeBinary(Op::kULe, 1, e->lhs(), e->rhs());
+    case Op::kUGe:
+      return MakeBinary(Op::kULt, 1, e->lhs(), e->rhs());
+    case Op::kLAnd:
+      return LOr(Negate(e->lhs()), Negate(e->rhs()));
+    case Op::kLOr:
+      return LAnd(Negate(e->lhs()), Negate(e->rhs()));
+    case Op::kLNot:
+      return e->lhs();
+    default:
+      // Negation of a non-boolean expression means "e == 0".
+      return MakeBinary(Op::kEq, 1, e, MakeConst(0, e->bits()));
+  }
+}
+
+uint64_t Expr::Eval(const Assignment& assignment) const {
+  switch (op_) {
+    case Op::kConst:
+      return imm_;
+    case Op::kVar: {
+      auto it = assignment.find(static_cast<VarId>(imm_));
+      return it == assignment.end() ? 0 : MaskTo(it->second, bits_);
+    }
+    case Op::kLNot:
+      return lhs_->Eval(assignment) != 0 ? 0 : 1;
+    default:
+      return ApplyBinary(op_, lhs_->Eval(assignment), rhs_->Eval(assignment), bits_);
+  }
+}
+
+void Expr::CollectVars(std::set<VarId>& out) const {
+  if (op_ == Op::kVar) {
+    out.insert(static_cast<VarId>(imm_));
+    return;
+  }
+  if (lhs_ != nullptr) {
+    lhs_->CollectVars(out);
+  }
+  if (rhs_ != nullptr) {
+    rhs_->CollectVars(out);
+  }
+}
+
+size_t Expr::NodeCount() const {
+  size_t n = 1;
+  if (lhs_ != nullptr) {
+    n += lhs_->NodeCount();
+  }
+  if (rhs_ != nullptr) {
+    n += rhs_->NodeCount();
+  }
+  return n;
+}
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case Op::kConst:
+      return std::to_string(imm_);
+    case Op::kVar:
+      return "v" + std::to_string(imm_);
+    case Op::kLNot:
+      return "!(" + lhs_->ToString() + ")";
+    default:
+      return "(" + lhs_->ToString() + " " + OpName(op_) + " " + rhs_->ToString() + ")";
+  }
+}
+
+bool Expr::Identical(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr) {
+    return false;
+  }
+  if (a->op_ != b->op_ || a->bits_ != b->bits_ || a->imm_ != b->imm_) {
+    return false;
+  }
+  return Identical(a->lhs_, b->lhs_) && Identical(a->rhs_, b->rhs_);
+}
+
+}  // namespace dice::sym

@@ -1,0 +1,123 @@
+// Symbolic expression DAG for the concolic engine.
+//
+// Expressions are immutable, shared via shared_ptr, and built through
+// smart constructors that constant-fold and canonicalize. Semantics are
+// unsigned machine arithmetic masked to the expression's bit width (BGP
+// fields are 8/16/32-bit unsigned); boolean expressions have width 1.
+//
+// This plays the role Crest/Oasis's constraint representation plays in the
+// paper: every branch on symbolic data records one boolean Expr.
+
+#ifndef SRC_SYM_EXPR_H_
+#define SRC_SYM_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace dice::sym {
+
+enum class Op : uint8_t {
+  kConst,
+  kVar,
+  // Arithmetic / bitwise (width = operand width).
+  kAdd,
+  kSub,
+  kMul,
+  kAndBits,
+  kOrBits,
+  kXorBits,
+  kShl,
+  kShr,
+  // Comparisons (unsigned; width 1).
+  kEq,
+  kNe,
+  kULt,
+  kULe,
+  kUGt,
+  kUGe,
+  // Boolean connectives (width 1).
+  kLAnd,
+  kLOr,
+  kLNot,
+};
+
+const char* OpName(Op op);
+
+using VarId = uint32_t;
+
+// Variable assignment used for evaluation and as a solver model.
+using Assignment = std::unordered_map<VarId, uint64_t>;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  // --- Smart constructors (fold constants, canonicalize) -----------------
+  static ExprPtr MakeConst(uint64_t value, uint8_t bits);
+  static ExprPtr MakeVar(VarId id, uint8_t bits);
+  static ExprPtr Add(ExprPtr a, ExprPtr b);
+  static ExprPtr Sub(ExprPtr a, ExprPtr b);
+  static ExprPtr Mul(ExprPtr a, ExprPtr b);
+  static ExprPtr AndBits(ExprPtr a, ExprPtr b);
+  static ExprPtr OrBits(ExprPtr a, ExprPtr b);
+  static ExprPtr XorBits(ExprPtr a, ExprPtr b);
+  static ExprPtr Shl(ExprPtr a, ExprPtr b);
+  static ExprPtr Shr(ExprPtr a, ExprPtr b);
+  static ExprPtr Eq(ExprPtr a, ExprPtr b);
+  static ExprPtr Ne(ExprPtr a, ExprPtr b);
+  static ExprPtr ULt(ExprPtr a, ExprPtr b);
+  static ExprPtr ULe(ExprPtr a, ExprPtr b);
+  static ExprPtr UGt(ExprPtr a, ExprPtr b);
+  static ExprPtr UGe(ExprPtr a, ExprPtr b);
+  static ExprPtr LAnd(ExprPtr a, ExprPtr b);
+  static ExprPtr LOr(ExprPtr a, ExprPtr b);
+  static ExprPtr LNot(ExprPtr a);
+
+  // Logical negation with comparison flipping and De Morgan push-down — the
+  // "negate the predicate" operation of concolic exploration (Fig. 1).
+  static ExprPtr Negate(const ExprPtr& e);
+
+  Op op() const { return op_; }
+  uint8_t bits() const { return bits_; }
+  uint64_t imm() const { return imm_; }           // kConst value / kVar id
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  bool IsConst() const { return op_ == Op::kConst; }
+  bool IsVar() const { return op_ == Op::kVar; }
+  bool IsBool() const;
+
+  // Evaluates under `assignment`; unassigned variables evaluate to 0.
+  uint64_t Eval(const Assignment& assignment) const;
+
+  void CollectVars(std::set<VarId>& out) const;
+  size_t NodeCount() const;
+  std::string ToString() const;
+
+  // Structural equality (used by tests and dedupe).
+  static bool Identical(const ExprPtr& a, const ExprPtr& b);
+
+  static uint64_t MaskTo(uint64_t value, uint8_t bits) {
+    return bits >= 64 ? value : (value & ((uint64_t{1} << bits) - 1));
+  }
+
+ private:
+  Expr(Op op, uint8_t bits, uint64_t imm, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), bits_(bits), imm_(imm), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  static ExprPtr MakeBinary(Op op, uint8_t bits, ExprPtr a, ExprPtr b);
+
+  Op op_;
+  uint8_t bits_;
+  uint64_t imm_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+}  // namespace dice::sym
+
+#endif  // SRC_SYM_EXPR_H_

@@ -1,0 +1,725 @@
+#include "src/sym/solver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace dice::sym {
+
+using solver_internal::Interval;
+using solver_internal::LinCmp;
+using solver_internal::LinearAtom;
+using solver_internal::LinearTerm;
+using solver_internal::Linearize;
+using solver_internal::PropagateIntervals;
+
+namespace solver_internal {
+namespace {
+
+// Floor/ceil division for int64 (C++ division truncates toward zero).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  DICE_CHECK_NE(b, 0);
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) {
+    --q;
+  }
+  return q;
+}
+
+int64_t CeilDiv(int64_t a, int64_t b) {
+  DICE_CHECK_NE(b, 0);
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) {
+    ++q;
+  }
+  return q;
+}
+
+// Linear form under construction: coefficient map + constant.
+struct LinForm {
+  std::map<VarId, int64_t> coefs;
+  int64_t constant = 0;
+};
+
+// Magnitude guards chosen so every intermediate fits comfortably in int64:
+// coefficients stay below 2^20, variable values below 2^33 (our variables are
+// at most 32-bit), constants below 2^40 (prefix bounds like 0xffffffff are
+// common); any per-atom sum is then < 64 terms * 2^20 * 2^33 < 2^60.
+constexpr int64_t kCoefLimit = int64_t{1} << 20;
+constexpr int64_t kConstLimit = int64_t{1} << 40;
+
+bool ExtractLinear(const ExprPtr& e, LinForm& out, int64_t scale) {
+  if (std::abs(scale) > kCoefLimit) {
+    return false;
+  }
+  switch (e->op()) {
+    case Op::kConst: {
+      if (e->imm() > static_cast<uint64_t>(kConstLimit)) {
+        return false;
+      }
+      __int128 c = static_cast<__int128>(scale) * static_cast<int64_t>(e->imm());
+      __int128 acc = static_cast<__int128>(out.constant) + c;
+      if (acc > (static_cast<__int128>(1) << 62) || acc < -(static_cast<__int128>(1) << 62)) {
+        return false;
+      }
+      out.constant = static_cast<int64_t>(acc);
+      return true;
+    }
+    case Op::kVar: {
+      int64_t& coef = out.coefs[static_cast<VarId>(e->imm())];
+      coef += scale;
+      if (std::abs(coef) > kCoefLimit) {
+        return false;
+      }
+      return true;
+    }
+    case Op::kAdd:
+      return ExtractLinear(e->lhs(), out, scale) && ExtractLinear(e->rhs(), out, scale);
+    case Op::kSub:
+      return ExtractLinear(e->lhs(), out, scale) && ExtractLinear(e->rhs(), out, -scale);
+    case Op::kMul: {
+      if (e->lhs()->IsConst()) {
+        int64_t c = static_cast<int64_t>(e->lhs()->imm());
+        if (std::abs(c) > kCoefLimit) {
+          return false;
+        }
+        return ExtractLinear(e->rhs(), out, scale * c);
+      }
+      if (e->rhs()->IsConst()) {
+        int64_t c = static_cast<int64_t>(e->rhs()->imm());
+        if (std::abs(c) > kCoefLimit) {
+          return false;
+        }
+        return ExtractLinear(e->lhs(), out, scale * c);
+      }
+      return false;  // variable * variable is non-linear
+    }
+    case Op::kShl: {
+      if (e->rhs()->IsConst() && e->rhs()->imm() < 20) {
+        return ExtractLinear(e->lhs(), out, scale * (int64_t{1} << e->rhs()->imm()));
+      }
+      return false;
+    }
+    default:
+      return false;  // masks, xor, shr: non-linear for our purposes
+  }
+}
+
+}  // namespace
+
+std::optional<LinearAtom> Linearize(const ExprPtr& cmp_expr) {
+  LinCmp cmp;
+  switch (cmp_expr->op()) {
+    case Op::kEq: cmp = LinCmp::kEq; break;
+    case Op::kNe: cmp = LinCmp::kNe; break;
+    case Op::kULt: cmp = LinCmp::kLt; break;
+    case Op::kULe: cmp = LinCmp::kLe; break;
+    case Op::kUGt: cmp = LinCmp::kGt; break;
+    case Op::kUGe: cmp = LinCmp::kGe; break;
+    default:
+      return std::nullopt;
+  }
+  LinForm lhs;
+  if (!ExtractLinear(cmp_expr->lhs(), lhs, 1) || !ExtractLinear(cmp_expr->rhs(), lhs, -1)) {
+    return std::nullopt;
+  }
+  LinearAtom atom;
+  atom.cmp = cmp;
+  atom.rhs = -lhs.constant;  // move the constant to the right-hand side
+  for (const auto& [var, coef] : lhs.coefs) {
+    if (coef != 0) {
+      atom.terms.push_back(LinearTerm{var, coef});
+    }
+  }
+  // Normalize strict comparisons to non-strict over integers.
+  if (atom.cmp == LinCmp::kLt) {
+    atom.cmp = LinCmp::kLe;
+    atom.rhs -= 1;
+  } else if (atom.cmp == LinCmp::kGt) {
+    atom.cmp = LinCmp::kGe;
+    atom.rhs += 1;
+  }
+  return atom;
+}
+
+namespace {
+
+// Minimum/maximum achievable value of sum(terms) under the given domains,
+// excluding the term at `skip` (SIZE_MAX to include all).
+void SumBounds(const LinearAtom& atom, const std::vector<Interval>& domains, size_t skip,
+               int64_t& min_sum, int64_t& max_sum) {
+  min_sum = 0;
+  max_sum = 0;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i == skip) {
+      continue;
+    }
+    const LinearTerm& t = atom.terms[i];
+    const Interval& d = domains[t.var];
+    int64_t lo = static_cast<int64_t>(d.lo);
+    int64_t hi = static_cast<int64_t>(d.hi);
+    if (t.coef >= 0) {
+      min_sum += t.coef * lo;
+      max_sum += t.coef * hi;
+    } else {
+      min_sum += t.coef * hi;
+      max_sum += t.coef * lo;
+    }
+  }
+}
+
+// Tightens the domain of atom.terms[idx] using the other terms' bounds.
+// Returns false if the domain becomes empty.
+bool TightenOne(const LinearAtom& atom, size_t idx, std::vector<Interval>& domains) {
+  const LinearTerm& t = atom.terms[idx];
+  Interval& d = domains[t.var];
+  int64_t min_rest;
+  int64_t max_rest;
+  SumBounds(atom, domains, idx, min_rest, max_rest);
+
+  auto apply_le = [&](int64_t bound_rhs) {
+    // t.coef * x <= bound_rhs - min_rest
+    int64_t avail = bound_rhs - min_rest;
+    if (t.coef > 0) {
+      int64_t ub = FloorDiv(avail, t.coef);
+      if (ub < static_cast<int64_t>(d.lo)) {
+        d = Interval{1, 0};
+        return;
+      }
+      d.hi = std::min<uint64_t>(d.hi, static_cast<uint64_t>(std::max<int64_t>(ub, 0)));
+      if (ub < 0) {
+        d = Interval{1, 0};
+      }
+    } else {
+      int64_t lb = CeilDiv(avail, t.coef);  // dividing by negative flips
+      if (lb > static_cast<int64_t>(d.hi)) {
+        d = Interval{1, 0};
+        return;
+      }
+      if (lb > 0) {
+        d.lo = std::max<uint64_t>(d.lo, static_cast<uint64_t>(lb));
+      }
+    }
+  };
+  auto apply_ge = [&](int64_t bound_rhs) {
+    // t.coef * x >= bound_rhs - max_rest
+    int64_t need = bound_rhs - max_rest;
+    if (t.coef > 0) {
+      int64_t lb = CeilDiv(need, t.coef);
+      if (lb > static_cast<int64_t>(d.hi)) {
+        d = Interval{1, 0};
+        return;
+      }
+      if (lb > 0) {
+        d.lo = std::max<uint64_t>(d.lo, static_cast<uint64_t>(lb));
+      }
+    } else {
+      int64_t ub = FloorDiv(need, t.coef);
+      if (ub < static_cast<int64_t>(d.lo)) {
+        d = Interval{1, 0};
+        return;
+      }
+      d.hi = std::min<uint64_t>(d.hi, static_cast<uint64_t>(std::max<int64_t>(ub, 0)));
+      if (ub < 0) {
+        d = Interval{1, 0};
+      }
+    }
+  };
+
+  switch (atom.cmp) {
+    case LinCmp::kLe:
+      apply_le(atom.rhs);
+      break;
+    case LinCmp::kGe:
+      apply_ge(atom.rhs);
+      break;
+    case LinCmp::kEq:
+      apply_le(atom.rhs);
+      if (!d.Empty()) {
+        apply_ge(atom.rhs);
+      }
+      break;
+    case LinCmp::kNe:
+      // Only prunes when the domain is a single point equal to the only
+      // solution; handled by the search instead.
+      break;
+    case LinCmp::kLt:
+    case LinCmp::kGt:
+      DICE_LOG(kFatal) << "strict comparisons are normalized away";
+  }
+  return !d.Empty();
+}
+
+}  // namespace
+
+bool PropagateIntervals(const std::vector<LinearAtom>& atoms, std::vector<Interval>& domains,
+                        const std::vector<VarInfo>& vars) {
+  (void)vars;
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    for (const LinearAtom& atom : atoms) {
+      for (size_t i = 0; i < atom.terms.size(); ++i) {
+        Interval before = domains[atom.terms[i].var];
+        if (!TightenOne(atom, i, domains)) {
+          return false;
+        }
+        const Interval& after = domains[atom.terms[i].var];
+        if (after.lo != before.lo || after.hi != before.hi) {
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace solver_internal
+
+Solver::Solver(SolverOptions options) : options_(options), rng_(options.seed) {}
+
+namespace {
+
+struct AtomSet {
+  std::vector<ExprPtr> all;           // every atom (for final verification)
+  std::vector<LinearAtom> linear;
+  std::vector<ExprPtr> nonlinear;
+};
+
+// Expands a conjunction with disjunction choice points into atom sets, depth
+// first, invoking `visit` for each complete choice. Returns false once the
+// path budget is exhausted.
+//
+// Disjunct order is guided by `guide` (the solver hint, i.e. the parent run's
+// assignment): the disjunct the guide satisfies is tried first. In concolic
+// use the hint satisfies every constraint except the flipped one, so the
+// first expansion is feasible for all non-flipped disjunctions and the
+// cartesian choice space collapses to a handful of visits.
+bool ExpandChoices(std::vector<ExprPtr> pending, AtomSet atoms, size_t& budget,
+                   const Assignment& guide, const std::function<bool(AtomSet&)>& visit) {
+  while (!pending.empty()) {
+    ExprPtr e = pending.back();
+    pending.pop_back();
+    switch (e->op()) {
+      case Op::kConst:
+        if (e->imm() == 0) {
+          return true;  // this choice path is infeasible; keep exploring others
+        }
+        continue;
+      case Op::kLAnd:
+        pending.push_back(e->lhs());
+        pending.push_back(e->rhs());
+        continue;
+      case Op::kLNot:
+        pending.push_back(Expr::Negate(e->lhs()));
+        continue;
+      case Op::kLOr: {
+        if (budget == 0) {
+          return false;
+        }
+        --budget;
+        ExprPtr first = e->lhs();
+        ExprPtr second = e->rhs();
+        if (first->Eval(guide) == 0 && second->Eval(guide) != 0) {
+          std::swap(first, second);
+        }
+        {
+          std::vector<ExprPtr> preferred = pending;
+          preferred.push_back(std::move(first));
+          if (!ExpandChoices(std::move(preferred), atoms, budget, guide, visit)) {
+            return false;
+          }
+        }
+        pending.push_back(std::move(second));
+        continue;
+      }
+      default: {
+        atoms.all.push_back(e);
+        continue;
+      }
+    }
+  }
+  return visit(atoms);
+}
+
+// Evaluates all atoms under `model`; returns the number satisfied.
+size_t CountSatisfied(const std::vector<ExprPtr>& atoms, const Assignment& model) {
+  size_t n = 0;
+  for (const ExprPtr& a : atoms) {
+    if (a->Eval(model) != 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
+                          const std::vector<VarInfo>& vars, const Assignment& hint) {
+  ++stats_.queries;
+  SolveResult result;
+
+  // Base assignment: hint completed with seeds.
+  Assignment base;
+  for (const VarInfo& v : vars) {
+    auto it = hint.find(v.id);
+    base[v.id] = it != hint.end() ? Expr::MaskTo(it->second, v.bits) : v.seed;
+  }
+
+  auto verify = [&](const Assignment& model) {
+    for (const ExprPtr& c : constraints) {
+      if (c->Eval(model) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Domain ceiling from variable widths.
+  auto domain_of = [&](const VarInfo& v) {
+    uint64_t width_max = v.bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << v.bits) - 1);
+    Interval d;
+    d.lo = v.lo;
+    d.hi = std::min(v.hi, width_max);
+    return d;
+  };
+
+  // Fast path: maybe the hint already satisfies everything.
+  if (verify(base)) {
+    ++stats_.sat;
+    result.kind = SolveKind::kSat;
+    result.model = base;
+    return result;
+  }
+
+  bool every_path_refuted_by_intervals = true;
+  bool found = false;
+  Assignment found_model;
+  size_t disjunct_budget = options_.max_disjunct_paths;
+
+  // State for the single post-expansion stochastic fallback.
+  bool have_fallback_set = false;
+  std::vector<ExprPtr> fallback_atoms;
+  std::vector<VarId> fallback_order;
+  std::vector<Interval> fallback_domains;
+
+  // Search-node budget shared across all disjunct choice paths of this query,
+  // so deeply disjunctive path conditions cannot multiply the search cost.
+  size_t search_nodes_used = 0;
+
+  // Linearization results are pure per expression node; cache them across
+  // disjunct choice paths (most atoms are common to all paths).
+  std::unordered_map<const Expr*, std::optional<LinearAtom>> lin_cache;
+  auto linearize_cached = [&](const ExprPtr& e) -> const std::optional<LinearAtom>& {
+    auto it = lin_cache.find(e.get());
+    if (it == lin_cache.end()) {
+      it = lin_cache.emplace(e.get(), Linearize(e)).first;
+    }
+    return it->second;
+  };
+
+  auto try_atom_set = [&](AtomSet& atoms) -> bool {
+    // Returning false stops the expansion (we found a model).
+    atoms.linear.clear();
+    atoms.nonlinear.clear();
+    for (const ExprPtr& a : atoms.all) {
+      const std::optional<LinearAtom>& lin = linearize_cached(a);
+      if (lin.has_value()) {
+        ++stats_.atoms_linearized;
+        atoms.linear.push_back(*lin);
+      } else {
+        ++stats_.atoms_nonlinear;
+        atoms.nonlinear.push_back(a);
+      }
+    }
+
+    // Interval propagation over a dense domain table indexed by VarId.
+    size_t max_id = 0;
+    for (const VarInfo& v : vars) {
+      max_id = std::max<size_t>(max_id, v.id);
+    }
+    std::vector<Interval> domains(max_id + 1);
+    for (const VarInfo& v : vars) {
+      domains[v.id] = domain_of(v);
+    }
+    if (!PropagateIntervals(atoms.linear, domains, vars)) {
+      return true;  // refuted; continue with other disjunct choices
+    }
+    every_path_refuted_by_intervals = false;
+
+    // Exclusion points from single-variable Ne atoms.
+    std::map<VarId, std::set<uint64_t>> excluded;
+    for (const LinearAtom& atom : atoms.linear) {
+      if (atom.cmp == LinCmp::kNe && atom.SingleVar()) {
+        const LinearTerm& t = atom.terms[0];
+        if (atom.rhs % t.coef == 0) {
+          int64_t v = atom.rhs / t.coef;
+          if (v >= 0) {
+            excluded[t.var].insert(static_cast<uint64_t>(v));
+          }
+        }
+      }
+    }
+
+    // Candidate values per variable: domain endpoints, the hint, and boundary
+    // solutions of each atom with other variables fixed to the hint.
+    std::map<VarId, std::vector<uint64_t>> candidates;
+    auto add_candidate = [&](VarId var, int64_t value) {
+      const Interval& d = domains[var];
+      if (value < 0) {
+        return;
+      }
+      uint64_t v = static_cast<uint64_t>(value);
+      if (v < d.lo || v > d.hi) {
+        return;
+      }
+      auto ex = excluded.find(var);
+      if (ex != excluded.end() && ex->second.count(v) != 0) {
+        return;
+      }
+      candidates[var].push_back(v);
+    };
+
+    std::set<VarId> constrained;
+    for (const LinearAtom& atom : atoms.linear) {
+      for (const LinearTerm& t : atom.terms) {
+        constrained.insert(t.var);
+      }
+    }
+    for (const ExprPtr& nl : atoms.nonlinear) {
+      std::set<VarId> vs;
+      nl->CollectVars(vs);
+      constrained.insert(vs.begin(), vs.end());
+    }
+
+    for (VarId var : constrained) {
+      const Interval& d = domains[var];
+      add_candidate(var, static_cast<int64_t>(d.lo));
+      add_candidate(var, static_cast<int64_t>(d.hi));
+      add_candidate(var, static_cast<int64_t>(base[var]));
+    }
+    for (const LinearAtom& atom : atoms.linear) {
+      for (size_t i = 0; i < atom.terms.size(); ++i) {
+        const LinearTerm& t = atom.terms[i];
+        // rest evaluated at the hint.
+        int64_t rest = 0;
+        for (size_t j = 0; j < atom.terms.size(); ++j) {
+          if (j != i) {
+            rest += atom.terms[j].coef * static_cast<int64_t>(base[atom.terms[j].var]);
+          }
+        }
+        int64_t target = atom.rhs - rest;
+        int64_t exact = solver_internal::FloorDiv(target, t.coef);
+        for (int64_t delta = -1; delta <= 1; ++delta) {
+          add_candidate(t.var, exact + delta);
+        }
+      }
+    }
+    // Excluded points suggest neighbours.
+    for (const auto& [var, points] : excluded) {
+      for (uint64_t p : points) {
+        add_candidate(var, static_cast<int64_t>(p) - 1);
+        add_candidate(var, static_cast<int64_t>(p) + 1);
+      }
+    }
+
+    // Dedupe and cap candidate lists. Order by distance from the hint value:
+    // concolic exploration wants the new input to stay as close to the parent
+    // run as the constraints allow, so unconstrained variables keep their
+    // seed values instead of collapsing to domain bounds.
+    std::vector<VarId> order(constrained.begin(), constrained.end());
+    for (VarId var : order) {
+      auto& list = candidates[var];
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      uint64_t anchor = base[var];
+      std::stable_sort(list.begin(), list.end(), [anchor](uint64_t a, uint64_t b) {
+        uint64_t da = a > anchor ? a - anchor : anchor - a;
+        uint64_t db = b > anchor ? b - anchor : anchor - b;
+        return da < db;
+      });
+      if (list.size() > 24) {
+        list.resize(24);
+      }
+      if (list.empty()) {
+        // Domain may be non-empty but all candidates excluded; sample a few.
+        const Interval& d = domains[var];
+        for (int k = 0; k < 8 && list.size() < 4; ++k) {
+          uint64_t v = d.lo + rng_.NextBelow(d.hi - d.lo + 1);
+          auto ex = excluded.find(var);
+          if (ex == excluded.end() || ex->second.count(v) == 0) {
+            list.push_back(v);
+          }
+        }
+        if (list.empty()) {
+          return true;  // fully excluded domain: refuted for this path
+        }
+      }
+    }
+    // Most-constrained (fewest candidates) first.
+    std::sort(order.begin(), order.end(), [&](VarId a, VarId b) {
+      return candidates[a].size() < candidates[b].size();
+    });
+
+    // DFS over candidate assignments.
+    Assignment model = base;
+    std::function<bool(size_t)> dfs = [&](size_t depth) -> bool {
+      if (search_nodes_used >= options_.max_search_nodes) {
+        return false;
+      }
+      if (depth == order.size()) {
+        ++search_nodes_used;
+        return CountSatisfied(atoms.all, model) == atoms.all.size();
+      }
+      VarId var = order[depth];
+      for (uint64_t v : candidates[var]) {
+        model[var] = v;
+        ++search_nodes_used;
+        // Partial pruning: check linear atoms whose variables are all set.
+        bool feasible = true;
+        for (const LinearAtom& atom : atoms.linear) {
+          bool ready = true;
+          int64_t sum = 0;
+          for (const LinearTerm& t : atom.terms) {
+            bool assigned = false;
+            for (size_t k = 0; k <= depth; ++k) {
+              if (order[k] == t.var) {
+                assigned = true;
+                break;
+              }
+            }
+            if (!assigned) {
+              ready = false;
+              break;
+            }
+            sum += t.coef * static_cast<int64_t>(model[t.var]);
+          }
+          if (!ready) {
+            continue;
+          }
+          bool ok = true;
+          switch (atom.cmp) {
+            case LinCmp::kEq: ok = sum == atom.rhs; break;
+            case LinCmp::kNe: ok = sum != atom.rhs; break;
+            case LinCmp::kLe: ok = sum <= atom.rhs; break;
+            case LinCmp::kGe: ok = sum >= atom.rhs; break;
+            default: ok = true; break;
+          }
+          if (!ok) {
+            feasible = false;
+            break;
+          }
+        }
+        if (feasible && dfs(depth + 1)) {
+          return true;
+        }
+      }
+      model.erase(var);
+      return false;
+    };
+
+    if (dfs(0)) {
+      // Fill any erased vars back from base.
+      for (const VarInfo& v : vars) {
+        if (model.find(v.id) == model.end()) {
+          model[v.id] = base[v.id];
+        }
+      }
+      if (verify(model)) {
+        found = true;
+        found_model = std::move(model);
+        return false;  // stop expansion
+      }
+    }
+
+    // Remember one unresolved atom set for the (single, post-expansion)
+    // stochastic fallback — running it per disjunct path would multiply its
+    // cost by the number of choice combinations. Only non-linear leftovers
+    // warrant it: when every atom is linear, the boundary search failing
+    // means the set is (near-)infeasible and hill climbing will not help.
+    if (!have_fallback_set && !atoms.nonlinear.empty()) {
+      have_fallback_set = true;
+      fallback_atoms = atoms.all;
+      fallback_order.assign(order.begin(), order.end());
+      fallback_domains = domains;
+    }
+    return true;  // keep trying other disjunct choices
+  };
+
+  std::vector<ExprPtr> pending = constraints;
+  bool completed = ExpandChoices(std::move(pending), AtomSet{}, disjunct_budget, base,
+                                 [&](AtomSet& atoms) { return try_atom_set(atoms); });
+
+  // Single stochastic fallback over one representative unresolved atom set
+  // (hill climbing on the number of satisfied atoms; the last resort for
+  // non-linear leftovers).
+  if (!found && have_fallback_set && !fallback_order.empty()) {
+    ++stats_.fallback_used;
+    Assignment best = base;
+    for (VarId var : fallback_order) {
+      const Interval& d = fallback_domains[var];
+      best[var] = std::clamp(best[var], d.lo, d.hi);
+    }
+    size_t best_score = CountSatisfied(fallback_atoms, best);
+    Assignment cur = best;
+    for (size_t iter = 0; iter < options_.max_fallback_iterations; ++iter) {
+      if (best_score == fallback_atoms.size()) {
+        break;
+      }
+      cur = best;
+      VarId var = fallback_order[rng_.NextBelow(fallback_order.size())];
+      const Interval& d = fallback_domains[var];
+      uint64_t span = d.hi - d.lo;
+      uint64_t v;
+      switch (rng_.NextBelow(4)) {
+        case 0:
+          v = d.lo + (span == ~uint64_t{0} ? rng_.NextU64() : rng_.NextBelow(span + 1));
+          break;
+        case 1:
+          v = cur[var] + 1;
+          break;
+        case 2:
+          v = cur[var] == 0 ? 0 : cur[var] - 1;
+          break;
+        default:
+          v = cur[var] ^ (uint64_t{1} << rng_.NextBelow(32));
+          break;
+      }
+      cur[var] = std::clamp(v, d.lo, d.hi);
+      size_t score = CountSatisfied(fallback_atoms, cur);
+      if (score >= best_score) {
+        best_score = score;
+        best = cur;
+      }
+    }
+    if (best_score == fallback_atoms.size() && verify(best)) {
+      found = true;
+      found_model = std::move(best);
+    }
+  }
+
+  if (found) {
+    ++stats_.sat;
+    result.kind = SolveKind::kSat;
+    result.model = std::move(found_model);
+    return result;
+  }
+  if (completed && every_path_refuted_by_intervals) {
+    ++stats_.unsat;
+    result.kind = SolveKind::kUnsat;
+    return result;
+  }
+  ++stats_.unknown;
+  result.kind = SolveKind::kUnknown;
+  return result;
+}
+
+}  // namespace dice::sym

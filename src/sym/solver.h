@@ -1,0 +1,128 @@
+// Constraint solver for path conditions.
+//
+// Scope: the constraints concolic exploration of BGP processing produces —
+// conjunctions/disjunctions of unsigned comparisons between linear
+// combinations of small bit-vector variables and constants (prefix range
+// tests, field equalities, path-element comparisons). For these the solver is
+// effectively complete; anything it cannot linearize falls back to a guided
+// stochastic search. This mirrors the paper's stack, where Crest/Oasis handed
+// linear integer arithmetic to Yices and punted on the rest (§3.1 notes
+// DiCE avoids unsolvable constructs such as hash functions entirely).
+//
+// Pipeline:
+//   1. normalize: push negations down, split conjunctions, enumerate
+//      disjunction choices (DFS with budget);
+//   2. linearize each atom into sum(coef_i * var_i) CMP constant;
+//   3. interval propagation over variable domains;
+//   4. solution search over constraint-boundary candidate values;
+//   5. fallback: hill-climbing over the variable domains.
+//
+// Every model returned is verified against the original constraints by
+// expression evaluation, so kSat results are trustworthy by construction.
+
+#ifndef SRC_SYM_SOLVER_H_
+#define SRC_SYM_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sym/engine.h"
+#include "src/sym/expr.h"
+#include "src/util/rng.h"
+
+namespace dice::sym {
+
+enum class SolveKind : uint8_t {
+  kSat,
+  kUnsat,     // proven by interval propagation / exhausted finite search space
+  kUnknown,   // budget exhausted
+};
+
+struct SolveResult {
+  SolveKind kind = SolveKind::kUnknown;
+  Assignment model;  // valid iff kind == kSat
+};
+
+struct SolverOptions {
+  // Max disjunction branches explored.
+  size_t max_disjunct_paths = 256;
+  // Max candidate assignments tried in the boundary search per disjunct path.
+  size_t max_search_nodes = 20000;
+  // Max iterations of the stochastic fallback.
+  size_t max_fallback_iterations = 5000;
+  uint64_t seed = 42;
+};
+
+struct SolverStats {
+  uint64_t queries = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  uint64_t fallback_used = 0;
+  uint64_t atoms_linearized = 0;
+  uint64_t atoms_nonlinear = 0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  // Solves the conjunction of `constraints` over `vars` (domain bounds come
+  // from VarInfo::lo/hi). `hint` biases the search toward a known-good
+  // neighbourhood — concolic drivers pass the assignment of the parent run.
+  SolveResult Solve(const std::vector<ExprPtr>& constraints, const std::vector<VarInfo>& vars,
+                    const Assignment& hint);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  SolverOptions options_;
+  SolverStats stats_;
+  Rng rng_;
+};
+
+// --- Internals exposed for unit testing -------------------------------------
+
+namespace solver_internal {
+
+// A linear atom: sum(terms) CMP constant, over 64-bit signed accumulation
+// (variables are <= 32-bit so sums cannot overflow int64 in practice; the
+// linearizer rejects coefficients that could).
+struct LinearTerm {
+  VarId var = 0;
+  int64_t coef = 0;
+};
+
+enum class LinCmp : uint8_t { kEq, kNe, kLe, kGe, kLt, kGt };
+
+struct LinearAtom {
+  std::vector<LinearTerm> terms;
+  LinCmp cmp = LinCmp::kEq;
+  int64_t rhs = 0;
+
+  bool SingleVar() const { return terms.size() == 1; }
+};
+
+// Attempts to turn a comparison expression into a LinearAtom. Returns nullopt
+// for non-linear structure (masks, shifts by variables, products of vars).
+std::optional<LinearAtom> Linearize(const ExprPtr& cmp_expr);
+
+struct Interval {
+  // Inclusive bounds, signed domain is never used (all vars unsigned).
+  uint64_t lo = 0;
+  uint64_t hi = ~uint64_t{0};
+
+  bool Empty() const { return lo > hi; }
+};
+
+// Tightens per-variable intervals using single-variable atoms. Returns false
+// if some interval becomes empty (UNSAT for this disjunct path).
+bool PropagateIntervals(const std::vector<LinearAtom>& atoms, std::vector<Interval>& domains,
+                        const std::vector<VarInfo>& vars);
+
+}  // namespace solver_internal
+
+}  // namespace dice::sym
+
+#endif  // SRC_SYM_SOLVER_H_

@@ -1,0 +1,173 @@
+#include "src/sym/strategy.h"
+
+#include <algorithm>
+
+namespace dice::sym {
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+NegationCandidate MakeCandidate(const Path& path, size_t index, const Assignment& assignment) {
+  NegationCandidate c;
+  c.prefix.assign(path.begin(), path.begin() + static_cast<ptrdiff_t>(index));
+  c.negated = path[index];
+  c.parent_assignment = assignment;
+  c.depth = index;
+  c.bound = index + 1;
+  return c;
+}
+
+}  // namespace
+
+uint64_t HashDecisions(const Path& path) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const BranchRecord& b : path) {
+    h = HashCombine(h, b.site * 2 + (b.taken ? 1 : 0));
+  }
+  return h;
+}
+
+uint64_t HashDecisionsWithFlip(const Path& path, size_t flip_index) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i <= flip_index && i < path.size(); ++i) {
+    bool taken = path[i].taken;
+    if (i == flip_index) {
+      taken = !taken;
+    }
+    h = HashCombine(h, path[i].site * 2 + (taken ? 1 : 0));
+  }
+  return h;
+}
+
+// --- GenerationalStrategy ---------------------------------------------------
+
+void GenerationalStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
+  // The classic generational bound prevents re-deriving flips the parent
+  // already offered; our flip-hash dedupe subsumes that, so offering every
+  // index keeps the frontier rich without duplicates.
+  (void)bound;
+  for (const BranchRecord& b : path) {
+    covered_.insert({b.site, b.taken});
+  }
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
+    if (!attempted_.insert(flip_hash).second) {
+      continue;
+    }
+    Scored s;
+    s.candidate = MakeCandidate(path, i, assignment);
+    s.covers_new = covered_.count({path[i].site, !path[i].taken}) == 0;
+    s.order = next_order_++;
+    queue_.push_back(std::move(s));
+  }
+}
+
+std::optional<NegationCandidate> GenerationalStrategy::Next() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  // Prefer candidates that flip a (site, outcome) pair never covered; among
+  // those, FIFO. Re-scan because coverage changes as paths are added.
+  size_t pick = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const Scored& s = queue_[i];
+    bool fresh = covered_.count({s.candidate.negated.site, !s.candidate.negated.taken}) == 0;
+    if (fresh) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick == queue_.size()) {
+    pick = 0;  // nothing fresh: plain FIFO
+  }
+  NegationCandidate out = std::move(queue_[pick].candidate);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
+  return out;
+}
+
+// --- DfsStrategy -------------------------------------------------------------
+
+void DfsStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
+  (void)bound;  // flip-hash dedupe subsumes the generational bound
+  // Push shallow-to-deep so the deepest pops first.
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
+    if (!attempted_.insert(flip_hash).second) {
+      continue;
+    }
+    stack_.push_back(MakeCandidate(path, i, assignment));
+  }
+}
+
+std::optional<NegationCandidate> DfsStrategy::Next() {
+  if (stack_.empty()) {
+    return std::nullopt;
+  }
+  NegationCandidate out = std::move(stack_.back());
+  stack_.pop_back();
+  return out;
+}
+
+// --- BfsStrategy -------------------------------------------------------------
+
+void BfsStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
+  (void)bound;  // flip-hash dedupe subsumes the generational bound
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
+    if (!attempted_.insert(flip_hash).second) {
+      continue;
+    }
+    queue_.push_back(MakeCandidate(path, i, assignment));
+  }
+}
+
+std::optional<NegationCandidate> BfsStrategy::Next() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  NegationCandidate out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+// --- RandomStrategy ----------------------------------------------------------
+
+void RandomStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
+  (void)bound;  // flip-hash dedupe subsumes the generational bound
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
+    if (!attempted_.insert(flip_hash).second) {
+      continue;
+    }
+    pool_.push_back(MakeCandidate(path, i, assignment));
+  }
+}
+
+std::optional<NegationCandidate> RandomStrategy::Next() {
+  if (pool_.empty()) {
+    return std::nullopt;
+  }
+  size_t i = rng_.NextBelow(pool_.size());
+  std::swap(pool_[i], pool_.back());
+  NegationCandidate out = std::move(pool_.back());
+  pool_.pop_back();
+  return out;
+}
+
+std::unique_ptr<SearchStrategy> MakeStrategy(const std::string& name, uint64_t seed) {
+  if (name == "dfs") {
+    return std::make_unique<DfsStrategy>();
+  }
+  if (name == "bfs") {
+    return std::make_unique<BfsStrategy>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomStrategy>(seed);
+  }
+  return std::make_unique<GenerationalStrategy>();
+}
+
+}  // namespace dice::sym

@@ -1,0 +1,143 @@
+// Path-exploration strategies: which recorded predicate to negate next.
+//
+// Each explored run hands its path condition to the strategy; the strategy
+// yields candidate "negation points" — a prefix of the path plus the negated
+// predicate at the chosen index — which the driver feeds to the solver. This
+// is the scheduling half of Fig. 1's "negate the predicates to systematically
+// explore code paths"; Oasis's default strategy "attempts to cover all
+// execution paths" (§3.1), which GenerationalStrategy reproduces (it is
+// SAGE-style generational search with branch-coverage scoring).
+
+#ifndef SRC_SYM_STRATEGY_H_
+#define SRC_SYM_STRATEGY_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sym/engine.h"
+#include "src/util/rng.h"
+
+namespace dice::sym {
+
+// A candidate input to synthesize: satisfy `prefix` constraints and the
+// negation of `negated.predicate` (as taken in the parent run).
+struct NegationCandidate {
+  std::vector<BranchRecord> prefix;  // constraints before the negation point
+  BranchRecord negated;              // the branch to flip
+  Assignment parent_assignment;      // hint for the solver
+  size_t depth = 0;                  // index of the negation point
+  // Children of the resulting run may only negate at indices > `bound`
+  // (generational search bound; prevents re-deriving the same flips).
+  size_t bound = 0;
+
+  // All constraints to satisfy: prefix + flipped branch.
+  std::vector<ExprPtr> Constraints() const {
+    std::vector<ExprPtr> out;
+    out.reserve(prefix.size() + 1);
+    for (const BranchRecord& b : prefix) {
+      out.push_back(b.Constraint());
+    }
+    // Flip: require the branch to go the *other* way.
+    out.push_back(negated.taken ? Expr::Negate(negated.predicate) : negated.predicate);
+    return out;
+  }
+};
+
+// Stable hash of a decision sequence (site, taken)*, used to dedupe paths and
+// candidates across runs.
+uint64_t HashDecisions(const Path& path);
+uint64_t HashDecisionsWithFlip(const Path& path, size_t flip_index);
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+  virtual std::string name() const = 0;
+
+  // Registers an executed path (with the assignment that produced it and the
+  // generational bound it inherited). Implementations enqueue candidates.
+  virtual void AddPath(const Path& path, const Assignment& assignment, size_t bound) = 0;
+
+  // Next candidate to try, or nullopt when the frontier is exhausted.
+  virtual std::optional<NegationCandidate> Next() = 0;
+
+  virtual size_t FrontierSize() const = 0;
+};
+
+// SAGE-style generational search: every branch after the parent's bound
+// produces a child candidate; candidates that would cover a (site, outcome)
+// pair not yet seen are dequeued first.
+class GenerationalStrategy : public SearchStrategy {
+ public:
+  GenerationalStrategy() = default;
+
+  std::string name() const override { return "generational"; }
+  void AddPath(const Path& path, const Assignment& assignment, size_t bound) override;
+  std::optional<NegationCandidate> Next() override;
+  size_t FrontierSize() const override { return queue_.size(); }
+
+ private:
+  struct Scored {
+    NegationCandidate candidate;
+    bool covers_new = false;
+    uint64_t order = 0;
+  };
+
+  std::deque<Scored> queue_;
+  std::set<uint64_t> attempted_;       // flip hashes already queued/tried
+  std::set<std::pair<uint64_t, bool>> covered_;  // (site, outcome)
+  uint64_t next_order_ = 0;
+};
+
+// Depth-first: always negate the deepest unexplored branch of the most recent
+// path (classic Crest DFS).
+class DfsStrategy : public SearchStrategy {
+ public:
+  std::string name() const override { return "dfs"; }
+  void AddPath(const Path& path, const Assignment& assignment, size_t bound) override;
+  std::optional<NegationCandidate> Next() override;
+  size_t FrontierSize() const override { return stack_.size(); }
+
+ private:
+  std::vector<NegationCandidate> stack_;
+  std::set<uint64_t> attempted_;
+};
+
+// Breadth-first over negation depth.
+class BfsStrategy : public SearchStrategy {
+ public:
+  std::string name() const override { return "bfs"; }
+  void AddPath(const Path& path, const Assignment& assignment, size_t bound) override;
+  std::optional<NegationCandidate> Next() override;
+  size_t FrontierSize() const override { return queue_.size(); }
+
+ private:
+  std::deque<NegationCandidate> queue_;
+  std::set<uint64_t> attempted_;
+};
+
+// Uniform random choice from the frontier (baseline for F1).
+class RandomStrategy : public SearchStrategy {
+ public:
+  explicit RandomStrategy(uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+  void AddPath(const Path& path, const Assignment& assignment, size_t bound) override;
+  std::optional<NegationCandidate> Next() override;
+  size_t FrontierSize() const override { return pool_.size(); }
+
+ private:
+  std::vector<NegationCandidate> pool_;
+  std::set<uint64_t> attempted_;
+  Rng rng_;
+};
+
+std::unique_ptr<SearchStrategy> MakeStrategy(const std::string& name, uint64_t seed);
+
+}  // namespace dice::sym
+
+#endif  // SRC_SYM_STRATEGY_H_

@@ -1,0 +1,276 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace dice::trace {
+
+size_t Trace::TotalAnnouncedPrefixes() const {
+  size_t n = 0;
+  for (const TraceEvent& ev : events) {
+    n += ev.update.nlri.size();
+  }
+  return n;
+}
+
+size_t Trace::TotalWithdrawnPrefixes() const {
+  size_t n = 0;
+  for (const TraceEvent& ev : events) {
+    n += ev.update.withdrawn.size();
+  }
+  return n;
+}
+
+std::string SerializeTrace(const Trace& trace) {
+  std::string out;
+  for (const TraceEvent& ev : trace.events) {
+    if (!ev.update.withdrawn.empty()) {
+      out += "W|" + std::to_string(ev.at) + "|";
+      for (size_t i = 0; i < ev.update.withdrawn.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += ev.update.withdrawn[i].ToString();
+      }
+      out += '\n';
+    }
+    if (!ev.update.nlri.empty()) {
+      out += "A|" + std::to_string(ev.at) + "|";
+      out += ev.update.attrs.as_path.ToString();
+      out += "|" + ev.update.attrs.next_hop.ToString();
+      switch (ev.update.attrs.origin) {
+        case bgp::Origin::kIgp:
+          out += "|i|";
+          break;
+        case bgp::Origin::kEgp:
+          out += "|e|";
+          break;
+        case bgp::Origin::kIncomplete:
+          out += "|?|";
+          break;
+      }
+      for (size_t i = 0; i < ev.update.nlri.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += ev.update.nlri[i].ToString();
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+StatusOr<Trace> ParseTrace(const std::string& text) {
+  Trace trace;
+  int line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    auto fields = Split(trimmed, '|');
+    auto bad = [&](const std::string& why) {
+      return InvalidArgumentError(StrFormat("trace line %d: %s", line_no, why.c_str()));
+    };
+    if (fields.size() < 3) {
+      return bad("too few fields");
+    }
+    auto time = ParseUint64(fields[1]);
+    if (!time.has_value()) {
+      return bad("bad timestamp '" + fields[1] + "'");
+    }
+
+    TraceEvent ev;
+    ev.at = *time;
+    if (fields[0] == "W") {
+      for (const std::string& p : Split(fields[2], ',')) {
+        auto prefix = bgp::Prefix::Parse(p);
+        if (!prefix.has_value()) {
+          return bad("bad prefix '" + p + "'");
+        }
+        ev.update.withdrawn.push_back(*prefix);
+      }
+    } else if (fields[0] == "A") {
+      if (fields.size() != 6) {
+        return bad("announce needs 6 fields");
+      }
+      std::vector<bgp::AsNumber> asns;
+      for (const std::string& a : SplitWhitespace(fields[2])) {
+        auto asn = ParseUint64(a);
+        if (!asn.has_value() || *asn > 0xffff) {
+          return bad("bad ASN '" + a + "'");
+        }
+        asns.push_back(static_cast<bgp::AsNumber>(*asn));
+      }
+      ev.update.attrs.as_path = bgp::AsPath::Sequence(std::move(asns));
+      auto nh = bgp::Ipv4Address::Parse(fields[3]);
+      if (!nh.has_value()) {
+        return bad("bad next hop '" + fields[3] + "'");
+      }
+      ev.update.attrs.next_hop = *nh;
+      if (fields[4] == "i") {
+        ev.update.attrs.origin = bgp::Origin::kIgp;
+      } else if (fields[4] == "e") {
+        ev.update.attrs.origin = bgp::Origin::kEgp;
+      } else if (fields[4] == "?") {
+        ev.update.attrs.origin = bgp::Origin::kIncomplete;
+      } else {
+        return bad("bad origin '" + fields[4] + "'");
+      }
+      for (const std::string& p : Split(fields[5], ',')) {
+        auto prefix = bgp::Prefix::Parse(p);
+        if (!prefix.has_value()) {
+          return bad("bad prefix '" + p + "'");
+        }
+        ev.update.nlri.push_back(*prefix);
+      }
+    } else {
+      return bad("unknown record type '" + fields[0] + "'");
+    }
+    trace.events.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+TraceGenerator::TraceGenerator(TraceGeneratorOptions options)
+    : options_(options), rng_(options.seed) {
+  // Synthesize the table: unique prefixes, heavy-tailed origin-AS popularity.
+  std::set<bgp::Prefix> seen;
+  table_.reserve(options_.prefix_count);
+  while (table_.size() < options_.prefix_count) {
+    bgp::Prefix prefix = RandomPrefix();
+    if (!seen.insert(prefix).second) {
+      continue;
+    }
+    // Origin AS by Zipf rank; ASN space starts above well-known ranges.
+    bgp::AsNumber origin =
+        static_cast<bgp::AsNumber>(1000 + rng_.NextZipf(options_.as_count,
+                                                        options_.as_popularity_exponent));
+    TableRoute route;
+    route.prefix = prefix;
+    route.attrs = MakeAttrs(origin);
+    table_.push_back(std::move(route));
+  }
+}
+
+bgp::Prefix TraceGenerator::RandomPrefix() {
+  // Realistic prefix-length mix (approximate RouteViews distribution):
+  // /24 dominates, then /22-/23, /16, /19-/21, a few short prefixes.
+  static const struct {
+    uint8_t len;
+    double weight;
+  } kMix[] = {
+      {24, 0.55}, {23, 0.08}, {22, 0.10}, {21, 0.05}, {20, 0.06},
+      {19, 0.05}, {18, 0.03}, {17, 0.02}, {16, 0.04}, {15, 0.01}, {8, 0.01},
+  };
+  std::vector<double> weights;
+  for (const auto& m : kMix) {
+    weights.push_back(m.weight);
+  }
+  uint8_t len = kMix[rng_.NextWeighted(weights)].len;
+  // Keep generated space inside 1.0.0.0 - 223.255.255.255 and outside the
+  // loopback block (no martians: routers drop them on import).
+  for (;;) {
+    uint32_t addr = static_cast<uint32_t>(rng_.NextInRange(0x01000000, 0xdfffffff));
+    if ((addr & 0xff000000u) == 0x7f000000u) {
+      continue;  // 127.0.0.0/8
+    }
+    return bgp::Prefix::Make(bgp::Ipv4Address(addr), len);
+  }
+}
+
+bgp::PathAttributes TraceGenerator::MakeAttrs(bgp::AsNumber origin_as) {
+  bgp::PathAttributes attrs;
+  size_t len = static_cast<size_t>(
+      rng_.NextInRange(static_cast<int64_t>(options_.min_path_len),
+                       static_cast<int64_t>(options_.max_path_len)));
+  std::vector<bgp::AsNumber> path;
+  path.push_back(options_.feed_as);
+  while (path.size() + 1 < len) {
+    bgp::AsNumber transit = static_cast<bgp::AsNumber>(
+        1000 + rng_.NextZipf(options_.as_count, options_.as_popularity_exponent));
+    if (std::find(path.begin(), path.end(), transit) == path.end() && transit != origin_as) {
+      path.push_back(transit);
+    }
+  }
+  if (path.back() != origin_as) {
+    path.push_back(origin_as);
+  }
+  attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+  attrs.origin = rng_.NextBool(0.85) ? bgp::Origin::kIgp : bgp::Origin::kIncomplete;
+  attrs.next_hop = bgp::Ipv4Address(0x0a000001);  // rewritten by the feed anyway
+  if (rng_.NextBool(0.3)) {
+    attrs.med = static_cast<uint32_t>(rng_.NextBelow(200));
+  }
+  return attrs;
+}
+
+Trace TraceGenerator::FullDump() const {
+  Trace trace;
+  // Group contiguous table entries into batched UPDATEs. Entries sharing one
+  // UPDATE must share attributes; the generator's table entries each carry
+  // their own path, so batch only entries with equal attributes (common for
+  // popular origins) up to prefixes_per_message.
+  size_t i = 0;
+  while (i < table_.size()) {
+    TraceEvent ev;
+    ev.at = 0;
+    ev.update.attrs = table_[i].attrs;
+    ev.update.nlri.push_back(table_[i].prefix);
+    size_t j = i + 1;
+    while (j < table_.size() && ev.update.nlri.size() < options_.prefixes_per_message &&
+           table_[j].attrs == table_[i].attrs) {
+      ev.update.nlri.push_back(table_[j].prefix);
+      ++j;
+    }
+    trace.events.push_back(std::move(ev));
+    i = j;
+  }
+  return trace;
+}
+
+Trace TraceGenerator::UpdateTrace() {
+  Trace trace;
+  const double rate = options_.updates_per_second;
+  DICE_CHECK_GT(rate, 0.0);
+  net::SimTime t = 0;
+  while (t < options_.update_duration) {
+    // Exponential inter-arrival times around the configured rate.
+    double gap_seconds = -std::log(1.0 - rng_.NextDouble()) / rate;
+    t += static_cast<net::SimTime>(gap_seconds * static_cast<double>(net::kSecond));
+    if (t >= options_.update_duration) {
+      break;
+    }
+    TraceEvent ev;
+    ev.at = t;
+    size_t idx = rng_.NextBelow(table_.size());
+    if (rng_.NextBool(options_.withdraw_fraction)) {
+      ev.update.withdrawn.push_back(table_[idx].prefix);
+    } else {
+      // Re-announce with a (possibly) new path: path churn.
+      TableRoute& route = table_[idx];
+      if (rng_.NextBool(0.5)) {
+        route.attrs = MakeAttrs(route.attrs.as_path.OriginAs());
+      }
+      ev.update.attrs = route.attrs;
+      ev.update.nlri.push_back(route.prefix);
+    }
+    trace.events.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+bgp::UpdateMessage TraceGenerator::RandomUpdate() {
+  bgp::UpdateMessage update;
+  size_t idx = rng_.NextBelow(table_.size());
+  update.attrs = table_[idx].attrs;
+  update.nlri.push_back(table_[idx].prefix);
+  return update;
+}
+
+}  // namespace dice::trace

@@ -1,0 +1,19 @@
+#include "src/util/bytes.h"
+
+namespace dice {
+
+std::string HexDump(const Bytes& data) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) {
+      out.push_back(i % 16 == 0 ? '\n' : ' ');
+    }
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace dice

@@ -1,0 +1,66 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace dice {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogSeverity::kInfo)};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_sink_mutex;
+
+}  // namespace
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+LogSeverity GetLogThreshold() { return static_cast<LogSeverity>(g_threshold.load()); }
+
+void SetLogThreshold(LogSeverity severity) { g_threshold.store(static_cast<int>(severity)); }
+
+void SetLogSink(std::ostream* sink) { g_sink.store(sink); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LogSeverityName(severity) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::ostream* sink = g_sink.load();
+    if (sink == nullptr) {
+      sink = &std::cerr;
+    }
+    (*sink) << stream_.str();
+    sink->flush();
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace dice

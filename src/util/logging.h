@@ -1,0 +1,97 @@
+// Minimal structured logging and assertion macros for the DiCE libraries.
+//
+// The logger is deliberately tiny: a global severity threshold, a stream-style
+// macro front-end, and CHECK macros that abort with a useful message. All DiCE
+// subsystems log through this interface so tests can silence or capture output.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dice {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns a human-readable tag ("DEBUG", "INFO", ...) for `severity`.
+const char* LogSeverityName(LogSeverity severity);
+
+// Global minimum severity; messages below it are discarded. Defaults to kInfo.
+LogSeverity GetLogThreshold();
+void SetLogThreshold(LogSeverity severity);
+
+// Redirects log output. Passing nullptr restores the default (std::cerr).
+// The caller keeps ownership of the stream and must outlive logging calls.
+void SetLogSink(std::ostream* sink);
+
+namespace internal {
+
+// One in-flight log statement. Flushes (and aborts, for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dice
+
+#define DICE_LOG_ENABLED(severity) \
+  (::dice::LogSeverity::severity >= ::dice::GetLogThreshold())
+
+#define DICE_LOG(severity)                  \
+  if (!DICE_LOG_ENABLED(severity)) {        \
+  } else                                    \
+    ::dice::internal::LogMessage(::dice::LogSeverity::severity, __FILE__, __LINE__).stream()
+
+// CHECK aborts the process when `cond` is false. It is always on; use it for
+// invariants whose violation means memory corruption or a library bug.
+#define DICE_CHECK(cond)                                                               \
+  if (cond) {                                                                          \
+  } else                                                                               \
+    ::dice::internal::LogMessage(::dice::LogSeverity::kFatal, __FILE__, __LINE__)      \
+        .stream()                                                                      \
+        << "Check failed: " #cond " "
+
+#define DICE_CHECK_OP(op, a, b)                                                        \
+  if ((a)op(b)) {                                                                      \
+  } else                                                                               \
+    ::dice::internal::LogMessage(::dice::LogSeverity::kFatal, __FILE__, __LINE__)      \
+        .stream()                                                                      \
+        << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) << ") "
+
+#define DICE_CHECK_EQ(a, b) DICE_CHECK_OP(==, a, b)
+#define DICE_CHECK_NE(a, b) DICE_CHECK_OP(!=, a, b)
+#define DICE_CHECK_LT(a, b) DICE_CHECK_OP(<, a, b)
+#define DICE_CHECK_LE(a, b) DICE_CHECK_OP(<=, a, b)
+#define DICE_CHECK_GT(a, b) DICE_CHECK_OP(>, a, b)
+#define DICE_CHECK_GE(a, b) DICE_CHECK_OP(>=, a, b)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,34 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace dice {
+
+size_t Rng::NextZipf(size_t n, double exponent) {
+  DICE_CHECK_GT(n, 0u);
+  if (n == 1) {
+    return 0;
+  }
+  // Inverse-CDF sampling with an approximated harmonic normalizer. Exact Zipf
+  // is not needed; the workload generator only needs a heavy-tailed rank
+  // distribution, and this keeps sampling O(log n)-ish via the closed form.
+  const double s = exponent;
+  if (std::abs(s - 1.0) < 1e-9) {
+    const double hn = std::log(static_cast<double>(n)) + 0.5772156649;
+    double u = NextDouble() * hn;
+    double rank = std::exp(u) - 1.0;
+    size_t idx = static_cast<size_t>(rank);
+    return idx >= n ? n - 1 : idx;
+  }
+  const double nn = static_cast<double>(n);
+  const double norm = (std::pow(nn, 1.0 - s) - 1.0) / (1.0 - s);
+  double u = NextDouble() * norm;
+  double rank = std::pow(u * (1.0 - s) + 1.0, 1.0 / (1.0 - s)) - 1.0;
+  if (rank < 0) {
+    rank = 0;
+  }
+  size_t idx = static_cast<size_t>(rank);
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace dice

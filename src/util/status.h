@@ -1,0 +1,130 @@
+// Error propagation without exceptions: Status and StatusOr<T>.
+//
+// DiCE libraries return Status/StatusOr instead of throwing. The error space is
+// a small enum (sufficient for a systems library) plus a free-form message.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace dice {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kDeadlineExceeded = 9,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+
+// A value or an error. Access to value() on an error status is a fatal bug.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}                       // NOLINT(runtime/explicit)
+  StatusOr(T&& value) : value_(std::move(value)) {}                 // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {            // NOLINT(runtime/explicit)
+    DICE_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DICE_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DICE_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DICE_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dice
+
+// Propagates an error Status from an expression to the caller.
+#define DICE_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dice::Status _dice_status = (expr);            \
+    if (!_dice_status.ok()) {                        \
+      return _dice_status;                           \
+    }                                                \
+  } while (0)
+
+// Evaluates a StatusOr expression; on success binds the value, else returns.
+#define DICE_ASSIGN_OR_RETURN(lhs, expr)             \
+  DICE_ASSIGN_OR_RETURN_IMPL_(                       \
+      DICE_STATUS_CONCAT_(_dice_statusor, __LINE__), lhs, expr)
+
+#define DICE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define DICE_STATUS_CONCAT_INNER_(a, b) a##b
+#define DICE_STATUS_CONCAT_(a, b) DICE_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // SRC_UTIL_STATUS_H_

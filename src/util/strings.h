@@ -1,0 +1,36 @@
+// Small string utilities shared across the DiCE libraries.
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dice {
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits `s` on runs of whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strict decimal parse of the whole string; nullopt on any junk or overflow.
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<uint64_t> ParseUint64(std::string_view s);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dice
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,102 @@
+// Tests for the AS_PATH attribute.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/aspath.h"
+
+namespace dice::bgp {
+namespace {
+
+TEST(AsPathTest, SequenceBasics) {
+  AsPath p = AsPath::Sequence({100, 200, 300});
+  EXPECT_EQ(p.FirstAs(), 100u);
+  EXPECT_EQ(p.OriginAs(), 300u);
+  EXPECT_EQ(p.EffectiveLength(), 3u);
+  EXPECT_TRUE(p.Contains(200));
+  EXPECT_FALSE(p.Contains(400));
+  EXPECT_EQ(p.ToString(), "100 200 300");
+}
+
+TEST(AsPathTest, EmptyPath) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.OriginAs(), 0u);
+  EXPECT_EQ(p.FirstAs(), 0u);
+  EXPECT_EQ(p.EffectiveLength(), 0u);
+  EXPECT_FALSE(p.Contains(1));
+  EXPECT_EQ(p.ToString(), "");
+}
+
+TEST(AsPathTest, SequenceFromEmptyVectorIsEmpty) {
+  AsPath p = AsPath::Sequence({});
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(AsPathTest, PrependExtendsFrontSequence) {
+  AsPath p = AsPath::Sequence({200, 300});
+  p.Prepend(100);
+  EXPECT_EQ(p.ToString(), "100 200 300");
+  EXPECT_EQ(p.segments().size(), 1u);
+}
+
+TEST(AsPathTest, PrependOntoEmptyCreatesSequence) {
+  AsPath p;
+  p.Prepend(64512);
+  EXPECT_EQ(p.ToString(), "64512");
+  EXPECT_EQ(p.OriginAs(), 64512u);
+}
+
+TEST(AsPathTest, PrependBeforeSetCreatesNewSegment) {
+  AsPath p(std::vector<AsSegment>{AsSegment{AsSegmentType::kAsSet, {10, 20}}});
+  p.Prepend(5);
+  ASSERT_EQ(p.segments().size(), 2u);
+  EXPECT_EQ(p.segments()[0].type, AsSegmentType::kAsSequence);
+  EXPECT_EQ(p.ToString(), "5 {10,20}");
+}
+
+TEST(AsPathTest, AsSetCountsAsOneInEffectiveLength) {
+  AsPath p(std::vector<AsSegment>{AsSegment{AsSegmentType::kAsSequence, {1, 2}},
+                                  AsSegment{AsSegmentType::kAsSet, {7, 8, 9}}});
+  EXPECT_EQ(p.EffectiveLength(), 3u);  // 2 + 1
+}
+
+TEST(AsPathTest, OriginOfSetTerminatedPathIsUnknown) {
+  AsPath p(std::vector<AsSegment>{AsSegment{AsSegmentType::kAsSequence, {1}},
+                                  AsSegment{AsSegmentType::kAsSet, {7, 8}}});
+  EXPECT_EQ(p.OriginAs(), 0u);
+}
+
+TEST(AsPathTest, ContainsLooksInsideSets) {
+  AsPath p(std::vector<AsSegment>{AsSegment{AsSegmentType::kAsSet, {7, 8}}});
+  EXPECT_TRUE(p.Contains(8));
+  EXPECT_FALSE(p.Contains(9));
+}
+
+TEST(AsPathTest, FlattenPreservesOrder) {
+  AsPath p(std::vector<AsSegment>{AsSegment{AsSegmentType::kAsSequence, {1, 2}},
+                                  AsSegment{AsSegmentType::kAsSet, {3, 4}}});
+  EXPECT_EQ(p.Flatten(), (std::vector<AsNumber>{1, 2, 3, 4}));
+}
+
+TEST(AsPathTest, EqualityIsStructural) {
+  EXPECT_EQ(AsPath::Sequence({1, 2}), AsPath::Sequence({1, 2}));
+  EXPECT_NE(AsPath::Sequence({1, 2}), AsPath::Sequence({2, 1}));
+}
+
+class AsPathPrependSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsPathPrependSweep, RepeatedPrependGrowsLength) {
+  int n = GetParam();
+  AsPath p = AsPath::Sequence({65001});
+  for (int i = 0; i < n; ++i) {
+    p.Prepend(65000);
+  }
+  EXPECT_EQ(p.EffectiveLength(), static_cast<size_t>(n) + 1);
+  EXPECT_EQ(p.OriginAs(), 65001u);
+  EXPECT_EQ(p.FirstAs(), n > 0 ? 65000u : 65001u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, AsPathPrependSweep, ::testing::Values(0, 1, 2, 5, 16));
+
+}  // namespace
+}  // namespace dice::bgp

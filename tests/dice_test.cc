@@ -1,0 +1,536 @@
+// End-to-end tests of the DiCE core: symbolic update marking, the
+// instrumented processing path (including parity with the concrete path),
+// checkers, isolation, the explorer's route-leak detection (§4.2), and the
+// baselines.
+
+#include <gtest/gtest.h>
+
+#include "src/dice/baselines.h"
+#include "src/dice/explorer.h"
+#include "src/util/rng.h"
+
+namespace dice {
+namespace {
+
+bgp::Prefix P(const char* s) { return *bgp::Prefix::Parse(s); }
+
+bgp::UpdateMessage SeedUpdate(const char* prefix = "10.1.7.0/24",
+                              std::vector<bgp::AsNumber> path = {1, 100}) {
+  bgp::UpdateMessage u;
+  u.attrs.origin = bgp::Origin::kIgp;
+  u.attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+  u.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+  u.nlri.push_back(P(prefix));
+  return u;
+}
+
+// The Fig. 2 provider: customer on peer 1 (AS 1), rest-of-Internet feed on
+// peer 9 (AS 9). The customer import filter accepts `customer list` entries;
+// when `extra_filter_entry` is non-null it simulates the fat-fingered entry
+// that leaks foreign address space.
+struct ProviderFixture {
+  explicit ProviderFixture(const char* extra_filter_entry = nullptr,
+                           bool customer_filtering = true) {
+    auto config = std::make_shared<bgp::RouterConfig>();
+    config->name = "provider";
+    config->local_as = 3;
+    config->router_id = *bgp::Ipv4Address::Parse("10.0.0.3");
+
+    bgp::PrefixList customers;
+    customers.name = "customers";
+    customers.entries.push_back(bgp::PrefixListEntry{P("10.1.0.0/16"), 0, 24});
+    if (extra_filter_entry != nullptr) {
+      customers.entries.push_back(bgp::PrefixListEntry{P(extra_filter_entry), 0, 24});
+    }
+    EXPECT_TRUE(config->policies.AddPrefixList(std::move(customers)).ok());
+    EXPECT_TRUE(config->policies
+                    .AddFilter(bgp::MakeCustomerImportFilter("customer-in", "customers"))
+                    .ok());
+
+    bgp::NeighborConfig customer;
+    customer.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+    customer.remote_as = 1;
+    if (customer_filtering) {
+      customer.import_filter = "customer-in";
+    }
+    config->neighbors.push_back(customer);
+
+    bgp::NeighborConfig internet;
+    internet.address = *bgp::Ipv4Address::Parse("10.0.0.9");
+    internet.remote_as = 9;
+    config->neighbors.push_back(internet);
+
+    state.config = config;
+
+    // Victim routes learned from the rest of the Internet (the YouTube /22
+    // among them), plus the customer's legitimate route.
+    AddRoute("208.65.152.0/22", /*peer=*/9, /*peer_as=*/9, {9, 36561});
+    AddRoute("198.51.100.0/24", 9, 9, {9, 64501});
+    AddRoute("192.0.2.0/24", 9, 9, {9, 64502});
+    AddRoute("10.1.7.0/24", 1, 1, {1, 100});
+
+    customer_view.id = 1;
+    customer_view.remote_as = 1;
+    customer_view.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+    customer_view.established = true;
+    internet_view.id = 9;
+    internet_view.remote_as = 9;
+    internet_view.address = *bgp::Ipv4Address::Parse("10.0.0.9");
+    internet_view.established = true;
+  }
+
+  void AddRoute(const char* prefix, bgp::PeerId peer, bgp::AsNumber peer_as,
+                std::vector<bgp::AsNumber> path) {
+    bgp::Route route;
+    route.peer = peer;
+    route.peer_as = peer_as;
+    route.attrs.origin = bgp::Origin::kIgp;
+    route.attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+    route.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+    state.rib.AddRoute(P(prefix), std::move(route));
+  }
+
+  std::vector<bgp::PeerView> Peers() const { return {customer_view, internet_view}; }
+
+  bgp::RouterState state;
+  bgp::PeerView customer_view;
+  bgp::PeerView internet_view;
+};
+
+// --- SymbolicUpdate ------------------------------------------------------------
+
+TEST(SymbolicUpdateTest, BindsMarkedFieldsInStableOrder) {
+  sym::Engine engine;
+  engine.BeginRun({});
+  bgp::UpdateMessage seed = SeedUpdate();
+  SymbolicUpdate su = BuildSymbolicUpdate(engine, seed, SymbolicUpdateSpec{});
+  // addr, len, 2 path elements, origin: med absent -> 5 vars.
+  EXPECT_EQ(engine.vars().size(), 5u);
+  EXPECT_EQ(engine.vars()[0].name, "nlri.addr");
+  EXPECT_EQ(engine.vars()[1].name, "nlri.len");
+  EXPECT_TRUE(su.view.prefix_addr.symbolic());
+  EXPECT_TRUE(su.view.prefix_len.symbolic());
+  EXPECT_EQ(su.concrete, seed) << "seed assignment must reproduce the seed message";
+}
+
+TEST(SymbolicUpdateTest, MedBoundOnlyWhenPresent) {
+  sym::Engine engine;
+  engine.BeginRun({});
+  bgp::UpdateMessage seed = SeedUpdate();
+  seed.attrs.med = 50;
+  BuildSymbolicUpdate(engine, seed, SymbolicUpdateSpec{});
+  EXPECT_EQ(engine.vars().size(), 6u);
+  EXPECT_EQ(engine.vars().back().name, "med");
+}
+
+TEST(SymbolicUpdateTest, SpecDisablesFields) {
+  sym::Engine engine;
+  engine.BeginRun({});
+  SymbolicUpdate su = BuildSymbolicUpdate(engine, SeedUpdate(), SymbolicUpdateSpec::NlriOnly());
+  EXPECT_EQ(engine.vars().size(), 2u);
+  EXPECT_FALSE(su.view.as_path[0].symbolic());
+  EXPECT_FALSE(su.view.origin_code.symbolic());
+}
+
+TEST(SymbolicUpdateTest, MaterializeAppliesModel) {
+  bgp::UpdateMessage seed = SeedUpdate();
+  sym::Assignment model{{0, 0xd041980full /*208.65.152.15*/}, {1, 24}, {2, 7}, {3, 4242}, {4, 2}};
+  bgp::UpdateMessage out = MaterializeUpdate(seed, SymbolicUpdateSpec{}, model);
+  EXPECT_EQ(out.nlri[0], P("208.65.152.0/24")) << "host bits canonicalized";
+  EXPECT_EQ(out.attrs.as_path.ToString(), "7 4242");
+  EXPECT_EQ(out.attrs.origin, bgp::Origin::kIncomplete);
+  // Withdrawn section untouched.
+  EXPECT_EQ(out.withdrawn, seed.withdrawn);
+}
+
+TEST(SymbolicUpdateTest, VariableDomainsMatchFieldSemantics) {
+  sym::Engine engine;
+  engine.BeginRun({});
+  BuildSymbolicUpdate(engine, SeedUpdate(), SymbolicUpdateSpec{});
+  EXPECT_EQ(engine.vars()[1].hi, 32u);       // prefix length
+  EXPECT_EQ(engine.vars()[2].lo, 1u);        // ASN excludes 0
+  EXPECT_EQ(engine.vars()[2].hi, 0xffffu);
+  EXPECT_EQ(engine.vars()[4].hi, 2u);        // origin code
+}
+
+// --- instrumented path: parity with the concrete router code --------------------
+
+// Property: for random concrete inputs, the instrumented path (with symbolic
+// marking!) must take exactly the decisions the concrete import path takes —
+// concolic instrumentation never changes semantics.
+class InstrumentedParityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InstrumentedParityProperty, MatchesConcreteImport) {
+  Rng rng(GetParam());
+  ProviderFixture fixture("208.65.152.0/22");
+
+  for (int iter = 0; iter < 150; ++iter) {
+    bgp::UpdateMessage input = SeedUpdate();
+    input.nlri[0] = bgp::Prefix::Make(bgp::Ipv4Address(rng.NextU32()),
+                                      static_cast<uint8_t>(rng.NextBelow(33)));
+    std::vector<bgp::AsNumber> path{static_cast<bgp::AsNumber>(1 + rng.NextBelow(10)),
+                                    static_cast<bgp::AsNumber>(1 + rng.NextBelow(65535))};
+    input.attrs.as_path = bgp::AsPath::Sequence(path);
+
+    // Concrete reference: ImportRoute on one clone.
+    bgp::RouterState concrete_clone = fixture.state;
+    const bgp::NeighborConfig* neighbor =
+        concrete_clone.config->FindNeighbor(fixture.customer_view.address);
+    ASSERT_NE(neighbor, nullptr);
+    bgp::ImportOutcome reference = bgp::ImportRoute(concrete_clone, fixture.customer_view,
+                                                    *neighbor, input.nlri[0], input.attrs);
+
+    // Instrumented run on another clone, with everything marked symbolic and
+    // the engine assignment equal to the input's own field values (so the
+    // concrete execution processes exactly `input`).
+    bgp::RouterState sym_clone = fixture.state;
+    sym::Engine engine;
+    engine.BeginRun({});
+    bgp::UpdateSink sink = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+    ExplorationOutcome outcome = ExploreUpdateOnClone(
+        engine, sym_clone, fixture.Peers(), fixture.customer_view, input, SymbolicUpdateSpec{},
+        sink);
+
+    bool reference_accepted = reference.disposition == bgp::ImportDisposition::kAccepted;
+    EXPECT_EQ(outcome.installed, reference_accepted)
+        << "input " << input.ToString() << ": instrumented="
+        << outcome.installed << " concrete=" << reference_accepted;
+    if (reference_accepted) {
+      const bgp::Route* a = concrete_clone.rib.BestRoute(input.nlri[0]);
+      const bgp::Route* b = sym_clone.rib.BestRoute(input.nlri[0]);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a->attrs, b->attrs) << "imported attributes must match";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstrumentedParityProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(InstrumentedTest, RecordsFilterConstraints) {
+  ProviderFixture fixture;
+  sym::Engine engine;
+  engine.BeginRun({});
+  bgp::UpdateSink sink = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+  bgp::RouterState clone = fixture.state;
+  ExploreUpdateOnClone(engine, clone, fixture.Peers(), fixture.customer_view, SeedUpdate(),
+                       SymbolicUpdateSpec{}, sink);
+  EXPECT_GE(engine.path().size(), 3u)
+      << "martian, loop, and filter branches must be recorded";
+}
+
+TEST(InstrumentedTest, EmitsInterceptedPropagation) {
+  ProviderFixture fixture;
+  sym::Engine engine;
+  engine.BeginRun({});
+  std::vector<bgp::UpdateMessage> emitted;
+  bgp::UpdateSink sink = [&](bgp::PeerId to, const bgp::UpdateMessage& u) {
+    EXPECT_EQ(to, 9u) << "split horizon: not back to the customer";
+    emitted.push_back(u);
+  };
+  bgp::RouterState clone = fixture.state;
+  // A new customer prefix inside the allowed range becomes best and is
+  // propagated to the internet peer.
+  ExplorationOutcome outcome =
+      ExploreUpdateOnClone(engine, clone, fixture.Peers(), fixture.customer_view,
+                           SeedUpdate("10.1.9.0/24"), SymbolicUpdateSpec{}, sink);
+  EXPECT_TRUE(outcome.installed);
+  EXPECT_TRUE(outcome.became_best);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].nlri[0], P("10.1.9.0/24"));
+  EXPECT_EQ(outcome.messages_emitted, 1u);
+}
+
+TEST(InstrumentedTest, MartianAndLoopRejection) {
+  ProviderFixture fixture;
+  bgp::UpdateSink sink = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+
+  {
+    sym::Engine engine;
+    engine.BeginRun({});
+    bgp::RouterState clone = fixture.state;
+    ExplorationOutcome outcome =
+        ExploreUpdateOnClone(engine, clone, fixture.Peers(), fixture.customer_view,
+                             SeedUpdate("127.0.0.0/8"), SymbolicUpdateSpec{}, sink);
+    EXPECT_TRUE(outcome.martian);
+    EXPECT_FALSE(outcome.installed);
+  }
+  {
+    sym::Engine engine;
+    engine.BeginRun({});
+    bgp::RouterState clone = fixture.state;
+    ExplorationOutcome outcome = ExploreUpdateOnClone(
+        engine, clone, fixture.Peers(), fixture.customer_view,
+        SeedUpdate("10.1.7.0/24", {1, 3, 100}),  // contains provider AS 3
+        SymbolicUpdateSpec{}, sink);
+    EXPECT_TRUE(outcome.loop_rejected);
+    EXPECT_FALSE(outcome.installed);
+  }
+}
+
+// --- HijackChecker ---------------------------------------------------------------
+
+TEST(HijackCheckerTest, FlagsExactOverrideAndMoreSpecific) {
+  ProviderFixture fixture;
+  HijackChecker checker;
+  checker.OnCheckpoint(fixture.state);
+
+  // Exact override: same prefix as the victim, different origin, became best.
+  ExplorationOutcome outcome;
+  outcome.prefix = P("208.65.152.0/22");
+  outcome.installed = true;
+  outcome.became_best = true;
+  outcome.new_origin_as = 17557;  // Pakistan Telecom
+  bgp::RouterState after = fixture.state;
+  RunInfo info{0, &outcome, &after};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].old_origin, 36561u);
+  EXPECT_EQ(detections[0].new_origin, 17557u);
+
+  // More-specific hijack: new /24 inside the /22.
+  detections.clear();
+  outcome.prefix = P("208.65.153.0/24");
+  checker.OnRun(info, &detections);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].victim, P("208.65.152.0/22"));
+}
+
+TEST(HijackCheckerTest, SameOriginIsNotHijack) {
+  ProviderFixture fixture;
+  HijackChecker checker;
+  checker.OnCheckpoint(fixture.state);
+  ExplorationOutcome outcome;
+  outcome.prefix = P("208.65.153.0/24");
+  outcome.installed = true;
+  outcome.became_best = true;
+  outcome.new_origin_as = 36561;  // legitimate origin re-announcing
+  bgp::RouterState after = fixture.state;
+  RunInfo info{0, &outcome, &after};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(HijackCheckerTest, RejectedInputsNeverFlagged) {
+  ProviderFixture fixture;
+  HijackChecker checker;
+  checker.OnCheckpoint(fixture.state);
+  ExplorationOutcome outcome;
+  outcome.prefix = P("208.65.152.0/22");
+  outcome.installed = false;  // the filter did its job
+  outcome.new_origin_as = 17557;
+  bgp::RouterState after = fixture.state;
+  RunInfo info{0, &outcome, &after};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(HijackCheckerTest, AnycastWhitelistSuppresses) {
+  ProviderFixture fixture;
+  HijackChecker checker;
+  checker.AddAnycastPrefix(P("208.65.152.0/22"));
+  checker.OnCheckpoint(fixture.state);
+  ExplorationOutcome outcome;
+  outcome.prefix = P("208.65.153.0/24");
+  outcome.installed = true;
+  outcome.became_best = true;
+  outcome.new_origin_as = 17557;
+  bgp::RouterState after = fixture.state;
+  RunInfo info{0, &outcome, &after};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  EXPECT_TRUE(detections.empty());
+  EXPECT_EQ(checker.suppressed_anycast(), 1u);
+}
+
+// --- Explorer end-to-end: the §4.2 experiment ------------------------------------
+
+TEST(ExplorerTest, DetectsRouteLeakThroughErroneousFilter) {
+  // The provider's prefix-list erroneously contains the victim's space: the
+  // filter accepts announcements there, and DiCE must find such an input by
+  // negating the filter's branches.
+  ProviderFixture fixture("208.65.152.0/22");
+
+  ExplorerOptions options;
+  options.concolic.max_runs = 200;
+  Explorer explorer(options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  explorer.ExploreSeed(SeedUpdate(), /*from=*/1);
+
+  const ExplorationReport& report = explorer.report();
+  ASSERT_FALSE(report.detections.empty())
+      << "DiCE must find the leak: " << report.Summary();
+  bool found_victim = false;
+  for (const Detection& d : report.detections) {
+    if (P("208.65.152.0/22").Covers(d.prefix)) {
+      found_victim = true;
+      EXPECT_EQ(d.old_origin, 36561u);
+    }
+  }
+  EXPECT_TRUE(found_victim) << report.Summary();
+  EXPECT_TRUE(report.first_detection_run.has_value());
+}
+
+TEST(ExplorerTest, CorrectFilterYieldsNoDetections) {
+  ProviderFixture fixture;  // no erroneous entry
+  ExplorerOptions options;
+  options.concolic.max_runs = 150;
+  Explorer explorer(options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  explorer.ExploreSeed(SeedUpdate(), 1);
+  EXPECT_TRUE(explorer.report().detections.empty()) << explorer.report().Summary();
+  EXPECT_GT(explorer.report().concolic.runs, 1u);
+}
+
+TEST(ExplorerTest, DetectsLeakWhenFilteringIsAbsent) {
+  // The PCCW case: no customer filtering at all. The instrumented RIB lookup
+  // provides the constraints that steer exploration into occupied table
+  // regions.
+  ProviderFixture fixture(nullptr, /*customer_filtering=*/false);
+  ExplorerOptions options;
+  options.concolic.max_runs = 400;
+  Explorer explorer(options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  explorer.ExploreSeed(SeedUpdate(), 1);
+  EXPECT_FALSE(explorer.report().detections.empty()) << explorer.report().Summary();
+}
+
+TEST(ExplorerTest, ExplorationNeverTouchesLiveState) {
+  ProviderFixture fixture("208.65.152.0/22");
+  bgp::RouterState before = fixture.state;  // snapshot for comparison
+
+  ExplorerOptions options;
+  options.concolic.max_runs = 100;
+  Explorer explorer(options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  explorer.ExploreSeed(SeedUpdate(), 1);
+
+  // The live state is bit-for-bit untouched: same prefixes, same bests.
+  EXPECT_EQ(fixture.state.rib.PrefixCount(), before.rib.PrefixCount());
+  size_t mismatches = 0;
+  before.rib.Walk([&](const bgp::Prefix& prefix, const bgp::RibEntry& entry) {
+    const bgp::Route* now = fixture.state.rib.BestRoute(prefix);
+    if (now == nullptr || !(*now == *entry.BestRoute())) {
+      ++mismatches;
+    }
+    return true;
+  });
+  EXPECT_EQ(mismatches, 0u);
+  // And all clone messaging was intercepted, none delivered anywhere.
+  EXPECT_EQ(explorer.report().intercepted_messages, explorer.intercepted().size());
+}
+
+TEST(ExplorerTest, InterceptedMessagesAreRecorded) {
+  ProviderFixture fixture("208.65.152.0/22");
+  ExplorerOptions options;
+  options.concolic.max_runs = 100;
+  Explorer explorer(options);
+  explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  explorer.ExploreSeed(SeedUpdate("10.1.9.0/24"), 1);
+  // The seed run itself becomes best and propagates to peer 9 on the clone.
+  ASSERT_FALSE(explorer.intercepted().empty());
+  EXPECT_EQ(explorer.intercepted()[0].to, 9u);
+}
+
+TEST(ExplorerTest, IncrementalSteppingMatchesBatch) {
+  ProviderFixture fixture("208.65.152.0/22");
+  ExplorerOptions options;
+  options.concolic.max_runs = 60;
+
+  Explorer batch(options);
+  batch.AddChecker(std::make_unique<HijackChecker>());
+  batch.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  batch.ExploreSeed(SeedUpdate(), 1);
+
+  Explorer stepper(options);
+  stepper.AddChecker(std::make_unique<HijackChecker>());
+  stepper.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  stepper.StartExploration(SeedUpdate(), 1);
+  while (stepper.Step()) {
+  }
+  EXPECT_EQ(stepper.report().concolic.runs, batch.report().concolic.runs);
+  EXPECT_EQ(stepper.report().detections.size(), batch.report().detections.size());
+}
+
+TEST(ExplorerTest, LocalNetworksCheckerStaysQuietOnHealthyRuns) {
+  ProviderFixture fixture;
+  auto config = std::make_shared<bgp::RouterConfig>(*fixture.state.config);
+  config->networks.push_back(P("10.3.0.0/16"));
+  fixture.state.config = config;
+  bgp::Route local;
+  local.peer = bgp::kLocalPeer;
+  fixture.state.rib.AddRoute(P("10.3.0.0/16"), local);
+
+  ExplorerOptions options;
+  options.concolic.max_runs = 50;
+  Explorer explorer(options);
+  explorer.AddChecker(std::make_unique<LocalNetworksIntactChecker>());
+  explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  explorer.ExploreSeed(SeedUpdate(), 1);
+  EXPECT_TRUE(explorer.report().detections.empty());
+}
+
+// --- Baselines --------------------------------------------------------------------
+
+TEST(BaselinesTest, RandomFuzzRarelyFindsTheNeedleFilterHole) {
+  // A narrow erroneous entry: random 32-bit addresses essentially never land
+  // inside one /22 (probability ~2^-22 per try); the concolic explorer finds
+  // it in tens of runs (see ExplorerTest.DetectsRouteLeakThroughErroneousFilter).
+  ProviderFixture fixture("208.65.152.0/22");
+  RandomFuzzExplorer fuzz(SymbolicUpdateSpec{}, /*seed=*/99);
+  fuzz.AddChecker(std::make_unique<HijackChecker>());
+  fuzz.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+  fuzz.Explore(SeedUpdate(), 1, 300);
+  // With 300 runs the expected number of hits is ~300 * 2^-10-ish given the
+  // legit /16 also exists; the victim /22 specifically should stay unfound.
+  bool victim_found = false;
+  for (const Detection& d : fuzz.detections()) {
+    if (P("208.65.152.0/22").Covers(d.prefix)) {
+      victim_found = true;
+    }
+  }
+  EXPECT_FALSE(victim_found);
+}
+
+TEST(BaselinesTest, WholeMessageFuzzMostlyProducesInvalidMessages) {
+  WholeMessageFuzzer fuzzer(7);
+  WholeMessageFuzzStats stats = fuzzer.Run(SeedUpdate(), 2000, 4);
+  EXPECT_EQ(stats.attempts, 2000u);
+  // The §3.2 argument: byte-level mutation almost always breaks the message.
+  EXPECT_LT(stats.ValidFraction(), 0.35);
+  EXPECT_LE(stats.reached_routing_logic, stats.decode_update_ok);
+}
+
+TEST(BaselinesTest, ReplayCostScalesWithHistoryCheckpointDoesNot) {
+  ProviderFixture fixture;
+  checkpoint::CheckpointManager mgr;
+  mgr.Take(fixture.state, fixture.Peers(), 0);
+
+  std::vector<bgp::UpdateMessage> short_history;
+  std::vector<bgp::UpdateMessage> long_history;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    bgp::UpdateMessage u = SeedUpdate();
+    u.nlri[0] = bgp::Prefix::Make(bgp::Ipv4Address(0x0a010000u | (rng.NextU32() & 0xff00)), 24);
+    if (i < 100) {
+      short_history.push_back(u);
+    }
+    long_history.push_back(u);
+  }
+  ReplayCost short_cost = MeasureReplayFromInitial(*fixture.state.config, short_history,
+                                                   fixture.customer_view, mgr);
+  ReplayCost long_cost = MeasureReplayFromInitial(*fixture.state.config, long_history,
+                                                  fixture.customer_view, mgr);
+  EXPECT_GT(long_cost.replay_seconds, short_cost.replay_seconds);
+  EXPECT_LT(short_cost.checkpoint_seconds, short_cost.replay_seconds + 1.0);
+}
+
+}  // namespace
+}  // namespace dice

@@ -1,0 +1,193 @@
+// Tests for the discrete-event loop and the simulated network, including the
+// interception (tap) mechanism DiCE's isolation depends on.
+
+#include <gtest/gtest.h>
+
+#include "src/net/event_loop.h"
+#include "src/net/network.h"
+
+namespace dice::net {
+namespace {
+
+TEST(EventLoopTest, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.At(30, [&] { order.push_back(3); });
+  loop.At(10, [&] { order.push_back(1); });
+  loop.At(20, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoopTest, FifoAmongSameTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.At(5, [&, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventLoopTest, AfterIsRelative) {
+  EventLoop loop;
+  SimTime fired_at = 0;
+  loop.At(100, [&] { loop.After(50, [&] { fired_at = loop.now(); }); });
+  loop.Run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.At(10, [&] { ++fired; });
+  loop.At(20, [&] { ++fired; });
+  loop.At(30, [&] { ++fired; });
+  loop.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20u);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeWhenIdle) {
+  EventLoop loop;
+  loop.RunUntil(500);
+  EXPECT_EQ(loop.now(), 500u);
+}
+
+TEST(EventLoopTest, StopHaltsRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.At(1, [&] {
+    ++fired;
+    loop.Stop();
+  });
+  loop.At(2, [&] { ++fired; });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, StepExecutesOne) {
+  EventLoop loop;
+  int fired = 0;
+  loop.At(1, [&] { ++fired; });
+  loop.At(2, [&] { ++fired; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+}
+
+// A node that records everything it receives.
+class SinkNode : public Node {
+ public:
+  SinkNode(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  void OnMessage(NodeId from, const Bytes& bytes) override {
+    received.push_back({from, bytes});
+  }
+  void OnLinkUp(NodeId peer) override { link_ups.push_back(peer); }
+  void OnLinkDown(NodeId peer) override { link_downs.push_back(peer); }
+
+  std::vector<std::pair<NodeId, Bytes>> received;
+  std::vector<NodeId> link_ups;
+  std::vector<NodeId> link_downs;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&loop_), a_(1, "a"), b_(2, "b") {
+    net_.AddNode(&a_);
+    net_.AddNode(&b_);
+    net_.Connect(1, 2, 10 * kMillisecond);
+  }
+
+  EventLoop loop_;
+  Network net_;
+  SinkNode a_;
+  SinkNode b_;
+};
+
+TEST_F(NetworkTest, ConnectNotifiesBothEndpoints) {
+  EXPECT_EQ(a_.link_ups, (std::vector<NodeId>{2}));
+  EXPECT_EQ(b_.link_ups, (std::vector<NodeId>{1}));
+}
+
+TEST_F(NetworkTest, DeliversAfterDelay) {
+  ASSERT_TRUE(net_.Send(1, 2, Bytes{42}));
+  EXPECT_TRUE(b_.received.empty());
+  loop_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].first, 1u);
+  EXPECT_EQ(b_.received[0].second, Bytes{42});
+  EXPECT_EQ(loop_.now(), 10 * kMillisecond);
+}
+
+TEST_F(NetworkTest, PreservesOrderPerChannel) {
+  for (uint8_t i = 0; i < 10; ++i) {
+    net_.Send(1, 2, Bytes{i});
+  }
+  loop_.Run();
+  ASSERT_EQ(b_.received.size(), 10u);
+  for (uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(b_.received[i].second, Bytes{i});
+  }
+}
+
+TEST_F(NetworkTest, SendWithoutChannelFails) {
+  SinkNode c(3, "c");
+  net_.AddNode(&c);
+  EXPECT_FALSE(net_.Send(1, 3, Bytes{1}));
+}
+
+TEST_F(NetworkTest, TapDivertsFromReceiver) {
+  RecordingTap tap;
+  net_.GetChannel(1, 2)->set_tap(&tap);
+  net_.Send(1, 2, Bytes{7});
+  loop_.Run();
+  EXPECT_TRUE(b_.received.empty()) << "tapped message must not reach the receiver";
+  ASSERT_EQ(tap.count(), 1u);
+  EXPECT_EQ(tap.entries()[0].from, 1u);
+  EXPECT_EQ(tap.entries()[0].to, 2u);
+  EXPECT_EQ(tap.entries()[0].bytes, Bytes{7});
+  // Other direction unaffected.
+  net_.Send(2, 1, Bytes{8});
+  loop_.Run();
+  EXPECT_EQ(a_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, DropFilterDiscards) {
+  net_.GetChannel(1, 2)->set_drop_filter([](const Bytes& b) { return b[0] % 2 == 0; });
+  for (uint8_t i = 0; i < 6; ++i) {
+    net_.Send(1, 2, Bytes{i});
+  }
+  loop_.Run();
+  ASSERT_EQ(b_.received.size(), 3u);
+  EXPECT_EQ(net_.GetChannel(1, 2)->dropped_count(), 3u);
+}
+
+TEST_F(NetworkTest, DisconnectStopsTrafficAndNotifies) {
+  net_.Disconnect(1, 2);
+  EXPECT_EQ(a_.link_downs, (std::vector<NodeId>{2}));
+  EXPECT_EQ(b_.link_downs, (std::vector<NodeId>{1}));
+  net_.Send(1, 2, Bytes{1});
+  loop_.Run();
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetworkTest, ChannelCounters) {
+  net_.Send(1, 2, Bytes{1});
+  net_.Send(1, 2, Bytes{2});
+  loop_.Run();
+  Channel* ch = net_.GetChannel(1, 2);
+  EXPECT_EQ(ch->sent_count(), 2u);
+  EXPECT_EQ(ch->delivered_count(), 2u);
+  EXPECT_EQ(ch->dropped_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dice::net

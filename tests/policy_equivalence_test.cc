@@ -1,0 +1,219 @@
+// Property: the filter interpreter must produce identical verdicts under the
+// concrete context and the symbolic context, for random filters and random
+// routes. This is the §3.2 guarantee ("original and instrumented code ...
+// operate on the same data") at the policy-engine level: instrumentation may
+// record constraints but must never change what the filter decides.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/policy_eval.h"
+#include "src/bgp/rib.h"
+#include "src/dice/symbolic_ctx.h"
+#include "src/util/rng.h"
+
+namespace dice {
+namespace {
+
+using namespace bgp;
+
+Prefix RandomPrefix(Rng& rng) {
+  return Prefix::Make(Ipv4Address(rng.NextU32()), static_cast<uint8_t>(rng.NextBelow(33)));
+}
+
+Match RandomMatch(Rng& rng, const std::vector<std::string>& list_names) {
+  Match m;
+  switch (rng.NextBelow(10)) {
+    case 0:
+      m.kind = MatchKind::kAny;
+      break;
+    case 1:
+      m.kind = MatchKind::kPrefixInList;
+      m.list_name = list_names[rng.NextBelow(list_names.size())];
+      break;
+    case 2:
+      m.kind = MatchKind::kPrefixIs;
+      m.prefix = RandomPrefix(rng);
+      break;
+    case 3:
+      m.kind = MatchKind::kPrefixWithin;
+      m.prefix = Prefix::Make(Ipv4Address(rng.NextU32()),
+                              static_cast<uint8_t>(rng.NextBelow(17)));
+      break;
+    case 4:
+      m.kind = MatchKind::kOriginAsIs;
+      m.number = static_cast<uint32_t>(1 + rng.NextBelow(1000));
+      break;
+    case 5:
+      m.kind = MatchKind::kAsPathContains;
+      m.number = static_cast<uint32_t>(1 + rng.NextBelow(1000));
+      break;
+    case 6:
+      m.kind = MatchKind::kAsPathLength;
+      m.cmp = static_cast<CmpOp>(rng.NextBelow(6));
+      m.number = static_cast<uint32_t>(rng.NextBelow(6));
+      break;
+    case 7:
+      m.kind = MatchKind::kHasCommunity;
+      m.community = MakeCommunity(static_cast<uint16_t>(rng.NextBelow(5)),
+                                  static_cast<uint16_t>(rng.NextBelow(5)));
+      break;
+    case 8:
+      m.kind = MatchKind::kMedCmp;
+      m.cmp = static_cast<CmpOp>(rng.NextBelow(6));
+      m.number = static_cast<uint32_t>(rng.NextBelow(200));
+      break;
+    default:
+      m.kind = MatchKind::kOriginCodeIs;
+      m.number = static_cast<uint32_t>(rng.NextBelow(3));
+      break;
+  }
+  return m;
+}
+
+Action RandomAction(Rng& rng) {
+  Action a;
+  switch (rng.NextBelow(6)) {
+    case 0:
+      a.kind = ActionKind::kSetLocalPref;
+      a.number = static_cast<uint32_t>(rng.NextBelow(500));
+      break;
+    case 1:
+      a.kind = ActionKind::kSetMed;
+      a.number = static_cast<uint32_t>(rng.NextBelow(500));
+      break;
+    case 2:
+      a.kind = ActionKind::kPrependAs;
+      a.number = static_cast<uint32_t>(1 + rng.NextBelow(65535));
+      break;
+    case 3:
+      a.kind = ActionKind::kAddCommunity;
+      a.community = MakeCommunity(static_cast<uint16_t>(rng.NextBelow(5)),
+                                  static_cast<uint16_t>(rng.NextBelow(5)));
+      break;
+    case 4:
+      a.kind = ActionKind::kRemoveCommunity;
+      a.community = MakeCommunity(static_cast<uint16_t>(rng.NextBelow(5)),
+                                  static_cast<uint16_t>(rng.NextBelow(5)));
+      break;
+    default:
+      a.kind = ActionKind::kSetNextHop;
+      a.address = Ipv4Address(rng.NextU32());
+      break;
+  }
+  return a;
+}
+
+class PolicyEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyEquivalenceProperty, SymbolicAndConcreteVerdictsAgree) {
+  Rng rng(GetParam());
+
+  for (int iter = 0; iter < 120; ++iter) {
+    // Random policy store with two prefix lists.
+    PolicyStore store;
+    std::vector<std::string> list_names{"l0", "l1"};
+    for (const std::string& name : list_names) {
+      PrefixList list;
+      list.name = name;
+      size_t entries = 1 + rng.NextBelow(4);
+      for (size_t i = 0; i < entries; ++i) {
+        PrefixListEntry entry;
+        entry.prefix =
+            Prefix::Make(Ipv4Address(rng.NextU32()), static_cast<uint8_t>(8 + rng.NextBelow(17)));
+        entry.le = static_cast<uint8_t>(
+            entry.prefix.length() +
+            rng.NextBelow(33u - entry.prefix.length()));
+        list.entries.push_back(entry);
+      }
+      ASSERT_TRUE(store.AddPrefixList(std::move(list)).ok());
+    }
+
+    // Random filter: up to 4 terms, each up to 2 matches and 3 actions.
+    Filter filter;
+    filter.name = "random";
+    size_t terms = 1 + rng.NextBelow(4);
+    for (size_t t = 0; t < terms; ++t) {
+      FilterTerm term;
+      size_t matches = rng.NextBelow(3);
+      for (size_t m = 0; m < matches; ++m) {
+        term.matches.push_back(RandomMatch(rng, list_names));
+      }
+      size_t actions = rng.NextBelow(3);
+      for (size_t a = 0; a < actions; ++a) {
+        term.actions.push_back(RandomAction(rng));
+      }
+      if (rng.NextBool(0.7)) {
+        Action terminal;
+        terminal.kind = rng.NextBool(0.6) ? ActionKind::kAccept : ActionKind::kReject;
+        term.actions.push_back(terminal);
+      }
+      filter.terms.push_back(std::move(term));
+    }
+    filter.default_accept = rng.NextBool(0.5);
+
+    // Random route.
+    Prefix prefix = RandomPrefix(rng);
+    PathAttributes attrs;
+    size_t path_len = 1 + rng.NextBelow(4);
+    std::vector<AsNumber> path;
+    for (size_t i = 0; i < path_len; ++i) {
+      path.push_back(static_cast<AsNumber>(1 + rng.NextBelow(1000)));
+    }
+    attrs.as_path = AsPath::Sequence(path);
+    attrs.origin = static_cast<Origin>(rng.NextBelow(3));
+    attrs.next_hop = Ipv4Address(rng.NextU32());
+    if (rng.NextBool(0.5)) {
+      attrs.med = static_cast<uint32_t>(rng.NextBelow(300));
+    }
+    size_t comms = rng.NextBelow(3);
+    for (size_t i = 0; i < comms; ++i) {
+      attrs.communities.push_back(MakeCommunity(static_cast<uint16_t>(rng.NextBelow(5)),
+                                                static_cast<uint16_t>(rng.NextBelow(5))));
+    }
+
+    // Concrete evaluation.
+    FilterVerdict concrete = EvaluateFilterConcrete(filter, store, prefix, attrs);
+
+    // Symbolic evaluation with all route fields marked symbolic (seeded to
+    // the same concrete values).
+    sym::Engine engine;
+    engine.BeginRun({});
+    SymbolicCtx ctx(&engine);
+    RouteView<sym::Value> view;
+    view.prefix_addr =
+        engine.MakeSymbolic("addr", 32, prefix.address().bits(), 0, 0xffffffffULL);
+    view.prefix_len = engine.MakeSymbolic("len", 8, prefix.length(), 0, 32);
+    for (size_t i = 0; i < path.size(); ++i) {
+      view.as_path.push_back(
+          engine.MakeSymbolic("asn" + std::to_string(i), 16, path[i], 1, 0xffff));
+    }
+    view.origin_code = engine.MakeSymbolic("origin", 8, static_cast<uint64_t>(attrs.origin), 0, 2);
+    view.next_hop = sym::Value(attrs.next_hop.bits());
+    view.med = attrs.med.has_value()
+                   ? engine.MakeSymbolic("med", 32, *attrs.med, 0, 0xffffffffULL)
+                   : sym::Value(0);
+    view.med_present = attrs.med.has_value();
+    view.local_pref = sym::Value(kDefaultLocalPref);
+    for (const Community c : attrs.communities) {
+      view.communities.push_back(sym::Value(c));
+    }
+
+    auto symbolic = EvaluateFilter(ctx, filter, store, std::move(view));
+
+    EXPECT_EQ(symbolic.accepted, concrete.accepted)
+        << "iter " << iter << ": symbolic and concrete verdicts diverged";
+    if (symbolic.accepted && concrete.accepted) {
+      if (symbolic.route.local_pref_present) {
+        EXPECT_EQ(static_cast<uint32_t>(symbolic.route.local_pref.concrete()),
+                  concrete.attrs.local_pref.value_or(kDefaultLocalPref));
+      }
+      EXPECT_EQ(symbolic.route.communities.size(), concrete.attrs.communities.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyEquivalenceProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace dice

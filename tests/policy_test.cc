@@ -1,0 +1,368 @@
+// Tests for the policy store and the filter interpreter (concrete context).
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/policy.h"
+#include "src/bgp/policy_eval.h"
+#include "src/bgp/rib.h"
+
+namespace dice::bgp {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::Parse(s); }
+
+Action SimpleAction(ActionKind kind) {
+  Action a;
+  a.kind = kind;
+  return a;
+}
+
+PathAttributes Attrs(std::vector<AsNumber> path, Origin origin = Origin::kIgp) {
+  PathAttributes a;
+  a.as_path = AsPath::Sequence(std::move(path));
+  a.origin = origin;
+  a.next_hop = *Ipv4Address::Parse("10.0.0.1");
+  return a;
+}
+
+PolicyStore StoreWithCustomerList() {
+  PolicyStore store;
+  PrefixList list;
+  list.name = "customers";
+  list.entries.push_back(PrefixListEntry{P("10.1.0.0/16"), 0, 24});  // le 24
+  list.entries.push_back(PrefixListEntry{P("10.2.0.0/16"), 0, 0});   // exact
+  EXPECT_TRUE(store.AddPrefixList(std::move(list)).ok());
+  return store;
+}
+
+// --- PolicyStore ------------------------------------------------------------
+
+TEST(PolicyStoreTest, GeLeDefaults) {
+  PolicyStore store = StoreWithCustomerList();
+  const PrefixList* list = store.FindPrefixList("customers");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->entries[0].ge, 16);  // defaults to prefix length
+  EXPECT_EQ(list->entries[0].le, 24);
+  EXPECT_EQ(list->entries[1].ge, 16);
+  EXPECT_EQ(list->entries[1].le, 16);  // defaults to prefix length (exact)
+}
+
+TEST(PolicyStoreTest, RejectsBadBounds) {
+  PolicyStore store;
+  PrefixList list;
+  list.name = "bad";
+  list.entries.push_back(PrefixListEntry{P("10.0.0.0/16"), 8, 24});  // ge < length
+  EXPECT_FALSE(store.AddPrefixList(std::move(list)).ok());
+
+  PrefixList list2;
+  list2.name = "bad2";
+  list2.entries.push_back(PrefixListEntry{P("10.0.0.0/16"), 24, 20});  // ge > le
+  EXPECT_FALSE(store.AddPrefixList(std::move(list2)).ok());
+}
+
+TEST(PolicyStoreTest, RejectsDuplicates) {
+  PolicyStore store = StoreWithCustomerList();
+  PrefixList dup;
+  dup.name = "customers";
+  EXPECT_EQ(store.AddPrefixList(std::move(dup)).code(), StatusCode::kAlreadyExists);
+  Filter f;
+  f.name = "f";
+  EXPECT_TRUE(store.AddFilter(f).ok());
+  EXPECT_EQ(store.AddFilter(std::move(f)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PolicyStoreTest, ValidateCatchesDanglingListReference) {
+  PolicyStore store;
+  Filter f;
+  f.name = "f";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kPrefixInList;
+  m.list_name = "nonexistent";
+  t.matches.push_back(m);
+  f.terms.push_back(t);
+  ASSERT_TRUE(store.AddFilter(std::move(f)).ok());
+  EXPECT_EQ(store.Validate().code(), StatusCode::kNotFound);
+}
+
+// --- filter evaluation ---------------------------------------------------------
+
+TEST(FilterEvalTest, CustomerImportFilterAcceptsListedPrefix) {
+  PolicyStore store = StoreWithCustomerList();
+  Filter filter = MakeCustomerImportFilter("customer-in", "customers");
+  ASSERT_TRUE(store.AddFilter(filter).ok());
+
+  FilterVerdict v = EvaluateFilterConcrete(filter, store, P("10.1.5.0/24"), Attrs({65001}));
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.local_pref, 200u);  // the set local-pref action applied
+
+  // /25 exceeds le 24.
+  v = EvaluateFilterConcrete(filter, store, P("10.1.5.0/25"), Attrs({65001}));
+  EXPECT_FALSE(v.accepted);
+
+  // Exact-only entry rejects a more specific.
+  v = EvaluateFilterConcrete(filter, store, P("10.2.1.0/24"), Attrs({65001}));
+  EXPECT_FALSE(v.accepted);
+  v = EvaluateFilterConcrete(filter, store, P("10.2.0.0/16"), Attrs({65001}));
+  EXPECT_TRUE(v.accepted);
+
+  // Unlisted space rejected — the route-leak defense.
+  v = EvaluateFilterConcrete(filter, store, P("208.65.153.0/24"), Attrs({65001}));
+  EXPECT_FALSE(v.accepted);
+}
+
+TEST(FilterEvalTest, EmptyTermMatchesEverything) {
+  PolicyStore store;
+  Filter f;
+  f.name = "reject-all";
+  FilterTerm t;
+  t.actions.push_back(SimpleAction(ActionKind::kReject));
+  f.terms.push_back(t);
+  f.default_accept = true;  // must be shadowed by the term
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1}));
+  EXPECT_FALSE(v.accepted);
+}
+
+TEST(FilterEvalTest, DefaultAppliesWhenNoTermTerminates) {
+  PolicyStore store;
+  Filter f;
+  f.name = "empty";
+  f.default_accept = true;
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1})).accepted);
+  f.default_accept = false;
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1})).accepted);
+}
+
+TEST(FilterEvalTest, OriginAsMatching) {
+  PolicyStore store;
+  Filter f;
+  f.name = "by-origin";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kOriginAsIs;
+  m.number = 65001;
+  t.matches.push_back(m);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({65000, 65001})).accepted);
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({65001, 65002})).accepted);
+}
+
+TEST(FilterEvalTest, OriginAsInSet) {
+  PolicyStore store;
+  Filter f;
+  f.name = "by-origin-set";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kOriginAsIn;
+  m.numbers = {10, 20, 30};
+  t.matches.push_back(m);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 20})).accepted);
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 25})).accepted);
+}
+
+TEST(FilterEvalTest, AsPathContains) {
+  PolicyStore store;
+  Filter f;
+  f.name = "no-transit-666";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kAsPathContains;
+  m.number = 666;
+  t.matches.push_back(m);
+  t.actions.push_back(SimpleAction(ActionKind::kReject));
+  f.terms.push_back(t);
+  f.default_accept = true;
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 666, 2})).accepted);
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 2})).accepted);
+}
+
+TEST(FilterEvalTest, AsPathLengthComparisons) {
+  PolicyStore store;
+  Filter f;
+  f.name = "short-paths-only";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kAsPathLength;
+  m.cmp = CmpOp::kLe;
+  m.number = 3;
+  t.matches.push_back(m);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 2, 3})).accepted);
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 2, 3, 4})).accepted);
+}
+
+TEST(FilterEvalTest, CommunityMatchAndActions) {
+  PolicyStore store;
+  Filter f;
+  f.name = "community-ops";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kHasCommunity;
+  m.community = MakeCommunity(65000, 1);
+  t.matches.push_back(m);
+  {
+    Action add;
+    add.kind = ActionKind::kAddCommunity;
+    add.community = MakeCommunity(65000, 2);
+    t.actions.push_back(add);
+  }
+  Action remove;
+  remove.kind = ActionKind::kRemoveCommunity;
+  remove.community = MakeCommunity(65000, 1);
+  t.actions.push_back(remove);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+
+  PathAttributes attrs = Attrs({1});
+  attrs.communities = {MakeCommunity(65000, 1)};
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), attrs);
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.communities, (std::vector<Community>{MakeCommunity(65000, 2)}));
+
+  attrs.communities = {};
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), attrs).accepted);
+}
+
+TEST(FilterEvalTest, MedAndLocalPrefComparisons) {
+  PolicyStore store;
+  Filter f;
+  f.name = "med-gate";
+  FilterTerm t;
+  Match m;
+  m.kind = MatchKind::kMedCmp;
+  m.cmp = CmpOp::kLt;
+  m.number = 100;
+  t.matches.push_back(m);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+
+  PathAttributes attrs = Attrs({1});
+  attrs.med = 50;
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), attrs).accepted);
+  attrs.med = 150;
+  EXPECT_FALSE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), attrs).accepted);
+  attrs.med.reset();  // absent MED compares as 0
+  EXPECT_TRUE(EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), attrs).accepted);
+}
+
+TEST(FilterEvalTest, PrependAction) {
+  PolicyStore store;
+  Filter f;
+  f.name = "prepender";
+  FilterTerm t;
+  Action prepend;
+  prepend.kind = ActionKind::kPrependAs;
+  prepend.number = 65000;
+  t.actions.push_back(prepend);
+  t.actions.push_back(prepend);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1, 2}));
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.as_path.ToString(), "65000 65000 1 2");
+}
+
+TEST(FilterEvalTest, SetMedAndNextHop) {
+  PolicyStore store;
+  Filter f;
+  f.name = "setters";
+  FilterTerm t;
+  Action set_med;
+  set_med.kind = ActionKind::kSetMed;
+  set_med.number = 77;
+  t.actions.push_back(set_med);
+  Action set_nh;
+  set_nh.kind = ActionKind::kSetNextHop;
+  set_nh.address = *Ipv4Address::Parse("192.0.2.9");
+  t.actions.push_back(set_nh);
+  t.actions.push_back(SimpleAction(ActionKind::kAccept));
+  f.terms.push_back(t);
+
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1}));
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.med, 77u);
+  EXPECT_EQ(v.attrs.next_hop.ToString(), "192.0.2.9");
+}
+
+TEST(FilterEvalTest, FirstMatchingTermWins) {
+  PolicyStore store = StoreWithCustomerList();
+  Filter f;
+  f.name = "ordered";
+  {
+    FilterTerm t;
+    Match m;
+    m.kind = MatchKind::kPrefixWithin;
+    m.prefix = P("10.0.0.0/8");
+    t.matches.push_back(m);
+    Action a;
+    a.kind = ActionKind::kSetLocalPref;
+    a.number = 300;
+    t.actions.push_back(a);
+    t.actions.push_back(SimpleAction(ActionKind::kAccept));
+    f.terms.push_back(t);
+  }
+  {
+    FilterTerm t;
+    Action a;
+    a.kind = ActionKind::kSetLocalPref;
+    a.number = 50;
+    t.actions.push_back(a);
+    t.actions.push_back(SimpleAction(ActionKind::kAccept));
+    f.terms.push_back(t);
+  }
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.3.0.0/16"), Attrs({1}));
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.local_pref, 300u);
+
+  v = EvaluateFilterConcrete(f, store, P("172.16.0.0/12"), Attrs({1}));
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.local_pref, 50u);
+}
+
+TEST(FilterEvalTest, NonTerminalTermFallsThroughWithModifications) {
+  PolicyStore store;
+  Filter f;
+  f.name = "modifier-chain";
+  {
+    FilterTerm t;  // no terminal action: set and continue
+    Action a;
+    a.kind = ActionKind::kSetLocalPref;
+    a.number = 500;
+    t.actions.push_back(a);
+    f.terms.push_back(t);
+  }
+  {
+    FilterTerm t;
+    t.actions.push_back(SimpleAction(ActionKind::kAccept));
+    f.terms.push_back(t);
+  }
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1}));
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.attrs.local_pref, 500u);
+}
+
+// Rejected routes must not carry modifications out.
+TEST(FilterEvalTest, RejectedVerdictKeepsOriginalAttrs) {
+  PolicyStore store;
+  Filter f;
+  f.name = "modify-then-reject";
+  FilterTerm t;
+  Action a;
+  a.kind = ActionKind::kSetLocalPref;
+  a.number = 999;
+  t.actions.push_back(a);
+  t.actions.push_back(SimpleAction(ActionKind::kReject));
+  f.terms.push_back(t);
+  FilterVerdict v = EvaluateFilterConcrete(f, store, P("10.0.0.0/8"), Attrs({1}));
+  EXPECT_FALSE(v.accepted);
+  EXPECT_FALSE(v.attrs.local_pref.has_value());
+}
+
+}  // namespace
+}  // namespace dice::bgp

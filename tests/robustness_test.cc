@@ -1,0 +1,266 @@
+// Robustness / failure-injection properties across the stack:
+//  * the wire decoder must reject or parse — never crash — on arbitrary bytes;
+//  * the symbolic decision-preference expression must agree with the concrete
+//    RoutePreferred on random routes (the "instrumentation never changes
+//    semantics" property at the decision-process level);
+//  * routers survive hostile peers (garbage, oversized, flapping links).
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/router.h"
+#include "src/bgp/wire.h"
+#include "src/dice/instrumented.h"
+#include "src/dice/symbolic_ctx.h"
+#include "src/util/rng.h"
+
+namespace dice {
+namespace {
+
+using bgp::Prefix;
+
+// --- decoder never crashes -----------------------------------------------------
+
+class DecoderFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecoderFuzzProperty, ArbitraryBytesNeverCrash) {
+  Rng rng(GetParam());
+  size_t ok = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    size_t len = rng.NextBelow(128);
+    Bytes data(len);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    StatusOr<bgp::Message> decoded = bgp::Decode(data);  // must not crash/hang
+    if (decoded.ok()) {
+      ++ok;
+    }
+  }
+  // Random bytes essentially never form a valid message (the 16-byte marker
+  // alone is a 2^-128 event).
+  EXPECT_EQ(ok, 0u);
+}
+
+TEST_P(DecoderFuzzProperty, MutatedValidMessagesNeverCrash) {
+  Rng rng(GetParam() + 100);
+  bgp::UpdateMessage u;
+  u.attrs.origin = bgp::Origin::kIgp;
+  u.attrs.as_path = bgp::AsPath::Sequence({65000, 65001});
+  u.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+  u.attrs.med = 5;
+  u.attrs.communities = {bgp::MakeCommunity(65000, 7)};
+  u.nlri.push_back(*Prefix::Parse("203.0.113.0/24"));
+  Bytes base = bgp::EncodeUpdate(u);
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    Bytes mutated = base;
+    size_t mutations = 1 + rng.NextBelow(6);
+    for (size_t m = 0; m < mutations; ++m) {
+      mutated[rng.NextBelow(mutated.size())] = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    // Occasionally truncate or extend.
+    if (rng.NextBool(0.2) && mutated.size() > 20) {
+      mutated.resize(20 + rng.NextBelow(mutated.size() - 20));
+    }
+    StatusOr<bgp::Message> decoded = bgp::Decode(mutated);
+    if (decoded.ok() && std::holds_alternative<bgp::UpdateMessage>(*decoded)) {
+      // Round-trip any accepted mutant: re-encoding must also succeed.
+      const auto& update = std::get<bgp::UpdateMessage>(*decoded);
+      Bytes re = bgp::EncodeUpdate(update);
+      EXPECT_GE(re.size(), bgp::kHeaderSize);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzProperty, ::testing::Values(1, 2, 3));
+
+// --- symbolic vs concrete decision preference ----------------------------------
+
+// The symbolic preference used in the instrumented path must agree with
+// bgp::RoutePreferred whenever the inputs are concrete. We reconstruct the
+// comparison through the instrumented import path: process a candidate route
+// with nothing symbolic and check became_best against the RIB's own decision.
+class DecisionParityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecisionParityProperty, InstrumentedDecisionMatchesRib) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    // Incumbent route from peer 9.
+    auto config = std::make_shared<bgp::RouterConfig>();
+    config->local_as = 3;
+    config->router_id = *bgp::Ipv4Address::Parse("10.0.0.3");
+    bgp::NeighborConfig customer;
+    customer.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+    customer.remote_as = 1;
+    config->neighbors.push_back(customer);
+
+    bgp::RouterState state;
+    state.config = config;
+    bgp::Route incumbent;
+    incumbent.peer = 9;
+    incumbent.peer_as = rng.NextBool(0.5) ? 1u : 9u;  // sometimes same AS as challenger
+    std::vector<bgp::AsNumber> inc_path{incumbent.peer_as};
+    size_t inc_len = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < inc_len; ++i) {
+      inc_path.push_back(static_cast<bgp::AsNumber>(100 + rng.NextBelow(500)));
+    }
+    incumbent.attrs.as_path = bgp::AsPath::Sequence(inc_path);
+    incumbent.attrs.origin = static_cast<bgp::Origin>(rng.NextBelow(3));
+    if (rng.NextBool(0.5)) {
+      incumbent.attrs.med = static_cast<uint32_t>(rng.NextBelow(100));
+    }
+    if (rng.NextBool(0.3)) {
+      incumbent.attrs.local_pref = static_cast<uint32_t>(50 + rng.NextBelow(300));
+    }
+    Prefix prefix = *Prefix::Parse("203.0.113.0/24");
+    state.rib.AddRoute(prefix, incumbent);
+
+    // Challenger from peer 1, processed through the instrumented path with
+    // nothing marked symbolic.
+    bgp::UpdateMessage challenge;
+    std::vector<bgp::AsNumber> ch_path{1};
+    size_t ch_len = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < ch_len; ++i) {
+      ch_path.push_back(static_cast<bgp::AsNumber>(100 + rng.NextBelow(500)));
+    }
+    challenge.attrs.as_path = bgp::AsPath::Sequence(ch_path);
+    challenge.attrs.origin = static_cast<bgp::Origin>(rng.NextBelow(3));
+    if (rng.NextBool(0.5)) {
+      challenge.attrs.med = static_cast<uint32_t>(rng.NextBelow(100));
+    }
+    challenge.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+    challenge.nlri.push_back(prefix);
+
+    bgp::PeerView from;
+    from.id = 1;
+    from.remote_as = 1;
+    from.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+    from.established = true;
+
+    SymbolicUpdateSpec spec;  // everything symbolic: parity must still hold
+    sym::Engine engine;
+    engine.BeginRun({});
+    bgp::UpdateSink sink = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+    bgp::RouterState clone = state;
+    ExplorationOutcome outcome =
+        ExploreUpdateOnClone(engine, clone, {from}, from, challenge, spec, sink);
+
+    ASSERT_TRUE(outcome.installed);
+    const bgp::Route* best = clone.rib.BestRoute(prefix);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(outcome.became_best, best->peer == 1u)
+        << "instrumented became_best must reflect the RIB decision";
+
+    // And the decision itself must equal brute force over RoutePreferred.
+    auto candidates = clone.rib.Candidates(prefix);
+    const bgp::Route* expected = &candidates[0];
+    for (const bgp::Route& r : candidates) {
+      if (bgp::RoutePreferred(r, *expected)) {
+        expected = &r;
+      }
+    }
+    EXPECT_EQ(best->peer, expected->peer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecisionParityProperty, ::testing::Values(7, 8, 9));
+
+// --- hostile peer survival -----------------------------------------------------
+
+TEST(RouterRobustnessTest, SurvivesGarbageStormAndKeepsRouting) {
+  net::EventLoop loop;
+  net::Network net(&loop);
+
+  bgp::RouterConfig a_cfg;
+  a_cfg.name = "a";
+  a_cfg.local_as = 1;
+  a_cfg.router_id = *bgp::Ipv4Address::Parse("10.0.0.1");
+  a_cfg.networks.push_back(*Prefix::Parse("203.0.113.0/24"));
+  bgp::NeighborConfig nb;
+  nb.address = *bgp::Ipv4Address::Parse("10.0.0.2");
+  nb.remote_as = 2;
+  a_cfg.neighbors.push_back(nb);
+
+  bgp::RouterConfig b_cfg;
+  b_cfg.name = "b";
+  b_cfg.local_as = 2;
+  b_cfg.router_id = *bgp::Ipv4Address::Parse("10.0.0.2");
+  bgp::NeighborConfig nb2;
+  nb2.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+  nb2.remote_as = 1;
+  b_cfg.neighbors.push_back(nb2);
+
+  bgp::Router a(1, std::move(a_cfg), &net);
+  bgp::Router b(2, std::move(b_cfg), &net);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  a.RegisterPeerNode(*bgp::Ipv4Address::Parse("10.0.0.2"), 2);
+  b.RegisterPeerNode(*bgp::Ipv4Address::Parse("10.0.0.1"), 1);
+  a.Start();
+  b.Start();
+  net.Connect(1, 2, net::kMillisecond);
+  loop.RunFor(5 * net::kSecond);
+  ASSERT_TRUE(b.Established(1));
+
+  // Storm of garbage from a's node id (as if a compromised peer).
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    size_t len = 1 + rng.NextBelow(64);
+    Bytes junk(len);
+    for (auto& byte : junk) {
+      byte = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    net.Send(1, 2, junk);
+  }
+  loop.RunFor(net::kSecond);
+  EXPECT_EQ(b.decode_errors(), 500u);
+  EXPECT_TRUE(b.Established(1)) << "garbage must not tear the session down";
+  EXPECT_NE(b.rib().BestRoute(*Prefix::Parse("203.0.113.0/24")), nullptr);
+}
+
+TEST(RouterRobustnessTest, SurvivesLinkFlapping) {
+  net::EventLoop loop;
+  net::Network net(&loop);
+
+  bgp::RouterConfig a_cfg;
+  a_cfg.name = "a";
+  a_cfg.local_as = 1;
+  a_cfg.router_id = *bgp::Ipv4Address::Parse("10.0.0.1");
+  a_cfg.networks.push_back(*Prefix::Parse("203.0.113.0/24"));
+  bgp::NeighborConfig nb;
+  nb.address = *bgp::Ipv4Address::Parse("10.0.0.2");
+  nb.remote_as = 2;
+  a_cfg.neighbors.push_back(nb);
+
+  bgp::RouterConfig b_cfg;
+  b_cfg.name = "b";
+  b_cfg.local_as = 2;
+  b_cfg.router_id = *bgp::Ipv4Address::Parse("10.0.0.2");
+  bgp::NeighborConfig nb2;
+  nb2.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+  nb2.remote_as = 1;
+  b_cfg.neighbors.push_back(nb2);
+
+  bgp::Router a(1, std::move(a_cfg), &net);
+  bgp::Router b(2, std::move(b_cfg), &net);
+  net.AddNode(&a);
+  net.AddNode(&b);
+  a.RegisterPeerNode(*bgp::Ipv4Address::Parse("10.0.0.2"), 2);
+  b.RegisterPeerNode(*bgp::Ipv4Address::Parse("10.0.0.1"), 1);
+  a.Start();
+  b.Start();
+
+  for (int flap = 0; flap < 5; ++flap) {
+    net.Connect(1, 2, net::kMillisecond);
+    loop.RunFor(5 * net::kSecond);
+    EXPECT_TRUE(b.Established(1)) << "flap " << flap;
+    EXPECT_NE(b.rib().BestRoute(*Prefix::Parse("203.0.113.0/24")), nullptr);
+    net.Disconnect(1, 2);
+    loop.RunFor(2 * net::kSecond);
+    EXPECT_EQ(b.rib().BestRoute(*Prefix::Parse("203.0.113.0/24")), nullptr)
+        << "routes flushed on flap " << flap;
+  }
+}
+
+}  // namespace
+}  // namespace dice

@@ -1,0 +1,276 @@
+// Integration tests: routers over the simulated network — session
+// establishment, route propagation, filters, withdraws, split horizon,
+// loop rejection, and the Fig. 2 topology.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/router.h"
+#include "src/bgp/wire.h"
+
+namespace dice::bgp {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::Parse(s); }
+
+RouterConfig SimpleConfig(const std::string& name, AsNumber asn, const std::string& id,
+                          std::vector<std::pair<std::string, AsNumber>> neighbors,
+                          std::vector<std::string> networks = {}) {
+  RouterConfig config;
+  config.name = name;
+  config.local_as = asn;
+  config.router_id = *Ipv4Address::Parse(id);
+  for (const auto& n : networks) {
+    config.networks.push_back(P(n.c_str()));
+  }
+  for (const auto& [addr, remote_as] : neighbors) {
+    NeighborConfig nc;
+    nc.address = *Ipv4Address::Parse(addr);
+    nc.remote_as = remote_as;
+    config.neighbors.push_back(nc);
+  }
+  return config;
+}
+
+class TwoRouterTest : public ::testing::Test {
+ protected:
+  TwoRouterTest()
+      : net_(&loop_),
+        a_(1, SimpleConfig("a", 65001, "10.0.0.1", {{"10.0.0.2", 65002}}, {"203.0.113.0/24"}),
+           &net_),
+        b_(2, SimpleConfig("b", 65002, "10.0.0.2", {{"10.0.0.1", 65001}}, {"198.51.100.0/24"}),
+           &net_) {
+    net_.AddNode(&a_);
+    net_.AddNode(&b_);
+    a_.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.2"), 2);
+    b_.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.1"), 1);
+  }
+
+  void StartAndConverge() {
+    a_.Start();
+    b_.Start();
+    net_.Connect(1, 2, net::kMillisecond);
+    loop_.RunFor(10 * net::kSecond);
+  }
+
+  net::EventLoop loop_;
+  net::Network net_;
+  Router a_;
+  Router b_;
+};
+
+TEST_F(TwoRouterTest, SessionsEstablish) {
+  StartAndConverge();
+  EXPECT_TRUE(a_.Established(2));
+  EXPECT_TRUE(b_.Established(1));
+}
+
+TEST_F(TwoRouterTest, NetworksPropagateBothWays) {
+  StartAndConverge();
+  const Route* at_b = b_.rib().BestRoute(P("203.0.113.0/24"));
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_EQ(at_b->attrs.as_path.ToString(), "65001");
+  EXPECT_EQ(at_b->attrs.next_hop.ToString(), "10.0.0.1");
+  EXPECT_EQ(at_b->peer_as, 65001u);
+
+  const Route* at_a = a_.rib().BestRoute(P("198.51.100.0/24"));
+  ASSERT_NE(at_a, nullptr);
+  EXPECT_EQ(at_a->attrs.as_path.ToString(), "65002");
+}
+
+TEST_F(TwoRouterTest, EbgpExportStripsLocalPrefAndMed) {
+  StartAndConverge();
+  const Route* at_b = b_.rib().BestRoute(P("203.0.113.0/24"));
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_FALSE(at_b->attrs.local_pref.has_value());
+  EXPECT_FALSE(at_b->attrs.med.has_value());
+}
+
+TEST_F(TwoRouterTest, LinkLossFlushesLearnedRoutes) {
+  StartAndConverge();
+  ASSERT_NE(b_.rib().BestRoute(P("203.0.113.0/24")), nullptr);
+  net_.Disconnect(1, 2);
+  loop_.RunFor(net::kSecond);
+  EXPECT_EQ(b_.rib().BestRoute(P("203.0.113.0/24")), nullptr);
+  // Own network survives.
+  EXPECT_NE(b_.rib().BestRoute(P("198.51.100.0/24")), nullptr);
+}
+
+TEST_F(TwoRouterTest, LastUpdatesRecorded) {
+  StartAndConverge();
+  ASSERT_EQ(b_.last_updates().count(1), 1u);
+  EXPECT_FALSE(b_.last_updates().at(1).nlri.empty());
+}
+
+TEST_F(TwoRouterTest, UpdateObserverFires) {
+  int observed = 0;
+  b_.set_update_observer([&](net::NodeId from, const UpdateMessage&) {
+    EXPECT_EQ(from, 1u);
+    ++observed;
+  });
+  StartAndConverge();
+  EXPECT_GE(observed, 1);
+}
+
+TEST_F(TwoRouterTest, MalformedBytesCountDecodeErrors) {
+  StartAndConverge();
+  net_.Send(1, 2, Bytes{1, 2, 3});
+  loop_.RunFor(net::kSecond);
+  EXPECT_EQ(b_.decode_errors(), 1u);
+  EXPECT_TRUE(b_.Established(1)) << "junk from a peer must not kill processing";
+}
+
+// --- Three-router chain: propagation, split horizon, loop rejection -----------
+
+class ChainTest : public ::testing::Test {
+ protected:
+  // a(65001) -- m(65002) -- c(65003); only m peers with both.
+  ChainTest()
+      : net_(&loop_),
+        a_(1, SimpleConfig("a", 65001, "10.0.0.1", {{"10.0.0.2", 65002}}, {"203.0.113.0/24"}),
+           &net_),
+        m_(2, SimpleConfig("m", 65002, "10.0.0.2", {{"10.0.0.1", 65001}, {"10.0.0.3", 65003}}),
+           &net_),
+        c_(3, SimpleConfig("c", 65003, "10.0.0.3", {{"10.0.0.2", 65002}}, {"198.51.100.0/24"}),
+           &net_) {
+    net_.AddNode(&a_);
+    net_.AddNode(&m_);
+    net_.AddNode(&c_);
+    a_.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.2"), 2);
+    m_.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.1"), 1);
+    m_.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.3"), 3);
+    c_.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.2"), 2);
+    a_.Start();
+    m_.Start();
+    c_.Start();
+    net_.Connect(1, 2, net::kMillisecond);
+    net_.Connect(2, 3, net::kMillisecond);
+    loop_.RunFor(10 * net::kSecond);
+  }
+
+  net::EventLoop loop_;
+  net::Network net_;
+  Router a_;
+  Router m_;
+  Router c_;
+};
+
+TEST_F(ChainTest, TransitPropagationAppendsAsPath) {
+  const Route* at_c = c_.rib().BestRoute(P("203.0.113.0/24"));
+  ASSERT_NE(at_c, nullptr);
+  EXPECT_EQ(at_c->attrs.as_path.ToString(), "65002 65001");
+  EXPECT_EQ(at_c->attrs.next_hop.ToString(), "10.0.0.2") << "next-hop-self at each eBGP hop";
+
+  const Route* at_a = a_.rib().BestRoute(P("198.51.100.0/24"));
+  ASSERT_NE(at_a, nullptr);
+  EXPECT_EQ(at_a->attrs.as_path.ToString(), "65002 65003");
+}
+
+TEST_F(ChainTest, WithdrawPropagatesThroughTransit) {
+  ASSERT_NE(c_.rib().BestRoute(P("203.0.113.0/24")), nullptr);
+  net_.Disconnect(1, 2);
+  loop_.RunFor(2 * net::kSecond);
+  EXPECT_EQ(m_.rib().BestRoute(P("203.0.113.0/24")), nullptr);
+  EXPECT_EQ(c_.rib().BestRoute(P("203.0.113.0/24")), nullptr);
+}
+
+TEST_F(ChainTest, SplitHorizonNoEchoBack) {
+  // a must not have its own 203.0.113.0/24 echoed back as a learned route:
+  // the only candidate is its local one.
+  auto candidates = a_.rib().Candidates(P("203.0.113.0/24"));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].peer, kLocalPeer);
+}
+
+TEST_F(ChainTest, LoopingAnnouncementRejected) {
+  // Craft an UPDATE at m claiming a path that already contains m's AS; m must
+  // reject it (AS-path loop detection).
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.as_path = AsPath::Sequence({65001, 65002, 65009});
+  u.attrs.next_hop = *Ipv4Address::Parse("10.0.0.1");
+  u.nlri.push_back(P("192.0.2.0/24"));
+  net_.Send(1, 2, Encode(Message(u)));
+  loop_.RunFor(net::kSecond);
+  EXPECT_EQ(m_.rib().BestRoute(P("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(m_.state().routes_loop_rejected, 1u);
+}
+
+TEST_F(ChainTest, MartianAnnouncementRejected) {
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.as_path = AsPath::Sequence({65001});
+  u.attrs.next_hop = *Ipv4Address::Parse("10.0.0.1");
+  u.nlri.push_back(P("127.0.0.0/8"));
+  net_.Send(1, 2, Encode(Message(u)));
+  loop_.RunFor(net::kSecond);
+  EXPECT_EQ(m_.rib().BestRoute(P("127.0.0.0/8")), nullptr);
+}
+
+TEST_F(ChainTest, BetterRouteReplacesAndPropagates) {
+  // c learns 203.0.113.0/24 via m with path "65002 65001". Now a announces a
+  // longer path for a new prefix, then improves it; c must follow.
+  UpdateMessage worse;
+  worse.attrs.origin = Origin::kIgp;
+  worse.attrs.as_path = AsPath::Sequence({65001, 64999, 64998});
+  worse.attrs.next_hop = *Ipv4Address::Parse("10.0.0.1");
+  worse.nlri.push_back(P("192.0.2.0/24"));
+  net_.Send(1, 2, Encode(Message(worse)));
+  loop_.RunFor(net::kSecond);
+  const Route* at_c = c_.rib().BestRoute(P("192.0.2.0/24"));
+  ASSERT_NE(at_c, nullptr);
+  EXPECT_EQ(at_c->attrs.as_path.EffectiveLength(), 4u);
+
+  UpdateMessage better = worse;
+  better.attrs.as_path = AsPath::Sequence({65001, 64999});
+  net_.Send(1, 2, Encode(Message(better)));
+  loop_.RunFor(net::kSecond);
+  at_c = c_.rib().BestRoute(P("192.0.2.0/24"));
+  ASSERT_NE(at_c, nullptr);
+  EXPECT_EQ(at_c->attrs.as_path.EffectiveLength(), 3u);
+}
+
+// --- Import filter applied inside the router ----------------------------------
+
+TEST(RouterFilterTest, ImportFilterDropsUnlistedPrefixes) {
+  net::EventLoop loop;
+  net::Network net(&loop);
+
+  RouterConfig provider = SimpleConfig("provider", 3, "10.0.0.3", {});
+  PrefixList customers;
+  customers.name = "customers";
+  customers.entries.push_back(PrefixListEntry{P("10.1.0.0/16"), 0, 24});
+  ASSERT_TRUE(provider.policies.AddPrefixList(std::move(customers)).ok());
+  ASSERT_TRUE(provider.policies.AddFilter(
+      MakeCustomerImportFilter("customer-in", "customers")).ok());
+  NeighborConfig nc;
+  nc.address = *Ipv4Address::Parse("10.0.0.1");
+  nc.remote_as = 1;
+  nc.import_filter = "customer-in";
+  provider.neighbors.push_back(nc);
+
+  RouterConfig customer =
+      SimpleConfig("customer", 1, "10.0.0.1", {{"10.0.0.3", 3}},
+                   {"10.1.7.0/24", "192.0.2.0/24"});
+
+  Router p(1, std::move(provider), &net);
+  Router c(2, std::move(customer), &net);
+  net.AddNode(&p);
+  net.AddNode(&c);
+  p.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.1"), 2);
+  c.RegisterPeerNode(*Ipv4Address::Parse("10.0.0.3"), 1);
+  p.Start();
+  c.Start();
+  net.Connect(1, 2, net::kMillisecond);
+  loop.RunFor(10 * net::kSecond);
+
+  // Listed customer prefix accepted with elevated local-pref...
+  const Route* listed = p.rib().BestRoute(P("10.1.7.0/24"));
+  ASSERT_NE(listed, nullptr);
+  EXPECT_EQ(listed->attrs.local_pref, 200u);
+  // ...but the leak (192.0.2.0/24 is not the customer's) is filtered.
+  EXPECT_EQ(p.rib().BestRoute(P("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(p.state().routes_filtered, 1u);
+}
+
+}  // namespace
+}  // namespace dice::bgp

@@ -1,0 +1,340 @@
+// Tests for the path-condition solver: linearization, interval propagation,
+// SAT/UNSAT verdicts, disjunction handling, and a verification property over
+// random constraint systems.
+
+#include <gtest/gtest.h>
+
+#include "src/sym/solver.h"
+#include "src/util/rng.h"
+
+namespace dice::sym {
+namespace {
+
+using solver_internal::Interval;
+using solver_internal::LinCmp;
+using solver_internal::Linearize;
+
+std::vector<VarInfo> Vars(std::initializer_list<std::pair<uint64_t, uint64_t>> domains,
+                          uint8_t bits = 32) {
+  std::vector<VarInfo> out;
+  VarId id = 0;
+  for (auto [lo, hi] : domains) {
+    VarInfo v;
+    v.id = id++;
+    v.bits = bits;
+    v.lo = lo;
+    v.hi = hi;
+    v.seed = lo;
+    out.push_back(v);
+  }
+  return out;
+}
+
+ExprPtr V(VarId id, uint8_t bits = 32) { return Expr::MakeVar(id, bits); }
+ExprPtr C(uint64_t v, uint8_t bits = 32) { return Expr::MakeConst(v, bits); }
+
+// --- Linearize -----------------------------------------------------------------
+
+TEST(LinearizeTest, SimpleComparison) {
+  auto atom = Linearize(Expr::ULe(V(0), C(10)));
+  ASSERT_TRUE(atom.has_value());
+  EXPECT_EQ(atom->cmp, LinCmp::kLe);
+  EXPECT_EQ(atom->rhs, 10);
+  ASSERT_EQ(atom->terms.size(), 1u);
+  EXPECT_EQ(atom->terms[0].coef, 1);
+}
+
+TEST(LinearizeTest, MovesEverythingLeft) {
+  // x + 3 < y  =>  x - y <= -4
+  auto atom = Linearize(Expr::ULt(Expr::Add(V(0), C(3)), V(1)));
+  ASSERT_TRUE(atom.has_value());
+  EXPECT_EQ(atom->cmp, LinCmp::kLe);
+  EXPECT_EQ(atom->rhs, -4);
+  ASSERT_EQ(atom->terms.size(), 2u);
+}
+
+TEST(LinearizeTest, MulByConstAndShl) {
+  // 3*x + (y << 2) == 20
+  auto atom = Linearize(
+      Expr::Eq(Expr::Add(Expr::Mul(C(3), V(0)), Expr::Shl(V(1), C(2))), C(20)));
+  ASSERT_TRUE(atom.has_value());
+  EXPECT_EQ(atom->rhs, 20);
+  int64_t coef0 = 0;
+  int64_t coef1 = 0;
+  for (const auto& t : atom->terms) {
+    (t.var == 0 ? coef0 : coef1) = t.coef;
+  }
+  EXPECT_EQ(coef0, 3);
+  EXPECT_EQ(coef1, 4);
+}
+
+TEST(LinearizeTest, CancellingTermsDropOut) {
+  // x - x + y <= 5  => y <= 5
+  auto atom = Linearize(Expr::ULe(Expr::Add(Expr::Sub(V(0), V(0)), V(1)), C(5)));
+  ASSERT_TRUE(atom.has_value());
+  ASSERT_EQ(atom->terms.size(), 1u);
+  EXPECT_EQ(atom->terms[0].var, 1u);
+}
+
+TEST(LinearizeTest, RejectsNonLinear) {
+  EXPECT_FALSE(Linearize(Expr::Eq(Expr::Mul(V(0), V(1)), C(6))).has_value());
+  EXPECT_FALSE(Linearize(Expr::Eq(Expr::AndBits(V(0), C(0xff)), C(1))).has_value());
+  EXPECT_FALSE(Linearize(Expr::Eq(Expr::Shr(V(0), C(2)), C(1))).has_value());
+  EXPECT_FALSE(Linearize(Expr::MakeVar(0, 1)).has_value()) << "bare var is not a comparison";
+}
+
+// --- Solve: basic verdicts -------------------------------------------------------
+
+TEST(SolverTest, SingleEquality) {
+  Solver solver;
+  auto vars = Vars({{0, 1000}});
+  auto result = solver.Solve({Expr::Eq(V(0), C(42))}, vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_EQ(result.model.at(0), 42u);
+}
+
+TEST(SolverTest, RangeConjunction) {
+  Solver solver;
+  auto vars = Vars({{0, 0xffffffff}});
+  auto result = solver.Solve({Expr::UGe(V(0), C(100)), Expr::ULe(V(0), C(110)),
+                              Expr::Ne(V(0), C(105))},
+                             vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_GE(result.model.at(0), 100u);
+  EXPECT_LE(result.model.at(0), 110u);
+  EXPECT_NE(result.model.at(0), 105u);
+}
+
+TEST(SolverTest, UnsatByIntervals) {
+  Solver solver;
+  auto vars = Vars({{0, 50}});
+  auto result = solver.Solve({Expr::UGe(V(0), C(100))}, vars, {});
+  EXPECT_EQ(result.kind, SolveKind::kUnsat);
+
+  result = solver.Solve({Expr::UGt(V(0), C(10)), Expr::ULt(V(0), C(5))}, vars, {});
+  EXPECT_EQ(result.kind, SolveKind::kUnsat);
+}
+
+TEST(SolverTest, DomainBoundsRespected) {
+  Solver solver;
+  auto vars = Vars({{0, 32}}, 8);  // e.g. a prefix length
+  auto result = solver.Solve({Expr::UGt(V(0, 8), C(24, 8))}, vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_GT(result.model.at(0), 24u);
+  EXPECT_LE(result.model.at(0), 32u);
+}
+
+TEST(SolverTest, TwoVariableDifference) {
+  Solver solver;
+  auto vars = Vars({{0, 100}, {0, 100}});
+  // x - y == 7, x <= 20
+  auto result = solver.Solve({Expr::Eq(Expr::Sub(V(0), V(1)), C(7)), Expr::ULe(V(0), C(20))},
+                             vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_EQ(result.model.at(0) - result.model.at(1), 7u);
+  EXPECT_LE(result.model.at(0), 20u);
+}
+
+TEST(SolverTest, DisjunctionPicksFeasibleBranch) {
+  Solver solver;
+  auto vars = Vars({{0, 50}});
+  // (x >= 100 || x == 33)
+  auto constraint = Expr::LOr(Expr::UGe(V(0), C(100)), Expr::Eq(V(0), C(33)));
+  auto result = solver.Solve({constraint}, vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_EQ(result.model.at(0), 33u);
+}
+
+TEST(SolverTest, NestedDisjunctionAllInfeasible) {
+  Solver solver;
+  auto vars = Vars({{0, 50}});
+  auto constraint = Expr::LOr(Expr::UGe(V(0), C(100)),
+                              Expr::LOr(Expr::UGe(V(0), C(200)), Expr::UGe(V(0), C(300))));
+  auto result = solver.Solve({constraint}, vars, {});
+  EXPECT_EQ(result.kind, SolveKind::kUnsat);
+}
+
+TEST(SolverTest, NegationViaLNot) {
+  Solver solver;
+  auto vars = Vars({{0, 100}});
+  // !(x < 50) && x < 60  =>  50 <= x < 60
+  auto result = solver.Solve({Expr::LNot(Expr::ULt(V(0), C(50))), Expr::ULt(V(0), C(60))},
+                             vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_GE(result.model.at(0), 50u);
+  EXPECT_LT(result.model.at(0), 60u);
+}
+
+TEST(SolverTest, HintFastPath) {
+  Solver solver;
+  auto vars = Vars({{0, 1000}});
+  Assignment hint{{0, 77}};
+  auto result = solver.Solve({Expr::Eq(V(0), C(77))}, vars, hint);
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_EQ(result.model.at(0), 77u);
+  EXPECT_EQ(solver.stats().queries, 1u);
+}
+
+TEST(SolverTest, PrefixRangeConstraintShape) {
+  // The constraint shape prefix-list matching produces:
+  // addr in [0x0a010000, 0x0a01ffff] && len in [16, 24], plus the negation
+  // of the "already matched" entry.
+  Solver solver;
+  auto vars = Vars({{0, 0xffffffff}, {0, 32}});
+  auto addr_in = Expr::LAnd(Expr::UGe(V(0), C(0x0a010000)), Expr::ULe(V(0), C(0x0a01ffff)));
+  auto len_in = Expr::LAnd(Expr::UGe(V(1), C(16)), Expr::ULe(V(1), C(24)));
+  auto not_first = Expr::LNot(Expr::LAnd(
+      Expr::LAnd(Expr::UGe(V(0), C(0x0a010000)), Expr::ULe(V(0), C(0x0a0100ff))),
+      Expr::Eq(V(1), C(24))));
+  auto result = solver.Solve({addr_in, len_in, not_first}, vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  uint64_t addr = result.model.at(0);
+  uint64_t len = result.model.at(1);
+  EXPECT_GE(addr, 0x0a010000u);
+  EXPECT_LE(addr, 0x0a01ffffu);
+  EXPECT_GE(len, 16u);
+  EXPECT_LE(len, 24u);
+  EXPECT_FALSE(addr >= 0x0a010000 && addr <= 0x0a0100ff && len == 24);
+}
+
+TEST(SolverTest, NonLinearFallback) {
+  Solver solver;
+  auto vars = Vars({{0, 255}});
+  // (x & 0x0f) == 0x05 — non-linear; the stochastic fallback must find one.
+  auto result = solver.Solve({Expr::Eq(Expr::AndBits(V(0), C(0x0f)), C(0x05))}, vars, {});
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_EQ(result.model.at(0) & 0x0f, 0x05u);
+  EXPECT_GT(solver.stats().atoms_nonlinear, 0u);
+}
+
+TEST(SolverTest, StatsAccumulate) {
+  Solver solver;
+  auto vars = Vars({{0, 10}});
+  solver.Solve({Expr::Eq(V(0), C(3))}, vars, {});
+  solver.Solve({Expr::UGe(V(0), C(100))}, vars, {});
+  EXPECT_EQ(solver.stats().queries, 2u);
+  EXPECT_EQ(solver.stats().sat, 1u);
+  EXPECT_EQ(solver.stats().unsat, 1u);
+}
+
+// --- Property: every kSat model satisfies the constraints -----------------------
+
+class SolverSatProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverSatProperty, ModelsVerify) {
+  Rng rng(GetParam());
+  Solver solver;
+  size_t sat_count = 0;
+
+  for (int iter = 0; iter < 120; ++iter) {
+    const size_t nvars = 1 + rng.NextBelow(3);
+    std::vector<VarInfo> vars;
+    for (size_t i = 0; i < nvars; ++i) {
+      VarInfo v;
+      v.id = static_cast<VarId>(i);
+      v.bits = 16;
+      v.lo = 0;
+      v.hi = 200;
+      v.seed = rng.NextBelow(200);
+      vars.push_back(v);
+    }
+    auto term = [&]() -> ExprPtr {
+      ExprPtr e = V(static_cast<VarId>(rng.NextBelow(nvars)), 16);
+      if (rng.NextBool(0.4)) {
+        e = Expr::Add(e, V(static_cast<VarId>(rng.NextBelow(nvars)), 16));
+      }
+      if (rng.NextBool(0.3)) {
+        e = Expr::Mul(e, C(1 + rng.NextBelow(4), 16));
+      }
+      return e;
+    };
+    auto atom = [&]() -> ExprPtr {
+      ExprPtr lhs = term();
+      ExprPtr rhs = C(rng.NextBelow(400), 16);
+      switch (rng.NextBelow(6)) {
+        case 0: return Expr::Eq(lhs, rhs);
+        case 1: return Expr::Ne(lhs, rhs);
+        case 2: return Expr::ULt(lhs, rhs);
+        case 3: return Expr::ULe(lhs, rhs);
+        case 4: return Expr::UGt(lhs, rhs);
+        default: return Expr::UGe(lhs, rhs);
+      }
+    };
+    std::vector<ExprPtr> constraints;
+    size_t n = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < n; ++i) {
+      ExprPtr c = atom();
+      if (rng.NextBool(0.3)) {
+        c = Expr::LOr(c, atom());
+      }
+      constraints.push_back(c);
+    }
+
+    auto result = solver.Solve(constraints, vars, {});
+    if (result.kind == SolveKind::kSat) {
+      ++sat_count;
+      for (const ExprPtr& c : constraints) {
+        EXPECT_NE(c->Eval(result.model), 0u)
+            << "model must satisfy " << c->ToString();
+      }
+    }
+  }
+  // Random systems over small domains are mostly satisfiable; the solver
+  // should find a good share of them.
+  EXPECT_GT(sat_count, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSatProperty, ::testing::Values(11, 22, 33, 44));
+
+// Property: UNSAT verdicts are sound — brute force agrees on tiny domains.
+class SolverUnsatProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverUnsatProperty, UnsatNeverLies) {
+  Rng rng(GetParam());
+  Solver solver;
+  for (int iter = 0; iter < 150; ++iter) {
+    VarInfo v;
+    v.id = 0;
+    v.bits = 8;
+    v.lo = 0;
+    v.hi = 15;
+    v.seed = rng.NextBelow(16);
+    std::vector<VarInfo> vars{v};
+
+    std::vector<ExprPtr> constraints;
+    size_t n = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < n; ++i) {
+      ExprPtr lhs = V(0, 8);
+      ExprPtr rhs = C(rng.NextBelow(20), 8);
+      switch (rng.NextBelow(4)) {
+        case 0: constraints.push_back(Expr::Eq(lhs, rhs)); break;
+        case 1: constraints.push_back(Expr::ULt(lhs, rhs)); break;
+        case 2: constraints.push_back(Expr::UGt(lhs, rhs)); break;
+        default: constraints.push_back(Expr::Ne(lhs, rhs)); break;
+      }
+    }
+    auto result = solver.Solve(constraints, vars, {});
+    bool brute_sat = false;
+    for (uint64_t x = 0; x <= 15 && !brute_sat; ++x) {
+      bool all = true;
+      for (const ExprPtr& c : constraints) {
+        if (c->Eval({{0, x}}) == 0) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    if (result.kind == SolveKind::kUnsat) {
+      EXPECT_FALSE(brute_sat) << "solver claimed UNSAT but a solution exists";
+    }
+    if (result.kind == SolveKind::kSat) {
+      EXPECT_TRUE(brute_sat);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverUnsatProperty, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace dice::sym

@@ -1,0 +1,226 @@
+// Tests for the trace generator, the text format, and the feed/replay path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/bgp/router.h"
+#include "src/trace/feed.h"
+#include "src/trace/trace.h"
+
+namespace dice::trace {
+namespace {
+
+TraceGeneratorOptions SmallOptions(uint64_t seed = 1) {
+  TraceGeneratorOptions options;
+  options.seed = seed;
+  options.prefix_count = 500;
+  options.as_count = 100;
+  options.update_duration = 60 * net::kSecond;
+  options.updates_per_second = 2.0;
+  return options;
+}
+
+TEST(TraceGeneratorTest, TableHasRequestedSizeAndUniquePrefixes) {
+  TraceGenerator gen(SmallOptions());
+  EXPECT_EQ(gen.table().size(), 500u);
+  std::set<bgp::Prefix> seen;
+  for (const auto& route : gen.table()) {
+    EXPECT_TRUE(seen.insert(route.prefix).second) << "duplicate " << route.prefix.ToString();
+  }
+}
+
+TEST(TraceGeneratorTest, DeterministicForSameSeed) {
+  TraceGenerator a(SmallOptions(7));
+  TraceGenerator b(SmallOptions(7));
+  ASSERT_EQ(a.table().size(), b.table().size());
+  for (size_t i = 0; i < a.table().size(); ++i) {
+    EXPECT_EQ(a.table()[i].prefix, b.table()[i].prefix);
+    EXPECT_EQ(a.table()[i].attrs, b.table()[i].attrs);
+  }
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiffer) {
+  TraceGenerator a(SmallOptions(1));
+  TraceGenerator b(SmallOptions(2));
+  size_t same = 0;
+  for (size_t i = 0; i < a.table().size(); ++i) {
+    if (a.table()[i].prefix == b.table()[i].prefix) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 50u);
+}
+
+TEST(TraceGeneratorTest, PathsStartAtFeedAsAndAreLoopFree) {
+  TraceGenerator gen(SmallOptions());
+  for (const auto& route : gen.table()) {
+    auto flat = route.attrs.as_path.Flatten();
+    ASSERT_GE(flat.size(), 2u);
+    EXPECT_EQ(flat.front(), gen.table().front().attrs.as_path.FirstAs());
+    std::set<bgp::AsNumber> unique(flat.begin(), flat.end());
+    EXPECT_EQ(unique.size(), flat.size()) << "AS path must be loop-free";
+  }
+}
+
+TEST(TraceGeneratorTest, PrefixMixIsRealistic) {
+  TraceGeneratorOptions options = SmallOptions();
+  options.prefix_count = 5000;
+  TraceGenerator gen(options);
+  size_t len24 = 0;
+  for (const auto& route : gen.table()) {
+    EXPECT_GE(route.prefix.length(), 8);
+    EXPECT_LE(route.prefix.length(), 24);
+    if (route.prefix.length() == 24) {
+      ++len24;
+    }
+    // No martians in the generated space.
+    EXPECT_FALSE(bgp::IsMartian(route.prefix));
+  }
+  // /24 should dominate (~55%).
+  EXPECT_GT(len24, gen.table().size() * 2 / 5);
+}
+
+TEST(TraceGeneratorTest, FullDumpCoversWholeTable) {
+  TraceGenerator gen(SmallOptions());
+  Trace dump = gen.FullDump();
+  EXPECT_EQ(dump.TotalAnnouncedPrefixes(), 500u);
+  for (const TraceEvent& ev : dump.events) {
+    EXPECT_EQ(ev.at, 0u);
+    EXPECT_FALSE(ev.update.nlri.empty());
+    EXPECT_TRUE(ev.update.withdrawn.empty());
+  }
+}
+
+TEST(TraceGeneratorTest, UpdateTraceRespectsDurationAndRate) {
+  TraceGenerator gen(SmallOptions());
+  Trace updates = gen.UpdateTrace();
+  EXPECT_LE(updates.Duration(), 60 * net::kSecond);
+  // ~2/s over 60 s => ~120 events; accept a generous band.
+  EXPECT_GT(updates.events.size(), 60u);
+  EXPECT_LT(updates.events.size(), 240u);
+  // Events are time-ordered.
+  for (size_t i = 1; i < updates.events.size(); ++i) {
+    EXPECT_GE(updates.events[i].at, updates.events[i - 1].at);
+  }
+  // Mix contains withdraws.
+  EXPECT_GT(updates.TotalWithdrawnPrefixes(), 0u);
+}
+
+TEST(TraceTextTest, SerializeParseRoundTrip) {
+  TraceGenerator gen(SmallOptions());
+  Trace updates = gen.UpdateTrace();
+  std::string text = SerializeTrace(updates);
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), updates.events.size());
+  for (size_t i = 0; i < updates.events.size(); ++i) {
+    const TraceEvent& a = updates.events[i];
+    const TraceEvent& b = parsed->events[i];
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.update.nlri, b.update.nlri);
+    EXPECT_EQ(a.update.withdrawn, b.update.withdrawn);
+    EXPECT_EQ(a.update.attrs.as_path, b.update.attrs.as_path);
+    EXPECT_EQ(a.update.attrs.origin, b.update.attrs.origin);
+  }
+}
+
+TEST(TraceTextTest, ParseSkipsCommentsAndBlankLines) {
+  auto parsed = ParseTrace("# comment\n\nA|100|65000 65001|10.0.0.1|i|10.0.0.0/8\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0].at, 100u);
+  EXPECT_EQ(parsed->events[0].update.nlri[0].ToString(), "10.0.0.0/8");
+}
+
+TEST(TraceTextTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseTrace("X|1|10.0.0.0/8").ok());
+  EXPECT_FALSE(ParseTrace("A|notatime|65000|10.0.0.1|i|10.0.0.0/8").ok());
+  EXPECT_FALSE(ParseTrace("A|1|65000|10.0.0.1|z|10.0.0.0/8").ok());
+  EXPECT_FALSE(ParseTrace("A|1|65000|10.0.0.1|i|10.0.0.0/99").ok());
+  EXPECT_FALSE(ParseTrace("W|1|bogus").ok());
+  EXPECT_FALSE(ParseTrace("A|1|x|10.0.0.1|i|10.0.0.0/8").ok());
+}
+
+// --- feed + replay into a real router -------------------------------------------
+
+class FeedTest : public ::testing::Test {
+ protected:
+  FeedTest() : net_(&loop_), feed_(1, "feed", 65000, *bgp::Ipv4Address::Parse("10.0.0.9"), &net_) {
+    bgp::RouterConfig config;
+    config.name = "router";
+    config.local_as = 3;
+    config.router_id = *bgp::Ipv4Address::Parse("10.0.0.3");
+    bgp::NeighborConfig nc;
+    nc.address = *bgp::Ipv4Address::Parse("10.0.0.9");
+    nc.remote_as = 65000;
+    config.neighbors.push_back(nc);
+    router_ = std::make_unique<bgp::Router>(2, std::move(config), &net_);
+
+    net_.AddNode(&feed_);
+    net_.AddNode(router_.get());
+    router_->RegisterPeerNode(*bgp::Ipv4Address::Parse("10.0.0.9"), 1);
+    feed_.SetPeer(2);
+    router_->Start();
+    net_.Connect(1, 2, net::kMillisecond);
+    loop_.RunFor(net::kSecond);
+  }
+
+  net::EventLoop loop_;
+  net::Network net_;
+  BgpFeedNode feed_;
+  std::unique_ptr<bgp::Router> router_;
+};
+
+TEST_F(FeedTest, HandshakeEstablishesBothSides) {
+  EXPECT_TRUE(feed_.established());
+  EXPECT_TRUE(router_->Established(1));
+}
+
+TEST_F(FeedTest, ReplayLoadsTableIntoRouter) {
+  TraceGenerator gen(SmallOptions());
+  Trace dump = gen.FullDump();
+  ScheduleTrace(&loop_, &feed_, dump, loop_.now());
+  loop_.RunFor(10 * net::kSecond);
+  EXPECT_EQ(router_->rib().PrefixCount(), 500u);
+  EXPECT_EQ(feed_.updates_sent(), dump.events.size());
+}
+
+TEST_F(FeedTest, ReplayedUpdatesCarryFeedPath) {
+  TraceGenerator gen(SmallOptions());
+  ScheduleTrace(&loop_, &feed_, gen.FullDump(), loop_.now());
+  loop_.RunFor(10 * net::kSecond);
+  const auto& route = gen.table()[0];
+  const bgp::Route* best = router_->rib().BestRoute(route.prefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.as_path, route.attrs.as_path);
+}
+
+TEST_F(FeedTest, WithdrawReplayRemovesRoutes) {
+  TraceGenerator gen(SmallOptions());
+  ScheduleTrace(&loop_, &feed_, gen.FullDump(), loop_.now());
+  loop_.RunFor(5 * net::kSecond);
+  ASSERT_EQ(router_->rib().PrefixCount(), 500u);
+
+  Trace withdraw_all;
+  for (const auto& route : gen.table()) {
+    TraceEvent ev;
+    ev.at = 0;
+    ev.update.withdrawn.push_back(route.prefix);
+    withdraw_all.events.push_back(ev);
+  }
+  ScheduleTrace(&loop_, &feed_, withdraw_all, loop_.now());
+  loop_.RunFor(5 * net::kSecond);
+  EXPECT_EQ(router_->rib().PrefixCount(), 0u);
+}
+
+TEST_F(FeedTest, SessionSurvivesQuietStretch) {
+  // 10 simulated minutes with no updates: keepalive echo must keep both
+  // sides alive.
+  loop_.RunFor(10 * 60 * net::kSecond);
+  EXPECT_TRUE(router_->Established(1));
+  EXPECT_TRUE(feed_.established());
+}
+
+}  // namespace
+}  // namespace dice::trace

@@ -1,0 +1,320 @@
+// Direct unit tests for the update-processing core (import, export,
+// Adj-RIB-Out synchronization, peer loss) — the code path shared between the
+// live router and DiCE clones.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/update_processing.h"
+
+namespace dice::bgp {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::Parse(s); }
+
+struct Harness {
+  Harness() {
+    auto cfg = std::make_shared<RouterConfig>();
+    cfg->name = "r";
+    cfg->local_as = 3;
+    cfg->router_id = *Ipv4Address::Parse("10.0.0.3");
+
+    PrefixList customers;
+    customers.name = "customers";
+    customers.entries.push_back(PrefixListEntry{P("10.1.0.0/16"), 0, 24});
+    EXPECT_TRUE(cfg->policies.AddPrefixList(std::move(customers)).ok());
+    EXPECT_TRUE(
+        cfg->policies.AddFilter(MakeCustomerImportFilter("customer-in", "customers")).ok());
+
+    // Export filter that blocks a community.
+    Filter no_export;
+    no_export.name = "no-export-tagged";
+    FilterTerm term;
+    Match m;
+    m.kind = MatchKind::kHasCommunity;
+    m.community = kCommunityNoExport;
+    term.matches.push_back(m);
+    Action reject;
+    reject.kind = ActionKind::kReject;
+    term.actions.push_back(reject);
+    no_export.terms.push_back(term);
+    no_export.default_accept = true;
+    EXPECT_TRUE(cfg->policies.AddFilter(std::move(no_export)).ok());
+
+    NeighborConfig customer;
+    customer.address = *Ipv4Address::Parse("10.0.0.1");
+    customer.remote_as = 1;
+    customer.import_filter = "customer-in";
+    cfg->neighbors.push_back(customer);
+
+    NeighborConfig upstream;
+    upstream.address = *Ipv4Address::Parse("10.0.0.9");
+    upstream.remote_as = 9;
+    upstream.export_filter = "no-export-tagged";
+    cfg->neighbors.push_back(upstream);
+
+    state.config = cfg;
+
+    customer_view.id = 1;
+    customer_view.remote_as = 1;
+    customer_view.address = *Ipv4Address::Parse("10.0.0.1");
+    customer_view.established = true;
+    upstream_view.id = 9;
+    upstream_view.remote_as = 9;
+    upstream_view.address = *Ipv4Address::Parse("10.0.0.9");
+    upstream_view.established = true;
+  }
+
+  const NeighborConfig& customer_neighbor() const { return state.config->neighbors[0]; }
+  const NeighborConfig& upstream_neighbor() const { return state.config->neighbors[1]; }
+  std::vector<PeerView> Peers() const { return {customer_view, upstream_view}; }
+
+  PathAttributes Attrs(std::vector<AsNumber> path) {
+    PathAttributes a;
+    a.origin = Origin::kIgp;
+    a.as_path = AsPath::Sequence(std::move(path));
+    a.next_hop = *Ipv4Address::Parse("10.0.0.1");
+    return a;
+  }
+
+  RouterState state;
+  PeerView customer_view;
+  PeerView upstream_view;
+};
+
+TEST(IsMartianTest, Classification) {
+  EXPECT_TRUE(IsMartian(P("0.0.0.0/0")));
+  EXPECT_TRUE(IsMartian(P("127.0.0.0/8")));
+  EXPECT_TRUE(IsMartian(P("127.1.2.0/24")));
+  EXPECT_TRUE(IsMartian(P("224.0.0.0/4")));
+  EXPECT_TRUE(IsMartian(P("240.0.0.0/8")));
+  EXPECT_FALSE(IsMartian(P("10.0.0.0/8")));
+  EXPECT_FALSE(IsMartian(P("203.0.113.0/24")));
+  EXPECT_FALSE(IsMartian(P("128.0.0.0/1")));
+}
+
+TEST(ImportRouteTest, AcceptsListedAndAppliesActions) {
+  Harness h;
+  ImportOutcome out = ImportRoute(h.state, h.customer_view, h.customer_neighbor(),
+                                  P("10.1.5.0/24"), h.Attrs({1, 100}));
+  EXPECT_EQ(out.disposition, ImportDisposition::kAccepted);
+  const Route* best = h.state.rib.BestRoute(P("10.1.5.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.local_pref, 200u) << "set local-pref action must apply";
+  EXPECT_EQ(h.state.routes_accepted, 1u);
+}
+
+TEST(ImportRouteTest, FiltersUnlisted) {
+  Harness h;
+  ImportOutcome out = ImportRoute(h.state, h.customer_view, h.customer_neighbor(),
+                                  P("192.0.2.0/24"), h.Attrs({1, 100}));
+  EXPECT_EQ(out.disposition, ImportDisposition::kFilteredOut);
+  EXPECT_EQ(h.state.rib.PrefixCount(), 0u);
+  EXPECT_EQ(h.state.routes_filtered, 1u);
+}
+
+TEST(ImportRouteTest, RejectsLoops) {
+  Harness h;
+  ImportOutcome out = ImportRoute(h.state, h.customer_view, h.customer_neighbor(),
+                                  P("10.1.5.0/24"), h.Attrs({1, 3, 100}));
+  EXPECT_EQ(out.disposition, ImportDisposition::kLoopRejected);
+  EXPECT_EQ(h.state.routes_loop_rejected, 1u);
+}
+
+TEST(ImportRouteTest, RejectsMartians) {
+  Harness h;
+  ImportOutcome out = ImportRoute(h.state, h.customer_view, h.customer_neighbor(),
+                                  P("127.0.0.0/8"), h.Attrs({1}));
+  EXPECT_EQ(out.disposition, ImportDisposition::kMartianRejected);
+}
+
+TEST(ExportAttributesTest, EbgpTransformations) {
+  Harness h;
+  Route route;
+  route.peer = 1;
+  route.peer_as = 1;
+  route.attrs = h.Attrs({1, 100});
+  route.attrs.local_pref = 200;
+  route.attrs.med = 50;
+
+  auto exported = ExportAttributes(h.state, h.upstream_neighbor(),
+                                   *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
+  ASSERT_TRUE(exported.has_value());
+  EXPECT_EQ(exported->as_path.ToString(), "3 1 100") << "own AS prepended";
+  EXPECT_EQ(exported->next_hop.ToString(), "10.0.0.3") << "next-hop self";
+  EXPECT_FALSE(exported->local_pref.has_value()) << "LOCAL_PREF stays in the AS";
+  EXPECT_FALSE(exported->med.has_value()) << "MED not propagated onward";
+}
+
+TEST(ExportAttributesTest, ExportFilterRejects) {
+  Harness h;
+  Route route;
+  route.peer = 1;
+  route.peer_as = 1;
+  route.attrs = h.Attrs({1, 100});
+  route.attrs.communities.push_back(kCommunityNoExport);
+  auto exported = ExportAttributes(h.state, h.upstream_neighbor(),
+                                   *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
+  EXPECT_FALSE(exported.has_value());
+}
+
+TEST(SyncAdjOutTest, AdvertiseWithdrawCycle) {
+  Harness h;
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+
+  // Install a route, sync: one advertisement.
+  ImportRoute(h.state, h.customer_view, h.customer_neighbor(), P("10.1.5.0/24"),
+              h.Attrs({1, 100}));
+  SyncAdjOut(h.state, h.upstream_view, h.upstream_neighbor(), *Ipv4Address::Parse("10.0.0.3"),
+             P("10.1.5.0/24"), sink);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first, 9u);
+  EXPECT_EQ(sent[0].second.nlri, std::vector<Prefix>{P("10.1.5.0/24")});
+
+  // Re-sync with no change: silent (idempotent).
+  SyncAdjOut(h.state, h.upstream_view, h.upstream_neighbor(), *Ipv4Address::Parse("10.0.0.3"),
+             P("10.1.5.0/24"), sink);
+  EXPECT_EQ(sent.size(), 1u);
+
+  // Remove the route, sync: one withdraw.
+  h.state.rib.RemoveRoute(P("10.1.5.0/24"), 1);
+  SyncAdjOut(h.state, h.upstream_view, h.upstream_neighbor(), *Ipv4Address::Parse("10.0.0.3"),
+             P("10.1.5.0/24"), sink);
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].second.withdrawn, std::vector<Prefix>{P("10.1.5.0/24")});
+
+  // Withdraw again: nothing advertised, nothing to withdraw.
+  SyncAdjOut(h.state, h.upstream_view, h.upstream_neighbor(), *Ipv4Address::Parse("10.0.0.3"),
+             P("10.1.5.0/24"), sink);
+  EXPECT_EQ(sent.size(), 2u);
+}
+
+TEST(SyncAdjOutTest, SplitHorizon) {
+  Harness h;
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+  ImportRoute(h.state, h.customer_view, h.customer_neighbor(), P("10.1.5.0/24"),
+              h.Attrs({1, 100}));
+  // Syncing toward the route's own source peer must do nothing.
+  SyncAdjOut(h.state, h.customer_view, h.customer_neighbor(), *Ipv4Address::Parse("10.0.0.3"),
+             P("10.1.5.0/24"), sink);
+  EXPECT_TRUE(sent.empty());
+}
+
+TEST(SyncAdjOutTest, UnestablishedPeerSkipped) {
+  Harness h;
+  h.upstream_view.established = false;
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+  ImportRoute(h.state, h.customer_view, h.customer_neighbor(), P("10.1.5.0/24"),
+              h.Attrs({1, 100}));
+  SyncAdjOut(h.state, h.upstream_view, h.upstream_neighbor(), *Ipv4Address::Parse("10.0.0.3"),
+             P("10.1.5.0/24"), sink);
+  EXPECT_TRUE(sent.empty());
+}
+
+TEST(ProcessUpdateTest, AnnounceThenImplicitWithdrawPropagates) {
+  Harness h;
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+
+  UpdateMessage announce;
+  announce.attrs = h.Attrs({1, 100});
+  announce.nlri.push_back(P("10.1.5.0/24"));
+  ProcessUpdate(h.state, h.Peers(), h.customer_view, h.customer_neighbor(), announce, sink);
+  ASSERT_EQ(sent.size(), 1u) << "advertised to the upstream only";
+  EXPECT_EQ(sent[0].first, 9u);
+
+  UpdateMessage withdraw;
+  withdraw.withdrawn.push_back(P("10.1.5.0/24"));
+  ProcessUpdate(h.state, h.Peers(), h.customer_view, h.customer_neighbor(), withdraw, sink);
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_FALSE(sent[1].second.withdrawn.empty());
+  EXPECT_EQ(h.state.updates_processed, 2u);
+}
+
+TEST(ProcessUpdateTest, UnchangedBestEmitsNothing) {
+  Harness h;
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+
+  UpdateMessage good;
+  good.attrs = h.Attrs({1, 100});
+  good.nlri.push_back(P("10.1.5.0/24"));
+  ProcessUpdate(h.state, h.Peers(), h.customer_view, h.customer_neighbor(), good, sink);
+  size_t after_first = sent.size();
+
+  // A filtered announcement changes nothing downstream.
+  UpdateMessage filtered;
+  filtered.attrs = h.Attrs({1, 100});
+  filtered.nlri.push_back(P("192.0.2.0/24"));
+  ProcessUpdate(h.state, h.Peers(), h.customer_view, h.customer_neighbor(), filtered, sink);
+  EXPECT_EQ(sent.size(), after_first);
+}
+
+TEST(OriginateNetworksTest, InstallsAndAdvertises) {
+  Harness h;
+  auto cfg = std::make_shared<RouterConfig>(*h.state.config);
+  cfg->networks.push_back(P("10.3.0.0/16"));
+  h.state.config = cfg;
+
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+  OriginateNetworks(h.state, h.Peers(), *Ipv4Address::Parse("10.0.0.3"), sink);
+
+  const Route* best = h.state.rib.BestRoute(P("10.3.0.0/16"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->peer, kLocalPeer);
+  // Advertised to both established peers.
+  EXPECT_EQ(sent.size(), 2u);
+  for (const auto& [to, update] : sent) {
+    EXPECT_EQ(update.attrs.as_path.ToString(), "3") << "origination carries only own AS";
+  }
+}
+
+TEST(HandlePeerDownTest, FlushesAndWithdraws) {
+  Harness h;
+  std::vector<std::pair<PeerId, UpdateMessage>> sent;
+  UpdateSink sink = [&](PeerId to, const UpdateMessage& u) { sent.push_back({to, u}); };
+
+  UpdateMessage announce;
+  announce.attrs = h.Attrs({1, 100});
+  announce.nlri.push_back(P("10.1.5.0/24"));
+  ProcessUpdate(h.state, h.Peers(), h.customer_view, h.customer_neighbor(), announce, sink);
+  sent.clear();
+
+  HandlePeerDown(h.state, h.Peers(), /*lost_peer=*/1, *Ipv4Address::Parse("10.0.0.3"), sink);
+  EXPECT_EQ(h.state.rib.BestRoute(P("10.1.5.0/24")), nullptr);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first, 9u);
+  EXPECT_FALSE(sent[0].second.withdrawn.empty());
+  EXPECT_EQ(h.state.adj_out.count(1), 0u) << "lost peer's Adj-RIB-Out dropped";
+}
+
+
+TEST(ExportAttributesTest, WellKnownNoExportCommunityBlocksExport) {
+  Harness h;
+  Route route;
+  route.peer = 1;
+  route.peer_as = 1;
+  route.attrs = h.Attrs({1, 100});
+  route.attrs.communities.push_back(kCommunityNoExport);
+  // Even toward the neighbor with NO configured export filter, the RFC 1997
+  // well-known community must block export.
+  auto exported = ExportAttributes(h.state, h.customer_neighbor(),
+                                   *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
+  EXPECT_FALSE(exported.has_value());
+
+  route.attrs.communities = {kCommunityNoAdvertise};
+  exported = ExportAttributes(h.state, h.customer_neighbor(),
+                              *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
+  EXPECT_FALSE(exported.has_value());
+
+  route.attrs.communities = {MakeCommunity(65000, 1)};  // ordinary community
+  exported = ExportAttributes(h.state, h.customer_neighbor(),
+                              *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
+  EXPECT_TRUE(exported.has_value());
+}
+
+}  // namespace
+}  // namespace dice::bgp

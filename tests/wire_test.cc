@@ -1,0 +1,269 @@
+// Tests for the RFC 4271 wire codec: golden encodings, round-trip properties
+// over generated messages, and decode-error classification.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/wire.h"
+#include "src/util/rng.h"
+
+namespace dice::bgp {
+namespace {
+
+UpdateMessage SampleUpdate() {
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.as_path = AsPath::Sequence({65001, 65002});
+  u.attrs.next_hop = *Ipv4Address::Parse("10.0.0.1");
+  u.nlri.push_back(*Prefix::Parse("203.0.113.0/24"));
+  return u;
+}
+
+TEST(WireTest, KeepaliveGolden) {
+  Bytes b = EncodeKeepalive();
+  ASSERT_EQ(b.size(), kHeaderSize);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(b[i], 0xff);
+  }
+  EXPECT_EQ(b[16], 0x00);
+  EXPECT_EQ(b[17], 19);
+  EXPECT_EQ(b[18], 4);  // type KEEPALIVE
+}
+
+TEST(WireTest, OpenRoundTrip) {
+  OpenMessage open;
+  open.my_as = 64496;
+  open.hold_time = 180;
+  open.bgp_id = *Ipv4Address::Parse("192.0.2.33");
+  auto decoded = Decode(EncodeOpen(open));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(std::holds_alternative<OpenMessage>(*decoded));
+  EXPECT_EQ(std::get<OpenMessage>(*decoded), open);
+}
+
+TEST(WireTest, NotificationRoundTrip) {
+  NotificationMessage n;
+  n.code = NotificationCode::kUpdateMessageError;
+  n.subcode = 5;
+  n.data = {1, 2, 3};
+  auto decoded = Decode(EncodeNotification(n));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<NotificationMessage>(*decoded), n);
+}
+
+TEST(WireTest, UpdateRoundTripBasic) {
+  UpdateMessage u = SampleUpdate();
+  auto decoded = Decode(EncodeUpdate(u));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(std::get<UpdateMessage>(*decoded), u);
+}
+
+TEST(WireTest, UpdateRoundTripAllAttributes) {
+  UpdateMessage u = SampleUpdate();
+  u.attrs.origin = Origin::kIncomplete;
+  u.attrs.med = 77;
+  u.attrs.local_pref = 250;
+  u.attrs.atomic_aggregate = true;
+  u.attrs.aggregator = Aggregator{65010, *Ipv4Address::Parse("198.51.100.9")};
+  u.attrs.communities = {MakeCommunity(65001, 42), kCommunityNoExport};
+  u.withdrawn.push_back(*Prefix::Parse("198.51.100.0/24"));
+  auto decoded = Decode(EncodeUpdate(u));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(std::get<UpdateMessage>(*decoded), u);
+}
+
+TEST(WireTest, WithdrawOnlyUpdateNeedsNoMandatoryAttrs) {
+  UpdateMessage u;
+  u.withdrawn.push_back(*Prefix::Parse("10.0.0.0/8"));
+  auto decoded = Decode(EncodeUpdate(u));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(std::get<UpdateMessage>(*decoded), u);
+}
+
+TEST(WireTest, AsSetRoundTrip) {
+  UpdateMessage u = SampleUpdate();
+  u.attrs.as_path = AsPath(std::vector<AsSegment>{
+      AsSegment{AsSegmentType::kAsSequence, {65001}},
+      AsSegment{AsSegmentType::kAsSet, {65002, 65003}}});
+  auto decoded = Decode(EncodeUpdate(u));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(std::get<UpdateMessage>(*decoded), u);
+}
+
+TEST(WireTest, ZeroLengthPrefixEncodesAsOneByte) {
+  ByteWriter w;
+  EncodePrefix(w, *Prefix::Parse("0.0.0.0/0"));
+  EXPECT_EQ(w.bytes(), Bytes{0});
+}
+
+TEST(WireTest, PrefixEncodingIsMinimal) {
+  ByteWriter w;
+  EncodePrefix(w, *Prefix::Parse("10.0.0.0/8"));
+  EXPECT_EQ(w.bytes(), (Bytes{8, 10}));
+  ByteWriter w2;
+  EncodePrefix(w2, *Prefix::Parse("203.0.113.128/25"));
+  EXPECT_EQ(w2.bytes(), (Bytes{25, 203, 0, 113, 128}));
+}
+
+// --- decode error classification ---------------------------------------------
+
+TEST(WireErrorTest, BadMarkerRejected) {
+  Bytes b = EncodeKeepalive();
+  b[3] = 0x00;
+  auto decoded = Decode(b);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("marker"), std::string::npos);
+}
+
+TEST(WireErrorTest, LengthMismatchRejected) {
+  Bytes b = EncodeKeepalive();
+  b.push_back(0);  // buffer longer than the length field claims
+  EXPECT_FALSE(Decode(b).ok());
+}
+
+TEST(WireErrorTest, ShortBufferRejected) {
+  Bytes b{0xff, 0xff, 0xff};
+  EXPECT_FALSE(Decode(b).ok());
+}
+
+TEST(WireErrorTest, BadTypeRejected) {
+  Bytes b = EncodeKeepalive();
+  b[18] = 99;
+  EXPECT_FALSE(Decode(b).ok());
+}
+
+TEST(WireErrorTest, KeepaliveWithBodyRejected) {
+  Bytes b = EncodeKeepalive();
+  b.push_back(1);
+  b[17] = 20;  // fix length field so only the body-size rule fires
+  EXPECT_FALSE(Decode(b).ok());
+}
+
+TEST(WireErrorTest, BadPrefixLengthRejected) {
+  UpdateMessage u = SampleUpdate();
+  Bytes b = EncodeUpdate(u);
+  // NLRI starts right after attrs; its first byte is the prefix length (24).
+  // Find and corrupt it: the last 4 bytes are [24, 203, 0, 113].
+  b[b.size() - 4] = 33;
+  auto decoded = Decode(b);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("prefix length"), std::string::npos);
+}
+
+TEST(WireErrorTest, MissingMandatoryAttributeRejected) {
+  // Hand-build an UPDATE with NLRI but no attributes.
+  ByteWriter w;
+  for (int i = 0; i < 16; ++i) {
+    w.PutU8(0xff);
+  }
+  w.PutU16(0);
+  w.PutU8(2);   // UPDATE
+  w.PutU16(0);  // no withdrawn
+  w.PutU16(0);  // no attributes
+  w.PutU8(8);   // NLRI: 10.0.0.0/8
+  w.PutU8(10);
+  w.PatchU16(16, static_cast<uint16_t>(w.size()));
+  auto decoded = Decode(w.bytes());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("ORIGIN"), std::string::npos);
+}
+
+TEST(WireErrorTest, BadOriginValueRejected) {
+  UpdateMessage u = SampleUpdate();
+  Bytes b = EncodeUpdate(u);
+  // ORIGIN is the first attribute: flags(0x40) type(1) len(1) value.
+  // Locate it: withdrawn_len(2) at 19, attrs_len(2) at 21, attrs at 23.
+  ASSERT_EQ(b[23], 0x40);
+  ASSERT_EQ(b[24], 1);
+  b[26] = 9;  // invalid origin value
+  auto decoded = Decode(b);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("ORIGIN"), std::string::npos);
+}
+
+TEST(WireErrorTest, UnknownWellKnownAttributeRejected) {
+  ByteWriter w;
+  for (int i = 0; i < 16; ++i) {
+    w.PutU8(0xff);
+  }
+  w.PutU16(0);
+  w.PutU8(2);
+  w.PutU16(0);
+  w.PutU16(3);   // attrs length
+  w.PutU8(0x40); // well-known flags
+  w.PutU8(99);   // unknown type
+  w.PutU8(0);
+  w.PatchU16(16, static_cast<uint16_t>(w.size()));
+  auto decoded = Decode(w.bytes());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("unrecognized"), std::string::npos);
+}
+
+TEST(WireErrorTest, UnknownOptionalTransitiveAttributeKept) {
+  UpdateMessage u = SampleUpdate();
+  u.attrs.unknown.push_back(
+      UnknownAttribute{static_cast<uint8_t>(kAttrFlagOptional | kAttrFlagTransitive |
+                                            kAttrFlagPartial),
+                       200,
+                       {0xde, 0xad}});
+  auto decoded = Decode(EncodeUpdate(u));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const auto& got = std::get<UpdateMessage>(*decoded);
+  ASSERT_EQ(got.attrs.unknown.size(), 1u);
+  EXPECT_EQ(got.attrs.unknown[0].type, 200);
+  EXPECT_EQ(got.attrs.unknown[0].value, (std::vector<uint8_t>{0xde, 0xad}));
+}
+
+TEST(WireErrorTest, OpenBadVersionRejected) {
+  OpenMessage open;
+  open.my_as = 1;
+  Bytes b = EncodeOpen(open);
+  b[19] = 3;  // version byte
+  EXPECT_FALSE(Decode(b).ok());
+}
+
+// --- round-trip property over generated updates -------------------------------
+
+class WireRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireRoundTripProperty, RandomUpdatesRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    UpdateMessage u;
+    size_t nlri = 1 + rng.NextBelow(5);
+    for (size_t i = 0; i < nlri; ++i) {
+      u.nlri.push_back(Prefix::Make(Ipv4Address(rng.NextU32()),
+                                    static_cast<uint8_t>(rng.NextBelow(33))));
+    }
+    size_t withdrawn = rng.NextBelow(3);
+    for (size_t i = 0; i < withdrawn; ++i) {
+      u.withdrawn.push_back(Prefix::Make(Ipv4Address(rng.NextU32()),
+                                         static_cast<uint8_t>(rng.NextBelow(33))));
+    }
+    size_t path_len = 1 + rng.NextBelow(6);
+    std::vector<AsNumber> path;
+    for (size_t i = 0; i < path_len; ++i) {
+      path.push_back(static_cast<AsNumber>(1 + rng.NextBelow(0xfffe)));
+    }
+    u.attrs.as_path = AsPath::Sequence(std::move(path));
+    u.attrs.origin = static_cast<Origin>(rng.NextBelow(3));
+    u.attrs.next_hop = Ipv4Address(rng.NextU32());
+    if (rng.NextBool(0.5)) {
+      u.attrs.med = rng.NextU32();
+    }
+    if (rng.NextBool(0.3)) {
+      u.attrs.local_pref = rng.NextU32();
+    }
+    size_t comms = rng.NextBelow(4);
+    for (size_t i = 0; i < comms; ++i) {
+      u.attrs.communities.push_back(rng.NextU32());
+    }
+    auto decoded = Decode(EncodeUpdate(u));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(std::get<UpdateMessage>(*decoded), u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dice::bgp

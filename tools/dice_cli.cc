@@ -1,0 +1,216 @@
+// dice_cli — run DiCE against a router configuration and a trace, from files.
+//
+// The downstream-operator entry point: feed it your router's configuration
+// (the BIRD-style language of src/bgp/config.h) and a BGP trace (the
+// MRT-lite text format of src/trace/trace.h, or a synthetic table), and it
+// reports which prefix ranges a misconfigured policy would let a peer leak.
+//
+// Usage:
+//   dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]
+//            [--runs=N] [--seed-prefix=10.1.7.0/24] [--seed-asn=1]
+//            [--anycast=192.175.48.0/24,...] [--peer=<neighbor address>]
+//
+// The configuration must contain exactly one router block; the trace (or the
+// synthetic table) is loaded as routes from the *first* configured neighbor
+// unless --peer selects another; exploration then runs on the *last*
+// configured neighbor's session (typically the customer).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/common.h"
+#include "src/dice/explorer.h"
+#include "src/trace/trace.h"
+
+namespace dice {
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const std::string config_path = flags.GetString("config", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  const uint64_t prefixes = flags.GetUint("prefixes", 10000);
+  const uint64_t runs = flags.GetUint("runs", 1000);
+  const uint64_t seed = flags.GetUint("seed", 1);
+
+  if (config_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]\n"
+                 "                [--runs=N] [--seed-prefix=P] [--seed-asn=A] [--anycast=P,...]\n");
+    return 2;
+  }
+
+  // --- configuration --------------------------------------------------------
+  auto config_text = ReadFile(config_path);
+  if (!config_text.ok()) {
+    std::fprintf(stderr, "error: %s\n", config_text.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = bgp::ParseSingleRouterConfig(*config_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "config error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  bgp::RouterConfig config = std::move(parsed).value();
+  if (config.neighbors.empty()) {
+    std::fprintf(stderr, "error: the router needs at least one neighbor\n");
+    return 1;
+  }
+  std::printf("router %s: AS %u, %zu neighbors, %zu filters\n", config.name.c_str(),
+              config.local_as, config.neighbors.size(), config.policies.filters().size());
+
+  // Table source peer (default: first neighbor) and exploration peer
+  // (default: last neighbor).
+  const bgp::NeighborConfig* table_neighbor = &config.neighbors.front();
+  const bgp::NeighborConfig* explore_neighbor = &config.neighbors.back();
+  std::string peer_flag = flags.GetString("peer", "");
+  if (!peer_flag.empty()) {
+    auto addr = bgp::Ipv4Address::Parse(peer_flag);
+    if (!addr.has_value() || config.FindNeighbor(*addr) == nullptr) {
+      std::fprintf(stderr, "error: --peer=%s is not a configured neighbor\n",
+                   peer_flag.c_str());
+      return 1;
+    }
+    explore_neighbor = config.FindNeighbor(*addr);
+  }
+
+  // --- state: trace file or synthetic table ---------------------------------
+  bgp::RouterState state;
+  state.config = std::make_shared<const bgp::RouterConfig>(config);
+
+  bgp::PeerView table_view;
+  table_view.id = 100;
+  table_view.remote_as = table_neighbor->remote_as;
+  table_view.address = table_neighbor->address;
+  table_view.established = true;
+
+  bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+  size_t loaded = 0;
+  if (!trace_path.empty()) {
+    auto trace_text = ReadFile(trace_path);
+    if (!trace_text.ok()) {
+      std::fprintf(stderr, "error: %s\n", trace_text.status().ToString().c_str());
+      return 1;
+    }
+    auto trace = trace::ParseTrace(*trace_text);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    for (const trace::TraceEvent& ev : trace->events) {
+      bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, ev.update, discard);
+      loaded += ev.update.nlri.size();
+    }
+    std::printf("loaded trace %s: %zu events, %zu announced prefixes\n", trace_path.c_str(),
+                trace->events.size(), loaded);
+  } else {
+    trace::TraceGeneratorOptions gen_options;
+    gen_options.seed = seed;
+    gen_options.prefix_count = prefixes;
+    trace::TraceGenerator generator(gen_options);
+    for (const trace::TraceEvent& ev : generator.FullDump().events) {
+      bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, ev.update, discard);
+      loaded += ev.update.nlri.size();
+    }
+    std::printf("loaded synthetic table: %zu prefixes (use --trace= for real data)\n", loaded);
+  }
+  // Extra routes planted into the table, e.g. --inject=203.0.113.0/24:64500
+  // (prefix:origin-AS). Useful to model space the operator knows exists.
+  for (const std::string& spec : Split(flags.GetString("inject", ""), ',')) {
+    if (spec.empty()) {
+      continue;
+    }
+    auto parts = Split(spec, ':');
+    auto prefix = bgp::Prefix::Parse(parts[0]);
+    auto origin = parts.size() > 1 ? ParseUint64(parts[1]) : std::optional<uint64_t>(64500);
+    if (!prefix.has_value() || !origin.has_value()) {
+      std::fprintf(stderr, "error: bad --inject entry '%s'\n", spec.c_str());
+      return 1;
+    }
+    bgp::UpdateMessage u;
+    u.attrs.origin = bgp::Origin::kIgp;
+    u.attrs.as_path =
+        bgp::AsPath::Sequence({table_neighbor->remote_as, static_cast<bgp::AsNumber>(*origin)});
+    u.attrs.next_hop = table_neighbor->address;
+    u.nlri.push_back(*prefix);
+    bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, u, discard);
+    std::printf("injected %s (origin AS %llu)\n", prefix->ToString().c_str(),
+                static_cast<unsigned long long>(*origin));
+  }
+
+  std::printf("RIB: %zu prefixes\n", state.rib.PrefixCount());
+
+  // --- explore ---------------------------------------------------------------
+  bgp::PeerView explore_view;
+  explore_view.id = 200;
+  explore_view.remote_as = explore_neighbor->remote_as;
+  explore_view.address = explore_neighbor->address;
+  explore_view.established = true;
+
+  ExplorerOptions options;
+  options.concolic.max_runs = runs;
+  Explorer explorer(options);
+  auto checker = std::make_unique<HijackChecker>();
+  for (const std::string& p : Split(flags.GetString("anycast", ""), ',')) {
+    auto prefix = bgp::Prefix::Parse(p);
+    if (prefix.has_value()) {
+      checker->AddAnycastPrefix(*prefix);
+      std::printf("whitelisted anycast space: %s\n", prefix->ToString().c_str());
+    }
+  }
+  explorer.AddChecker(std::move(checker));
+  explorer.TakeCheckpoint(state, {table_view, explore_view}, 0);
+
+  bgp::UpdateMessage seed_update;
+  auto seed_prefix = bgp::Prefix::Parse(flags.GetString("seed-prefix", "10.1.7.0/24"));
+  bgp::AsNumber seed_asn = static_cast<bgp::AsNumber>(flags.GetUint("seed-asn", 0));
+  if (seed_asn == 0) {
+    seed_asn = explore_neighbor->remote_as;
+  }
+  seed_update.attrs.origin = bgp::Origin::kIgp;
+  seed_update.attrs.as_path = bgp::AsPath::Sequence({explore_neighbor->remote_as, seed_asn});
+  seed_update.attrs.next_hop = explore_neighbor->address;
+  seed_update.nlri.push_back(seed_prefix.value_or(*bgp::Prefix::Parse("10.1.7.0/24")));
+
+  std::printf("\nexploring session with %s (AS %u), seed %s, budget %llu runs...\n",
+              explore_neighbor->address.ToString().c_str(), explore_neighbor->remote_as,
+              seed_update.nlri[0].ToString().c_str(), static_cast<unsigned long long>(runs));
+  bench::Stopwatch timer;
+  explorer.ExploreSeed(seed_update, explore_view.id);
+  std::printf("done in %.2fs: %s\n\n", timer.Seconds(), explorer.report().Summary().c_str());
+
+  if (explorer.report().detections.empty()) {
+    std::printf("no potential route leaks found within budget.\n");
+    return 0;
+  }
+  std::set<std::string> ranges;
+  for (const Detection& d : explorer.report().detections) {
+    ranges.insert(d.victim.has_value() ? d.victim->ToString() : d.prefix.ToString());
+  }
+  std::printf("POTENTIAL ROUTE LEAKS — this session can override %zu prefix range(s):\n",
+              ranges.size());
+  for (const std::string& r : ranges) {
+    std::printf("  %s\n", r.c_str());
+  }
+  std::printf("\nfirst triggering input: %s\n",
+              explorer.report().detections[0].input.ToString().c_str());
+  std::printf("fix the import policy for %s before a live announcement does this.\n",
+              explore_neighbor->address.ToString().c_str());
+  return 3;  // findings present
+}
+
+}  // namespace
+}  // namespace dice
+
+int main(int argc, char** argv) { return dice::Run(argc, argv); }
