@@ -7,7 +7,9 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/strings.h"
@@ -17,17 +19,25 @@ namespace dice::bench {
 // Parses --key=value flags; anything else is ignored.
 class Flags {
  public:
+  // Splits "--key=value" into {key, value} and bare "--key" into
+  // {key, "true"}; nullopt when arg is not a --flag. The one authoritative
+  // tokenization, shared with callers that pre-validate argv (dice_cli).
+  static std::optional<std::pair<std::string, std::string>> ParseFlag(
+      const std::string& arg) {
+    if (arg.rfind("--", 0) != 0) {
+      return std::nullopt;
+    }
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      return std::make_pair(arg.substr(2), std::string("true"));
+    }
+    return std::make_pair(arg.substr(2, eq - 2), arg.substr(eq + 1));
+  }
+
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        continue;
-      }
-      size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "true";
-      } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      if (auto flag = ParseFlag(argv[i]); flag.has_value()) {
+        values_[std::move(flag->first)] = std::move(flag->second);
       }
     }
   }

@@ -7,8 +7,9 @@
 //
 // Usage:
 //   dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]
-//            [--runs=N] [--seed-prefix=10.1.7.0/24] [--seed-asn=1]
+//            [--runs=N] [--seed=N] [--seed-prefix=10.1.7.0/24] [--seed-asn=1]
 //            [--anycast=192.175.48.0/24,...] [--peer=<neighbor address>]
+//            [--inject=203.0.113.0/24:64500,...]
 //
 // The configuration must contain exactly one router block; the trace (or the
 // synthetic table) is loaded as routes from the *first* configured neighbor
@@ -17,7 +18,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "bench/common.h"
 #include "src/dice/explorer.h"
@@ -36,7 +39,66 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return out.str();
 }
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]\n"
+               "                [--runs=N] [--seed=N] [--seed-prefix=P] [--seed-asn=A]\n"
+               "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n");
+}
+
+// Rejects anything bench::Flags would silently ignore or misread: unknown
+// flags, positional arguments, value flags missing their '=value', and
+// numeric flags whose value does not parse. Returns 0 to proceed, nonzero to
+// exit with that code (0 is also the exit code for explicit --help,
+// signalled via *help_requested).
+int ValidateArgs(int argc, char** argv, bool* help_requested) {
+  // Every flag takes a value; the numeric ones must parse as unsigned.
+  static const std::set<std::string> kKnownFlags = {
+      "config", "trace",     "prefixes", "runs",    "seed",
+      "peer",   "seed-prefix", "seed-asn", "anycast", "inject",
+  };
+  static const std::set<std::string> kUintFlags = {"prefixes", "runs", "seed",
+                                                   "seed-asn"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      *help_requested = true;
+      return 0;
+    }
+    const auto flag = bench::Flags::ParseFlag(arg);
+    if (!flag.has_value()) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      return 2;
+    }
+    const auto& [key, value] = *flag;
+    if (kKnownFlags.count(key) == 0) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", key.c_str());
+      return 2;
+    }
+    if (arg.find('=') == std::string::npos) {
+      std::fprintf(stderr, "error: flag '--%s' requires a value\n", key.c_str());
+      return 2;
+    }
+    if (kUintFlags.count(key) != 0 && !ParseUint64(value).has_value()) {
+      std::fprintf(stderr, "error: flag '--%s' expects an unsigned integer (got '%s')\n",
+                   key.c_str(), value.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
+  bool help_requested = false;
+  if (int rc = ValidateArgs(argc, argv, &help_requested); rc != 0) {
+    PrintUsage(stderr);
+    return rc;
+  }
+  if (help_requested) {
+    PrintUsage(stdout);
+    return 0;
+  }
+
   bench::Flags flags(argc, argv);
   const std::string config_path = flags.GetString("config", "");
   const std::string trace_path = flags.GetString("trace", "");
@@ -45,9 +107,7 @@ int Run(int argc, char** argv) {
   const uint64_t seed = flags.GetUint("seed", 1);
 
   if (config_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]\n"
-                 "                [--runs=N] [--seed-prefix=P] [--seed-asn=A] [--anycast=P,...]\n");
+    PrintUsage(stderr);
     return 2;
   }
 
