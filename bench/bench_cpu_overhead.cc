@@ -191,6 +191,16 @@ int Run(int argc, char** argv) {
   e3.Print();
   std::printf("(the sustained rate is trace-bound; exploration consumes only idle\n"
               " capacity between arrivals — the paper's 'negligible impact')\n");
+  JsonLine("cpu_overhead")
+      .Add("prefixes", static_cast<uint64_t>(options.prefixes))
+      .Add("full_load_updates_per_s_without", without.UpdatesPerSecond())
+      .Add("full_load_updates_per_s_with", with.UpdatesPerSecond())
+      .Add("full_load_overhead_pct", overhead * 100.0)
+      .Add("full_load_exploration_runs", with.exploration_runs)
+      .Add("steady_rate_without", sim_rate_without)
+      .Add("steady_rate_with", sim_rate_with)
+      .Add("steady_explore_cpu_seconds", ss_with.explore_seconds)
+      .Print();
   return 0;
 }
 

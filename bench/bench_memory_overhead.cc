@@ -127,6 +127,16 @@ int Run(int argc, char** argv) {
       "percent, per-clone cost is small and bounded, nothing approaches a\n"
       "full copy. Exploration: %s in %.2fs\n",
       report.Summary().c_str(), explore_seconds);
+  JsonLine("memory_overhead")
+      .Add("prefixes", static_cast<uint64_t>(options.prefixes))
+      .Add("checkpoint_seconds", checkpoint_seconds)
+      .Add("checkpoint_total_pages", static_cast<uint64_t>(checkpoint_stats.total_pages))
+      .Add("checkpoint_unique_page_fraction", checkpoint_stats.UniquePageFraction())
+      .Add("clones_measured", mem.runs_measured)
+      .Add("clone_avg_unique_pages", avg_extra_pages)
+      .Add("clone_avg_unique_page_fraction", mem.AvgUniquePageFraction())
+      .Add("explore_seconds", explore_seconds)
+      .Print();
   return 0;
 }
 

@@ -8,7 +8,15 @@
 // random-value baseline, on (a) a synthetic branchy handler and (b) the real
 // provider import path with a multi-entry customer filter.
 //
-// Flags: --runs=N, --seed=S, --entries=N (filter entries), --prefixes=N.
+// It also runs the solver fast path head-to-head: the same exploration at the
+// same run budget with constraint-independence slicing + the cross-run query
+// cache disabled (the pre-optimization solve pipeline) vs enabled. The two
+// must produce bit-identical unique_paths / branches_covered / detections —
+// the optimizations are only allowed to be faster, never different — and the
+// bench exits non-zero if they diverge.
+//
+// Flags: --runs=N, --seed=S, --branches=N (head-to-head synthetic width),
+// --hh_reps=N (head-to-head repetitions), --prefixes=N.
 
 #include <cstdio>
 
@@ -117,16 +125,168 @@ void RealFilterSeries(uint64_t runs, uint64_t seed, size_t prefixes) {
               "strategies on the synthetic handler.\n");
 }
 
+// --- Solver fast-path head-to-head ------------------------------------------
+
+struct HeadToHeadSide {
+  double seconds = 0;
+  sym::ConcolicStats concolic;
+  size_t detections = 0;
+};
+
+// Wide synthetic handler: every branch tests an independent variable, so each
+// negation query slices to a single atom and the cross-run cache sees the
+// same handful of canonical queries over and over.
+HeadToHeadSide RunSyntheticSide(bool fast, uint64_t branches, uint64_t budget, uint64_t reps) {
+  HeadToHeadSide side;
+  Stopwatch timer;
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    sym::ConcolicOptions options;
+    options.max_runs = budget;
+    options.solver.enable_slicing = fast;
+    options.solver.enable_cache = fast;
+    sym::ConcolicDriver driver(options);
+    driver.Explore([branches](sym::Engine& engine) {
+      for (uint64_t i = 0; i < branches; ++i) {
+        sym::Value x =
+            engine.MakeSymbolic("f" + std::to_string(i), 16, 10 * (i + 1), 0, 1000);
+        engine.Branch(x > sym::Value(500), i + 1);
+      }
+    });
+    side.concolic = driver.stats();
+  }
+  side.seconds = timer.Seconds();
+  return side;
+}
+
+// The real provider import path (erroneous multi-entry customer filter),
+// explored under the same budget, `reps` times on one long-lived Explorer —
+// DiCE's steady-state loop, which re-explores a seed against the router
+// state every checkpoint interval. The per-exploration results must not
+// depend on the repetition (cached or not), and only the explorations
+// themselves are timed — checkpointing is benched separately
+// (bench_checkpoint_vs_replay).
+HeadToHeadSide RunRealSide(bool fast, uint64_t budget, uint64_t seed, size_t prefixes,
+                           size_t entries, uint64_t reps) {
+  Fig2Options options;
+  options.prefixes = prefixes;
+  options.seed = seed;
+  options.misconfig = Misconfig::kErroneousEntry;
+  options.filter_entries = entries;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = budget;
+  explorer_options.concolic.solver.enable_slicing = fast;
+  explorer_options.concolic.solver.enable_cache = fast;
+  Explorer explorer(explorer_options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fig2.provider(), fig2.loop().now());
+
+  HeadToHeadSide side;
+  size_t detections_before = 0;
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    explorer.StartExploration(fig2.CustomerSeedUpdate(), Fig2::kCustomerNode);
+    while (explorer.Step()) {
+    }
+    side.seconds += timer.Seconds();
+    side.concolic = explorer.report().concolic;
+    side.detections = explorer.report().detections.size() - detections_before;
+    detections_before = explorer.report().detections.size();
+  }
+  return side;
+}
+
+bool SidesIdentical(const HeadToHeadSide& a, const HeadToHeadSide& b) {
+  return a.concolic.runs == b.concolic.runs && a.concolic.unique_paths == b.concolic.unique_paths &&
+         a.concolic.branches_covered == b.concolic.branches_covered &&
+         a.detections == b.detections;
+}
+
+void AddHeadToHeadRows(Table& table, const char* workload, const HeadToHeadSide& base,
+                       const HeadToHeadSide& fast) {
+  auto row = [&](const char* config, const HeadToHeadSide& s) {
+    table.AddRow({workload, config, StrFormat("%.4f", s.seconds),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.concolic.runs)),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.concolic.unique_paths)),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.concolic.branches_covered)),
+                  StrFormat("%zu", s.detections),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.concolic.solver_cache_hits)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(s.concolic.solver_atoms_sliced))});
+  };
+  row("baseline (pre-opt solver)", base);
+  row("slicing+cache", fast);
+}
+
+int HeadToHead(uint64_t runs, uint64_t seed, size_t prefixes, size_t entries, uint64_t branches,
+               uint64_t reps, JsonLine& json) {
+  std::printf("F1c — solver fast path head-to-head (equal budgets, %llu reps each)\n",
+              static_cast<unsigned long long>(reps));
+
+  HeadToHeadSide synth_base = RunSyntheticSide(false, branches, runs, reps);
+  HeadToHeadSide synth_fast = RunSyntheticSide(true, branches, runs, reps);
+  HeadToHeadSide real_base = RunRealSide(false, runs, seed, prefixes, entries, reps);
+  HeadToHeadSide real_fast = RunRealSide(true, runs, seed, prefixes, entries, reps);
+
+  Table table({"workload", "solver config", "wall s", "runs", "unique paths", "branch outcomes",
+               "detections", "cache hits", "atoms sliced"});
+  AddHeadToHeadRows(table, "synthetic handler", synth_base, synth_fast);
+  AddHeadToHeadRows(table, "real import path", real_base, real_fast);
+  table.Print();
+
+  bool synth_ok = SidesIdentical(synth_base, synth_fast);
+  bool real_ok = SidesIdentical(real_base, real_fast);
+  double synth_speedup = synth_base.seconds / std::max(synth_fast.seconds, 1e-9);
+  double real_speedup = real_base.seconds / std::max(real_fast.seconds, 1e-9);
+  std::printf("\nsynthetic: %.2fx speedup, results %s\n", synth_speedup,
+              synth_ok ? "identical" : "DIVERGED");
+  std::printf("real:      %.2fx speedup, results %s\n", real_speedup,
+              real_ok ? "identical" : "DIVERGED");
+
+  json.Add("hh_budget_runs", runs)
+      .Add("hh_reps", reps)
+      .Add("synthetic_branches", branches)
+      .Add("synthetic_baseline_seconds", synth_base.seconds)
+      .Add("synthetic_fast_seconds", synth_fast.seconds)
+      .Add("synthetic_speedup", synth_speedup)
+      .Add("synthetic_identical", synth_ok)
+      .Add("synthetic_cache_hits", synth_fast.concolic.solver_cache_hits)
+      .Add("synthetic_atoms_sliced", synth_fast.concolic.solver_atoms_sliced)
+      .Add("real_baseline_seconds", real_base.seconds)
+      .Add("real_fast_seconds", real_fast.seconds)
+      .Add("real_speedup", real_speedup)
+      .Add("real_identical", real_ok)
+      .Add("real_cache_hits", real_fast.concolic.solver_cache_hits)
+      .Add("real_atoms_sliced", real_fast.concolic.solver_atoms_sliced);
+  if (!synth_ok || !real_ok) {
+    std::printf("\nFAIL: optimized solver changed exploration results\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const uint64_t runs = flags.GetUint("runs", 128);
   const uint64_t seed = flags.GetUint("seed", 1);
   const size_t prefixes = flags.GetUint("prefixes", 5000);
+  const size_t entries = flags.GetUint("entries", 12);
+  const uint64_t branches = flags.GetUint("branches", 16);
+  const uint64_t hh_reps = flags.GetUint("hh_reps", 5);
 
   std::printf("F1: systematic path exploration by predicate negation (paper Fig. 1)\n\n");
   SyntheticSeries(runs, seed);
   RealFilterSeries(runs, seed, prefixes);
-  return 0;
+  std::printf("\n");
+  JsonLine json("path_exploration");
+  json.Add("runs", runs)
+      .Add("prefixes", static_cast<uint64_t>(prefixes))
+      .Add("filter_entries", static_cast<uint64_t>(entries));
+  int rc = HeadToHead(runs, seed, prefixes, entries, branches, hh_reps, json);
+  json.Print();
+  return rc;
 }
 
 }  // namespace

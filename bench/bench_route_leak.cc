@@ -168,6 +168,19 @@ int Run(int argc, char** argv) {
       "\nshape check vs paper: misconfigured scenarios -> leaks found with the\n"
       "offending ranges named; correct filter -> zero detections; anycast\n"
       "overrides suppressed, not reported.\n");
+  JsonLine json("route_leak");
+  json.Add("prefixes", static_cast<uint64_t>(prefixes)).Add("budget_runs", runs);
+  for (const ScenarioResult& r : results) {
+    std::string tag = r.name;
+    for (char& c : tag) {
+      if (c == ' ' || c == '-') {
+        c = '_';
+      }
+    }
+    json.Add(tag + "_detections", static_cast<uint64_t>(r.detections))
+        .Add(tag + "_wall_seconds", r.wall_seconds);
+  }
+  json.Print();
   return 0;
 }
 

@@ -102,6 +102,16 @@ int Run(int argc, char** argv) {
       "\nshape check vs paper: whole-message mutation mostly produces invalid\n"
       "messages that never get past parsing; selective marking keeps every\n"
       "input valid and spends the entire budget inside routing+policy code.\n");
+  JsonLine("selective_symbolic")
+      .Add("whole_attempts", whole.attempts)
+      .Add("whole_valid_fraction", whole.ValidFraction())
+      .Add("selective_runs", selective_total)
+      .Add("selective_reaching_fraction",
+           selective_total == 0
+               ? 0.0
+               : static_cast<double>(selective_reaching) / static_cast<double>(selective_total))
+      .Add("selective_branch_outcomes", report.concolic.branches_covered)
+      .Print();
   return 0;
 }
 

@@ -132,6 +132,60 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Machine-readable result emitter: every bench prints exactly one
+//   BENCH_JSON {"bench":"<name>",...}
+// line at the end of its run, so perf trajectories can be scraped into
+// BENCH_<name>.json files across PRs (grep '^BENCH_JSON' and strip the tag).
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Add("bench", bench); }
+
+  JsonLine& Add(const std::string& key, const std::string& value) {
+    AppendKey(key);
+    fields_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') {
+        fields_ += '\\';
+      }
+      fields_ += c;
+    }
+    fields_ += '"';
+    return *this;
+  }
+  JsonLine& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonLine& Add(const std::string& key, double value) {
+    AppendKey(key);
+    fields_ += StrFormat("%.6f", value);
+    return *this;
+  }
+  JsonLine& Add(const std::string& key, uint64_t value) {
+    AppendKey(key);
+    fields_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+    return *this;
+  }
+  JsonLine& Add(const std::string& key, bool value) {
+    AppendKey(key);
+    fields_ += value ? "true" : "false";
+    return *this;
+  }
+
+  void Print() const { std::printf("BENCH_JSON {%s}\n", fields_.c_str()); }
+
+ private:
+  void AppendKey(const std::string& key) {
+    if (!fields_.empty()) {
+      fields_ += ',';
+    }
+    fields_ += '"';
+    fields_ += key;
+    fields_ += "\":";
+  }
+
+  std::string fields_;
+};
+
 }  // namespace dice::bench
 
 #endif  // BENCH_COMMON_H_

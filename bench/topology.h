@@ -12,6 +12,7 @@
 #ifndef BENCH_TOPOLOGY_H_
 #define BENCH_TOPOLOGY_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -52,6 +53,10 @@ struct Fig2Options {
   Misconfig misconfig = Misconfig::kErroneousEntry;
   // Victim space the misconfiguration exposes (the YouTube /22 by default).
   const char* victim_space = "208.65.152.0/22";
+  // Total customer /16 blocks in the prefix-list (10.1.0.0/16, 10.2.0.0/16,
+  // ...). More entries mean more symbolic range checks per explored UPDATE —
+  // the "multi-entry customer filter" knob of the exploration benches.
+  size_t filter_entries = 1;
 };
 
 class Fig2 {
@@ -70,8 +75,12 @@ class Fig2 {
 
     bgp::PrefixList customers;
     customers.name = "customers";
-    customers.entries.push_back(
-        bgp::PrefixListEntry{*bgp::Prefix::Parse("10.1.0.0/16"), 0, 24});
+    // 10.1/16 .. 10.254/16 at most: the second octet must stay a valid byte.
+    const size_t entry_count = std::clamp<size_t>(options.filter_entries, 1, 254);
+    for (size_t k = 0; k < entry_count; ++k) {
+      std::string block = "10." + std::to_string(1 + k) + ".0.0/16";
+      customers.entries.push_back(bgp::PrefixListEntry{*bgp::Prefix::Parse(block), 0, 24});
+    }
     if (options.misconfig == Misconfig::kErroneousEntry) {
       // The fat-fingered entry: the victim's space in the *customer* list.
       customers.entries.push_back(

@@ -17,6 +17,10 @@ std::string ExplorationReport::Summary() const {
       static_cast<unsigned long long>(runs_rejected),
       static_cast<unsigned long long>(intercepted_messages),
       static_cast<unsigned long long>(clones_made), detections.size());
+  out += StrFormat(" cache_hits=%llu cache_misses=%llu sliced_atoms=%llu",
+                   static_cast<unsigned long long>(concolic.solver_cache_hits),
+                   static_cast<unsigned long long>(concolic.solver_cache_misses),
+                   static_cast<unsigned long long>(concolic.solver_atoms_sliced));
   if (first_detection_run.has_value()) {
     out += StrFormat(" first_detection_run=%llu",
                      static_cast<unsigned long long>(*first_detection_run));
@@ -24,7 +28,30 @@ std::string ExplorationReport::Summary() const {
   return out;
 }
 
-Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {}
+Explorer::Explorer(ExplorerOptions options)
+    : options_(std::move(options)), solver_(options_.concolic.solver) {}
+
+namespace {
+
+// Per-exploration view of the long-lived solver's counters.
+sym::SolverStats SubtractStats(const sym::SolverStats& now, const sym::SolverStats& base) {
+  sym::SolverStats d;
+  d.queries = now.queries - base.queries;
+  d.sat = now.sat - base.sat;
+  d.unsat = now.unsat - base.unsat;
+  d.unknown = now.unknown - base.unknown;
+  d.fallback_used = now.fallback_used - base.fallback_used;
+  d.atoms_linearized = now.atoms_linearized - base.atoms_linearized;
+  d.atoms_nonlinear = now.atoms_nonlinear - base.atoms_nonlinear;
+  d.atoms_sliced = now.atoms_sliced - base.atoms_sliced;
+  d.cache_hits = now.cache_hits - base.cache_hits;
+  d.cache_misses = now.cache_misses - base.cache_misses;
+  d.cache_unsat_shortcuts = now.cache_unsat_shortcuts - base.cache_unsat_shortcuts;
+  d.cache_model_reuses = now.cache_model_reuses - base.cache_model_reuses;
+  return d;
+}
+
+}  // namespace
 
 void Explorer::AddChecker(std::unique_ptr<Checker> checker) {
   checkers_.push_back(std::move(checker));
@@ -114,10 +141,11 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
 }
 
 void Explorer::StartExploration(const bgp::UpdateMessage& seed, bgp::PeerId from) {
-  driver_ = std::make_unique<sym::ConcolicDriver>(options_.concolic);
+  solver_stats_base_ = solver_.stats();
+  driver_ = std::make_unique<sym::ConcolicDriver>(options_.concolic, &solver_);
   driver_->StartIncremental(MakeProgram(seed, from));
   report_.concolic = driver_->stats();
-  report_.solver = driver_->solver_stats();
+  report_.solver = SubtractStats(driver_->solver_stats(), solver_stats_base_);
 }
 
 bool Explorer::Step() {
@@ -126,7 +154,7 @@ bool Explorer::Step() {
   }
   bool more = driver_->StepIncremental();
   report_.concolic = driver_->stats();
-  report_.solver = driver_->solver_stats();
+  report_.solver = SubtractStats(driver_->solver_stats(), solver_stats_base_);
   return more;
 }
 

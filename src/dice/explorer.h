@@ -54,7 +54,8 @@ struct CloneMemoryStats {
 
 struct ExplorationReport {
   sym::ConcolicStats concolic;
-  sym::SolverStats solver;
+  sym::SolverStats solver;  // this exploration only (the Explorer's solver
+                            // is long-lived; lifetime totals are subtracted)
   std::vector<Detection> detections;
   uint64_t runs_accepted = 0;   // exploratory inputs that passed the import policy
   uint64_t runs_rejected = 0;
@@ -107,6 +108,13 @@ class Explorer {
   ExplorerOptions options_;
   checkpoint::CheckpointManager checkpoints_;
   std::vector<std::unique_ptr<Checker>> checkers_;
+  // One solver for the Explorer's lifetime: its cross-run query cache
+  // persists across seed explorations, which re-pose mostly identical
+  // queries against the same router state.
+  sym::Solver solver_;
+  // Solver counter values at StartExploration, so report_.solver covers only
+  // the current exploration.
+  sym::SolverStats solver_stats_base_;
   std::unique_ptr<sym::ConcolicDriver> driver_;
   ExplorationReport report_;
   std::vector<InterceptedMessage> intercepted_;

@@ -4,9 +4,11 @@
 
 namespace dice::sym {
 
-ConcolicDriver::ConcolicDriver(ConcolicOptions options)
+ConcolicDriver::ConcolicDriver(ConcolicOptions options, Solver* shared_solver)
     : options_(options),
-      solver_(options.solver),
+      owned_solver_(shared_solver == nullptr ? std::make_unique<Solver>(options.solver)
+                                             : nullptr),
+      solver_(shared_solver == nullptr ? owned_solver_.get() : shared_solver),
       strategy_(MakeStrategy(options.strategy, options.seed)) {}
 
 void ConcolicDriver::RunOnce(const Assignment& assignment, size_t bound) {
@@ -38,6 +40,9 @@ void ConcolicDriver::StartIncremental(const Program& program, RunObserver on_run
   program_ = program;
   on_run_ = std::move(on_run);
   incremental_active_ = true;
+  solver_cache_hits_base_ = solver_->stats().cache_hits;
+  solver_cache_misses_base_ = solver_->stats().cache_misses;
+  solver_atoms_sliced_base_ = solver_->stats().atoms_sliced;
   // Seed run on the originally observed input (empty assignment = seeds).
   RunOnce(Assignment{}, /*bound=*/0);
 }
@@ -51,8 +56,13 @@ bool ConcolicDriver::StepIncremental() {
     return false;
   }
   while (auto candidate = strategy_->Next()) {
+    constraints_scratch_.clear();
+    candidate->AppendConstraints(constraints_scratch_);
     SolveResult solved =
-        solver_.Solve(candidate->Constraints(), engine_.vars(), candidate->parent_assignment);
+        solver_->Solve(constraints_scratch_, engine_.vars(), *candidate->parent_assignment);
+    stats_.solver_cache_hits = solver_->stats().cache_hits - solver_cache_hits_base_;
+    stats_.solver_cache_misses = solver_->stats().cache_misses - solver_cache_misses_base_;
+    stats_.solver_atoms_sliced = solver_->stats().atoms_sliced - solver_atoms_sliced_base_;
     switch (solved.kind) {
       case SolveKind::kSat: {
         ++stats_.solver_sat;

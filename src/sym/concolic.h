@@ -44,11 +44,21 @@ struct ConcolicStats {
   uint64_t solver_unknown = 0;
   uint64_t branches_covered = 0;  // distinct (site, outcome) pairs
   uint64_t max_path_depth = 0;
+  // Solver fast-path counters, mirrored from SolverStats after each solve so
+  // reports built from ConcolicStats can surface them directly.
+  uint64_t solver_cache_hits = 0;
+  uint64_t solver_cache_misses = 0;
+  uint64_t solver_atoms_sliced = 0;
 };
 
 class ConcolicDriver {
  public:
-  explicit ConcolicDriver(ConcolicOptions options = {});
+  // `shared_solver` (optional) lets a long-lived host reuse one Solver — and
+  // its cross-run query cache — across many driver instances: DiCE explores
+  // a fresh seed every checkpoint interval, and consecutive explorations of
+  // the same router state re-pose mostly identical queries. When null the
+  // driver owns a private solver built from `options.solver`.
+  explicit ConcolicDriver(ConcolicOptions options = {}, Solver* shared_solver = nullptr);
 
   // Runs the exploration loop. `on_run` (optional) observes every completed
   // run with the assignment that produced it — DiCE's checkers hang off this.
@@ -64,7 +74,7 @@ class ConcolicDriver {
   bool incremental_active() const { return incremental_active_; }
 
   const ConcolicStats& stats() const { return stats_; }
-  const SolverStats& solver_stats() const { return solver_.stats(); }
+  const SolverStats& solver_stats() const { return solver_->stats(); }
   Engine& engine() { return engine_; }
 
  private:
@@ -72,7 +82,8 @@ class ConcolicDriver {
 
   ConcolicOptions options_;
   Engine engine_;
-  Solver solver_;
+  std::unique_ptr<Solver> owned_solver_;  // null when a shared solver is used
+  Solver* solver_;
   std::unique_ptr<SearchStrategy> strategy_;
   ConcolicStats stats_;
   std::set<uint64_t> seen_paths_;
@@ -81,6 +92,14 @@ class ConcolicDriver {
   Program program_;
   RunObserver on_run_;
   bool incremental_active_ = false;
+  // Reused per-candidate constraint buffer (prefix + flipped predicate).
+  std::vector<ExprPtr> constraints_scratch_;
+  // Solver counter values at StartIncremental: with a shared solver they are
+  // lifetime totals, and the mirrored ConcolicStats must cover only this
+  // exploration.
+  uint64_t solver_cache_hits_base_ = 0;
+  uint64_t solver_cache_misses_base_ = 0;
+  uint64_t solver_atoms_sliced_base_ = 0;
 };
 
 }  // namespace dice::sym

@@ -34,16 +34,110 @@ const char* OpName(Op op) {
 
 bool Expr::IsBool() const { return bits_ == 1; }
 
+// --- Hash-consing ------------------------------------------------------------
+//
+// One per-process table interns every node; children are themselves interned,
+// so a node's identity is (op, bits, imm, lhs pointer, rhs pointer). Entries
+// hold weak_ptrs and a node's shared_ptr deleter erases its entry, so the
+// table tracks exactly the live nodes. Single-threaded by design (the engine
+// runs one exploration per process); the table is heap-allocated and never
+// destroyed so that statically stored ExprPtrs can outlive it safely.
+
+struct ExprInternAccess {
+  struct Key {
+    Op op;
+    uint8_t bits;
+    uint64_t imm;
+    const Expr* lhs;
+    const Expr* rhs;
+
+    bool operator==(const Key& o) const {
+      return op == o.op && bits == o.bits && imm == o.imm && lhs == o.lhs && rhs == o.rhs;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      h = HashCombine(h, static_cast<uint64_t>(k.op));
+      h = HashCombine(h, k.bits);
+      h = HashCombine(h, k.imm);
+      h = HashCombine(h, reinterpret_cast<uintptr_t>(k.lhs));
+      h = HashCombine(h, reinterpret_cast<uintptr_t>(k.rhs));
+      return static_cast<size_t>(h);
+    }
+  };
+
+  using Table = std::unordered_map<Key, std::weak_ptr<const Expr>, KeyHash>;
+
+  static Table& table() {
+    static Table* t = new Table();  // intentionally leaked: see header comment
+    return *t;
+  }
+
+  static uint64_t& next_id() {
+    static uint64_t id = 1;
+    return id;
+  }
+
+  static Key KeyOf(const Expr& e) {
+    return Key{e.op_, e.bits_, e.imm_, e.lhs_.get(), e.rhs_.get()};
+  }
+
+  static void Erase(const Expr* e) {
+    table().erase(KeyOf(*e));
+    delete e;
+  }
+};
+
+size_t Expr::InternTableSize() { return ExprInternAccess::table().size(); }
+
+ExprPtr Expr::Intern(Op op, uint8_t bits, uint64_t imm, ExprPtr lhs, ExprPtr rhs) {
+  ExprInternAccess::Table& table = ExprInternAccess::table();
+  ExprInternAccess::Key key{op, bits, imm, lhs.get(), rhs.get()};
+  auto it = table.find(key);
+  if (it != table.end()) {
+    // Expiry cannot race the deleter single-threaded: the deleter erases the
+    // entry synchronously, so a present entry is always lockable.
+    return it->second.lock();
+  }
+  Expr* node = new Expr(op, bits, imm, std::move(lhs), std::move(rhs));
+  node->id_ = ExprInternAccess::next_id()++;
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  h = HashCombine(h, static_cast<uint64_t>(op));
+  h = HashCombine(h, bits);
+  h = HashCombine(h, imm);
+  h = HashCombine(h, node->lhs_ != nullptr ? node->lhs_->hash_ : 0);
+  h = HashCombine(h, node->rhs_ != nullptr ? node->rhs_->hash_ : 0);
+  node->hash_ = h;
+  // Eager sorted-merge of the children's supports; interning means this runs
+  // once per distinct node, not once per use.
+  if (op == Op::kVar) {
+    node->vars_.push_back(static_cast<VarId>(imm));
+  } else if (node->lhs_ != nullptr && node->rhs_ != nullptr) {
+    const std::vector<VarId>& a = node->lhs_->vars_;
+    const std::vector<VarId>& b = node->rhs_->vars_;
+    node->vars_.resize(a.size() + b.size());
+    auto end = std::set_union(a.begin(), a.end(), b.begin(), b.end(), node->vars_.begin());
+    node->vars_.resize(static_cast<size_t>(end - node->vars_.begin()));
+  } else if (node->lhs_ != nullptr) {
+    node->vars_ = node->lhs_->vars_;
+  }
+  ExprPtr shared(node, [](const Expr* e) { ExprInternAccess::Erase(e); });
+  table.emplace(key, shared);
+  return shared;
+}
+
 ExprPtr Expr::MakeConst(uint64_t value, uint8_t bits) {
-  return ExprPtr(new Expr(Op::kConst, bits, MaskTo(value, bits), nullptr, nullptr));
+  return Intern(Op::kConst, bits, MaskTo(value, bits), nullptr, nullptr);
 }
 
 ExprPtr Expr::MakeVar(VarId id, uint8_t bits) {
-  return ExprPtr(new Expr(Op::kVar, bits, id, nullptr, nullptr));
+  return Intern(Op::kVar, bits, id, nullptr, nullptr);
 }
 
 ExprPtr Expr::MakeBinary(Op op, uint8_t bits, ExprPtr a, ExprPtr b) {
-  return ExprPtr(new Expr(op, bits, 0, std::move(a), std::move(b)));
+  return Intern(op, bits, 0, std::move(a), std::move(b));
 }
 
 namespace {
@@ -139,7 +233,7 @@ ExprPtr Expr::LNot(ExprPtr a) {
   if (a->IsConst()) {
     return MakeConst(a->imm() != 0 ? 0 : 1, 1);
   }
-  return ExprPtr(new Expr(Op::kLNot, 1, 0, std::move(a), nullptr));
+  return Intern(Op::kLNot, 1, 0, std::move(a), nullptr);
 }
 
 ExprPtr Expr::Negate(const ExprPtr& e) {
@@ -186,17 +280,21 @@ uint64_t Expr::Eval(const Assignment& assignment) const {
   }
 }
 
+uint64_t Expr::EvalDense(const std::vector<uint64_t>& values) const {
+  switch (op_) {
+    case Op::kConst:
+      return imm_;
+    case Op::kVar:
+      return imm_ < values.size() ? MaskTo(values[imm_], bits_) : 0;
+    case Op::kLNot:
+      return lhs_->EvalDense(values) != 0 ? 0 : 1;
+    default:
+      return ApplyBinary(op_, lhs_->EvalDense(values), rhs_->EvalDense(values), bits_);
+  }
+}
+
 void Expr::CollectVars(std::set<VarId>& out) const {
-  if (op_ == Op::kVar) {
-    out.insert(static_cast<VarId>(imm_));
-    return;
-  }
-  if (lhs_ != nullptr) {
-    lhs_->CollectVars(out);
-  }
-  if (rhs_ != nullptr) {
-    rhs_->CollectVars(out);
-  }
+  out.insert(vars_.begin(), vars_.end());
 }
 
 size_t Expr::NodeCount() const {
@@ -225,7 +323,7 @@ std::string Expr::ToString() const {
 
 bool Expr::Identical(const ExprPtr& a, const ExprPtr& b) {
   if (a == b) {
-    return true;
+    return true;  // interning makes this the common case
   }
   if (a == nullptr || b == nullptr) {
     return false;

@@ -1,7 +1,12 @@
 // Symbolic expression DAG for the concolic engine.
 //
-// Expressions are immutable, shared via shared_ptr, and built through
-// smart constructors that constant-fold and canonicalize. Semantics are
+// Expressions are immutable, hash-consed (interned), and shared via
+// shared_ptr: the smart constructors constant-fold, canonicalize, and then
+// intern the node in a per-process table, so structurally equal expressions
+// are pointer-equal. Every node carries a stable id and a precomputed hash,
+// which makes constraint-set deduplication and solver cache keys O(1) per
+// node, plus an eagerly merged sorted variable-support vector, which makes
+// constraint-independence slicing O(support) per atom. Semantics are
 // unsigned machine arithmetic masked to the expression's bit width (BGP
 // fields are 8/16/32-bit unsigned); boolean expressions have width 1.
 //
@@ -16,6 +21,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace dice::sym {
 
@@ -46,6 +52,13 @@ enum class Op : uint8_t {
 
 const char* OpName(Op op);
 
+// The one hash-mixing step used across the sym layer (expression interning,
+// solver cache keys, decision-sequence hashing).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
 using VarId = uint32_t;
 
 // Variable assignment used for evaluation and as a solver model.
@@ -56,7 +69,7 @@ using ExprPtr = std::shared_ptr<const Expr>;
 
 class Expr {
  public:
-  // --- Smart constructors (fold constants, canonicalize) -----------------
+  // --- Smart constructors (fold constants, canonicalize, intern) ---------
   static ExprPtr MakeConst(uint64_t value, uint8_t bits);
   static ExprPtr MakeVar(VarId id, uint8_t bits);
   static ExprPtr Add(ExprPtr a, ExprPtr b);
@@ -87,6 +100,15 @@ class Expr {
   const ExprPtr& lhs() const { return lhs_; }
   const ExprPtr& rhs() const { return rhs_; }
 
+  // Stable per-process id (creation order in the intern table; never reused)
+  // and precomputed structural hash. Structurally equal expressions share a
+  // node, so equal ids imply — and are implied by — structural equality.
+  uint64_t id() const { return id_; }
+  uint64_t hash() const { return hash_; }
+
+  // Sorted, deduplicated variable support, merged eagerly at intern time.
+  const std::vector<VarId>& vars() const { return vars_; }
+
   bool IsConst() const { return op_ == Op::kConst; }
   bool IsVar() const { return op_ == Op::kVar; }
   bool IsBool() const;
@@ -94,12 +116,21 @@ class Expr {
   // Evaluates under `assignment`; unassigned variables evaluate to 0.
   uint64_t Eval(const Assignment& assignment) const;
 
+  // Evaluates against a dense table indexed by VarId (ids >= values.size()
+  // evaluate to 0) — the allocation-free form the solver's candidate search
+  // inner loop uses.
+  uint64_t EvalDense(const std::vector<uint64_t>& values) const;
+
   void CollectVars(std::set<VarId>& out) const;
   size_t NodeCount() const;
   std::string ToString() const;
 
-  // Structural equality (used by tests and dedupe).
+  // Structural equality (used by tests and dedupe). With interning this is
+  // pointer equality; the structural walk remains as a cross-check.
   static bool Identical(const ExprPtr& a, const ExprPtr& b);
+
+  // Number of live nodes in the per-process intern table (test hook).
+  static size_t InternTableSize();
 
   static uint64_t MaskTo(uint64_t value, uint8_t bits) {
     return bits >= 64 ? value : (value & ((uint64_t{1} << bits) - 1));
@@ -109,13 +140,20 @@ class Expr {
   Expr(Op op, uint8_t bits, uint64_t imm, ExprPtr lhs, ExprPtr rhs)
       : op_(op), bits_(bits), imm_(imm), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
+  // The one true constructor: interns (op, bits, imm, lhs, rhs).
+  static ExprPtr Intern(Op op, uint8_t bits, uint64_t imm, ExprPtr lhs, ExprPtr rhs);
   static ExprPtr MakeBinary(Op op, uint8_t bits, ExprPtr a, ExprPtr b);
 
   Op op_;
   uint8_t bits_;
   uint64_t imm_;
+  uint64_t id_ = 0;
+  uint64_t hash_ = 0;
   ExprPtr lhs_;
   ExprPtr rhs_;
+  std::vector<VarId> vars_;
+
+  friend struct ExprInternAccess;
 };
 
 }  // namespace dice::sym

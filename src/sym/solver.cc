@@ -4,8 +4,9 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
-#include <unordered_map>
+#include <numeric>
 #include <set>
+#include <unordered_map>
 
 #include "src/util/logging.h"
 
@@ -17,6 +18,8 @@ using solver_internal::LinearAtom;
 using solver_internal::LinearTerm;
 using solver_internal::Linearize;
 using solver_internal::PropagateIntervals;
+using solver_internal::SliceConstraints;
+using solver_internal::SliceResult;
 
 namespace solver_internal {
 namespace {
@@ -281,6 +284,65 @@ bool PropagateIntervals(const std::vector<LinearAtom>& atoms, std::vector<Interv
   return true;
 }
 
+SliceResult SliceConstraints(const std::vector<ExprPtr>& constraints,
+                             const std::vector<uint64_t>& base_dense) {
+  SliceResult out;
+  const size_t n = constraints.size();
+  // Union-find over constraint indices, linked through shared variables.
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&parent](size_t i) -> size_t {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  std::unordered_map<VarId, size_t> var_owner;  // variable -> first constraint seen
+  for (size_t i = 0; i < n; ++i) {
+    for (VarId v : constraints[i]->vars()) {
+      auto [it, inserted] = var_owner.emplace(v, i);
+      if (!inserted) {
+        unite(i, it->second);
+      }
+    }
+  }
+
+  // A component must be solved iff the hint-completed base violates at least
+  // one of its constraints. Variable-free constraints are constants: a false
+  // one refutes the whole conjunction, a true one is dropped outright.
+  std::vector<char> component_violated(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    bool satisfied = constraints[i]->EvalDense(base_dense) != 0;
+    if (constraints[i]->vars().empty()) {
+      if (!satisfied) {
+        out.trivially_unsat = true;
+        out.active.clear();
+        out.sliced_away = 0;
+        return out;
+      }
+      continue;
+    }
+    if (!satisfied) {
+      component_violated[find(i)] = 1;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (constraints[i]->vars().empty()) {
+      ++out.sliced_away;  // constant-true
+      continue;
+    }
+    if (component_violated[find(i)] != 0) {
+      out.active.push_back(constraints[i]);
+    } else {
+      ++out.sliced_away;
+    }
+  }
+  return out;
+}
+
 }  // namespace solver_internal
 
 Solver::Solver(SolverOptions options) : options_(options), rng_(options.seed) {}
@@ -298,12 +360,14 @@ struct AtomSet {
 // path budget is exhausted.
 //
 // Disjunct order is guided by `guide` (the solver hint, i.e. the parent run's
-// assignment): the disjunct the guide satisfies is tried first. In concolic
-// use the hint satisfies every constraint except the flipped one, so the
-// first expansion is feasible for all non-flipped disjunctions and the
-// cartesian choice space collapses to a handful of visits.
+// assignment, as a dense VarId-indexed table): the disjunct the guide
+// satisfies is tried first. In concolic use the hint satisfies every
+// constraint except the flipped one, so the first expansion is feasible for
+// all non-flipped disjunctions and the cartesian choice space collapses to a
+// handful of visits.
 bool ExpandChoices(std::vector<ExprPtr> pending, AtomSet atoms, size_t& budget,
-                   const Assignment& guide, const std::function<bool(AtomSet&)>& visit) {
+                   const std::vector<uint64_t>& guide,
+                   const std::function<bool(AtomSet&)>& visit) {
   while (!pending.empty()) {
     ExprPtr e = pending.back();
     pending.pop_back();
@@ -327,7 +391,7 @@ bool ExpandChoices(std::vector<ExprPtr> pending, AtomSet atoms, size_t& budget,
         --budget;
         ExprPtr first = e->lhs();
         ExprPtr second = e->rhs();
-        if (first->Eval(guide) == 0 && second->Eval(guide) != 0) {
+        if (first->EvalDense(guide) == 0 && second->EvalDense(guide) != 0) {
           std::swap(first, second);
         }
         {
@@ -349,34 +413,65 @@ bool ExpandChoices(std::vector<ExprPtr> pending, AtomSet atoms, size_t& budget,
   return visit(atoms);
 }
 
-// Evaluates all atoms under `model`; returns the number satisfied.
-size_t CountSatisfied(const std::vector<ExprPtr>& atoms, const Assignment& model) {
+// Evaluates all atoms against the dense model; returns the number satisfied.
+size_t CountSatisfiedDense(const std::vector<ExprPtr>& atoms,
+                           const std::vector<uint64_t>& model) {
   size_t n = 0;
   for (const ExprPtr& a : atoms) {
-    if (a->Eval(model) != 0) {
+    if (a->EvalDense(model) != 0) {
       ++n;
     }
   }
   return n;
 }
 
+// True iff every disjunct expansion of `constraints` is refuted by interval
+// propagation alone (all atoms linear, some domain emptied). A conservative
+// UNSAT proof for a small constraint subset; used to learn reusable cores.
+bool RefutedByIntervals(const std::vector<ExprPtr>& constraints, const std::vector<VarInfo>& vars,
+                        const std::vector<uint64_t>& guide, size_t max_id) {
+  size_t budget = 8;  // tiny subsets only; cap the disjunct expansion hard
+  bool all_refuted = true;
+  bool completed =
+      ExpandChoices(constraints, AtomSet{}, budget, guide, [&](AtomSet& atoms) {
+        std::vector<LinearAtom> linear;
+        linear.reserve(atoms.all.size());
+        for (const ExprPtr& a : atoms.all) {
+          std::optional<LinearAtom> lin = Linearize(a);
+          if (!lin.has_value()) {
+            all_refuted = false;
+            return false;  // non-linear: no interval proof; stop
+          }
+          linear.push_back(std::move(*lin));
+        }
+        std::vector<Interval> domains(max_id + 1);
+        for (const VarInfo& v : vars) {
+          uint64_t width_max = v.bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << v.bits) - 1);
+          domains[v.id] = Interval{v.lo, std::min(v.hi, width_max)};
+        }
+        if (PropagateIntervals(linear, domains, vars)) {
+          all_refuted = false;
+          return false;  // a path survived propagation: not provably UNSAT
+        }
+        return true;
+      });
+  return completed && all_refuted;
+}
+
 }  // namespace
 
-SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
-                          const std::vector<VarInfo>& vars, const Assignment& hint) {
-  ++stats_.queries;
+SolveResult Solver::SolveCore(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
+                              const std::vector<uint64_t>& base_dense) {
   SolveResult result;
 
-  // Base assignment: hint completed with seeds.
-  Assignment base;
-  for (const VarInfo& v : vars) {
-    auto it = hint.find(v.id);
-    base[v.id] = it != hint.end() ? Expr::MaskTo(it->second, v.bits) : v.seed;
-  }
+  // The candidate search and the stochastic fallback run entirely on flat
+  // VarId-indexed vectors (no per-candidate hash-map churn); an Assignment is
+  // materialized only for a found model.
+  const size_t max_id = base_dense.empty() ? 0 : base_dense.size() - 1;
 
-  auto verify = [&](const Assignment& model) {
-    for (const ExprPtr& c : constraints) {
-      if (c->Eval(model) == 0) {
+  auto verify_query = [&](const std::vector<uint64_t>& model) {
+    for (const ExprPtr& c : query) {
+      if (c->EvalDense(model) == 0) {
         return false;
       }
     }
@@ -392,17 +487,9 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     return d;
   };
 
-  // Fast path: maybe the hint already satisfies everything.
-  if (verify(base)) {
-    ++stats_.sat;
-    result.kind = SolveKind::kSat;
-    result.model = base;
-    return result;
-  }
-
   bool every_path_refuted_by_intervals = true;
   bool found = false;
-  Assignment found_model;
+  std::vector<uint64_t> found_model;
   size_t disjunct_budget = options_.max_disjunct_paths;
 
   // State for the single post-expansion stochastic fallback.
@@ -442,10 +529,6 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     }
 
     // Interval propagation over a dense domain table indexed by VarId.
-    size_t max_id = 0;
-    for (const VarInfo& v : vars) {
-      max_id = std::max<size_t>(max_id, v.id);
-    }
     std::vector<Interval> domains(max_id + 1);
     for (const VarInfo& v : vars) {
       domains[v.id] = domain_of(v);
@@ -495,16 +578,14 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
       }
     }
     for (const ExprPtr& nl : atoms.nonlinear) {
-      std::set<VarId> vs;
-      nl->CollectVars(vs);
-      constrained.insert(vs.begin(), vs.end());
+      constrained.insert(nl->vars().begin(), nl->vars().end());
     }
 
     for (VarId var : constrained) {
       const Interval& d = domains[var];
       add_candidate(var, static_cast<int64_t>(d.lo));
       add_candidate(var, static_cast<int64_t>(d.hi));
-      add_candidate(var, static_cast<int64_t>(base[var]));
+      add_candidate(var, static_cast<int64_t>(base_dense[var]));
     }
     for (const LinearAtom& atom : atoms.linear) {
       for (size_t i = 0; i < atom.terms.size(); ++i) {
@@ -513,7 +594,7 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
         int64_t rest = 0;
         for (size_t j = 0; j < atom.terms.size(); ++j) {
           if (j != i) {
-            rest += atom.terms[j].coef * static_cast<int64_t>(base[atom.terms[j].var]);
+            rest += atom.terms[j].coef * static_cast<int64_t>(base_dense[atom.terms[j].var]);
           }
         }
         int64_t target = atom.rhs - rest;
@@ -540,7 +621,7 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
       auto& list = candidates[var];
       std::sort(list.begin(), list.end());
       list.erase(std::unique(list.begin(), list.end()), list.end());
-      uint64_t anchor = base[var];
+      uint64_t anchor = base_dense[var];
       std::stable_sort(list.begin(), list.end(), [anchor](uint64_t a, uint64_t b) {
         uint64_t da = a > anchor ? a - anchor : anchor - a;
         uint64_t db = b > anchor ? b - anchor : anchor - b;
@@ -551,6 +632,7 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
       }
       if (list.empty()) {
         // Domain may be non-empty but all candidates excluded; sample a few.
+        core_used_rng_ = true;
         const Interval& d = domains[var];
         for (int k = 0; k < 8 && list.size() < 4; ++k) {
           uint64_t v = d.lo + rng_.NextBelow(d.hi - d.lo + 1);
@@ -568,16 +650,21 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     std::sort(order.begin(), order.end(), [&](VarId a, VarId b) {
       return candidates[a].size() < candidates[b].size();
     });
+    // O(1) "assigned by this depth" lookups for the partial pruning below.
+    std::vector<size_t> var_pos(max_id + 1, SIZE_MAX);
+    for (size_t k = 0; k < order.size(); ++k) {
+      var_pos[order[k]] = k;
+    }
 
-    // DFS over candidate assignments.
-    Assignment model = base;
+    // DFS over candidate assignments, on a flat scratch model.
+    std::vector<uint64_t> model = base_dense;
     std::function<bool(size_t)> dfs = [&](size_t depth) -> bool {
       if (search_nodes_used >= options_.max_search_nodes) {
         return false;
       }
       if (depth == order.size()) {
         ++search_nodes_used;
-        return CountSatisfied(atoms.all, model) == atoms.all.size();
+        return CountSatisfiedDense(atoms.all, model) == atoms.all.size();
       }
       VarId var = order[depth];
       for (uint64_t v : candidates[var]) {
@@ -589,14 +676,7 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
           bool ready = true;
           int64_t sum = 0;
           for (const LinearTerm& t : atom.terms) {
-            bool assigned = false;
-            for (size_t k = 0; k <= depth; ++k) {
-              if (order[k] == t.var) {
-                assigned = true;
-                break;
-              }
-            }
-            if (!assigned) {
+            if (var_pos[t.var] > depth) {  // SIZE_MAX for unordered vars
               ready = false;
               break;
             }
@@ -622,18 +702,12 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
           return true;
         }
       }
-      model.erase(var);
+      model[var] = base_dense[var];
       return false;
     };
 
     if (dfs(0)) {
-      // Fill any erased vars back from base.
-      for (const VarInfo& v : vars) {
-        if (model.find(v.id) == model.end()) {
-          model[v.id] = base[v.id];
-        }
-      }
-      if (verify(model)) {
+      if (verify_query(model)) {
         found = true;
         found_model = std::move(model);
         return false;  // stop expansion
@@ -654,8 +728,8 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     return true;  // keep trying other disjunct choices
   };
 
-  std::vector<ExprPtr> pending = constraints;
-  bool completed = ExpandChoices(std::move(pending), AtomSet{}, disjunct_budget, base,
+  std::vector<ExprPtr> pending = query;
+  bool completed = ExpandChoices(std::move(pending), AtomSet{}, disjunct_budget, base_dense,
                                  [&](AtomSet& atoms) { return try_atom_set(atoms); });
 
   // Single stochastic fallback over one representative unresolved atom set
@@ -663,13 +737,14 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
   // non-linear leftovers).
   if (!found && have_fallback_set && !fallback_order.empty()) {
     ++stats_.fallback_used;
-    Assignment best = base;
+    core_used_rng_ = true;
+    std::vector<uint64_t> best = base_dense;
     for (VarId var : fallback_order) {
       const Interval& d = fallback_domains[var];
       best[var] = std::clamp(best[var], d.lo, d.hi);
     }
-    size_t best_score = CountSatisfied(fallback_atoms, best);
-    Assignment cur = best;
+    size_t best_score = CountSatisfiedDense(fallback_atoms, best);
+    std::vector<uint64_t> cur = best;
     for (size_t iter = 0; iter < options_.max_fallback_iterations; ++iter) {
       if (best_score == fallback_atoms.size()) {
         break;
@@ -694,31 +769,321 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
           break;
       }
       cur[var] = std::clamp(v, d.lo, d.hi);
-      size_t score = CountSatisfied(fallback_atoms, cur);
+      size_t score = CountSatisfiedDense(fallback_atoms, cur);
       if (score >= best_score) {
         best_score = score;
         best = cur;
       }
     }
-    if (best_score == fallback_atoms.size() && verify(best)) {
+    if (best_score == fallback_atoms.size() && verify_query(best)) {
       found = true;
       found_model = std::move(best);
     }
   }
 
   if (found) {
-    ++stats_.sat;
     result.kind = SolveKind::kSat;
-    result.model = std::move(found_model);
+    for (const VarInfo& v : vars) {
+      result.model[v.id] = found_model[v.id];
+    }
     return result;
   }
   if (completed && every_path_refuted_by_intervals) {
-    ++stats_.unsat;
     result.kind = SolveKind::kUnsat;
     return result;
   }
-  ++stats_.unknown;
   result.kind = SolveKind::kUnknown;
+  return result;
+}
+
+void Solver::LearnUnsatCores(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
+                             const std::vector<uint64_t>& base_dense) {
+  constexpr size_t kMaxQueryForLearning = 128;
+  if (query.size() > kMaxQueryForLearning || query.empty()) {
+    return;
+  }
+  const size_t max_id = base_dense.empty() ? 0 : base_dense.size() - 1;
+  // In concolic use the base violates exactly the flipped predicate; a core,
+  // if one exists, must contain a violated constraint.
+  std::vector<size_t> violated;
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (query[i]->EvalDense(base_dense) == 0) {
+      violated.push_back(i);
+      if (violated.size() > 2) {
+        return;  // unusual query shape; learning pairs would be a poor fit
+      }
+    }
+  }
+  auto add_core = [&](QueryKey core_key, std::vector<ExprPtr> owners) {
+    std::sort(core_key.begin(), core_key.end());
+    for (const UnsatCore& existing : unsat_cores_) {
+      if (existing.key == core_key) {
+        return;
+      }
+    }
+    unsat_cores_.push_back(UnsatCore{std::move(core_key), std::move(owners)});
+    if (unsat_cores_.size() > options_.max_unsat_cores) {
+      unsat_cores_.pop_front();
+    }
+  };
+  for (size_t v_idx : violated) {
+    const ExprPtr& v = query[v_idx];
+    if (RefutedByIntervals({v}, vars, base_dense, max_id)) {
+      add_core({v->id()}, {v});
+      continue;
+    }
+    for (size_t j = 0; j < query.size(); ++j) {
+      if (j == v_idx) {
+        continue;
+      }
+      if (RefutedByIntervals({v, query[j]}, vars, base_dense, max_id)) {
+        add_core({v->id(), query[j]->id()}, {v, query[j]});
+        break;  // one learned pair per violated constraint
+      }
+    }
+  }
+}
+
+void Solver::ResetCacheIfVarsChanged(const std::vector<VarInfo>& vars) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const VarInfo& v : vars) {
+    h = HashCombine(h, v.id);
+    h = HashCombine(h, v.bits);
+    h = HashCombine(h, v.lo);
+    h = HashCombine(h, v.hi);
+  }
+  if (h != vars_fingerprint_) {
+    vars_fingerprint_ = h;
+    cache_.clear();
+    unsat_cores_.clear();
+    reuse_models_.clear();
+  }
+}
+
+SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
+                          const std::vector<VarInfo>& vars, const Assignment& hint) {
+  ++stats_.queries;
+  SolveResult result;
+
+  // Base assignment: hint completed with seeds, in dense VarId-indexed form —
+  // the whole fast path (verify, slicing, cache validation) runs without
+  // hash-map lookups; Assignments are materialized only for returned models.
+  size_t max_id = 0;
+  for (const VarInfo& v : vars) {
+    max_id = std::max<size_t>(max_id, v.id);
+  }
+  std::vector<uint64_t> base_dense(max_id + 1, 0);
+  for (const VarInfo& v : vars) {
+    auto it = hint.find(v.id);
+    base_dense[v.id] = it != hint.end() ? Expr::MaskTo(it->second, v.bits) : v.seed;
+  }
+
+  auto verify_full = [&](const std::vector<uint64_t>& model) {
+    for (const ExprPtr& c : constraints) {
+      if (c->EvalDense(model) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto to_assignment = [&](const std::vector<uint64_t>& model) {
+    Assignment out;
+    out.reserve(vars.size());
+    for (const VarInfo& v : vars) {
+      out.emplace(v.id, model[v.id]);
+    }
+    return out;
+  };
+
+  // Fast path: maybe the hint already satisfies everything.
+  if (verify_full(base_dense)) {
+    ++stats_.sat;
+    result.kind = SolveKind::kSat;
+    result.model = to_assignment(base_dense);
+    return result;
+  }
+
+  // Independence slicing: keep only the connected components the base
+  // assignment violates; the untouched components' variables carry their
+  // hint/seed values straight into any model.
+  const std::vector<ExprPtr>* query = &constraints;
+  SliceResult slice;
+  if (options_.enable_slicing) {
+    slice = SliceConstraints(constraints, base_dense);
+    stats_.atoms_sliced += slice.sliced_away;
+    if (slice.trivially_unsat) {
+      ++stats_.unsat;
+      result.kind = SolveKind::kUnsat;
+      return result;
+    }
+    query = &slice.active;
+  }
+
+  // Cross-run query cache over the canonicalized (sorted interned-id) slice.
+  QueryKey key;
+  if (options_.enable_cache) {
+    ResetCacheIfVarsChanged(vars);
+    key.reserve(query->size());
+    for (const ExprPtr& c : *query) {
+      key.push_back(c->id());
+    }
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+
+    std::vector<uint64_t> scratch;
+    auto serve_sat = [&](const CacheEntry& entry) -> bool {
+      scratch = base_dense;
+      for (const auto& [var, value] : entry.model) {
+        if (var < scratch.size()) {
+          scratch[var] = value;
+        }
+      }
+      if (!verify_full(scratch)) {
+        return false;  // not a model of this query under this hint
+      }
+      ++stats_.sat;
+      result.kind = SolveKind::kSat;
+      result.model = to_assignment(scratch);
+      return true;
+    };
+    auto same_hint = [&](const CacheEntry& entry) {
+      for (const auto& [var, value] : entry.hint) {
+        if (var >= base_dense.size() || base_dense[var] != value) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      if (it->second.kind == SolveKind::kUnsat) {
+        ++stats_.cache_hits;
+        ++stats_.unsat;
+        result.kind = SolveKind::kUnsat;
+        return result;
+      }
+      // SAT and budget-exhausted verdicts are served only when the anchoring
+      // hint matches on the query's support (and the original solve drew no
+      // randomness — enforced at store time): under those conditions the
+      // cached verdict replays a fresh solve bit-for-bit.
+      if (same_hint(it->second)) {
+        if (it->second.kind == SolveKind::kUnknown) {
+          ++stats_.cache_hits;
+          ++stats_.unknown;
+          result.kind = SolveKind::kUnknown;
+          return result;
+        }
+        if (serve_sat(it->second)) {
+          ++stats_.cache_hits;
+          return result;
+        }
+      }
+    } else {
+      // Any superset of a proven-UNSAT constraint set is UNSAT.
+      for (const UnsatCore& core : unsat_cores_) {
+        if (core.key.size() <= key.size() &&
+            std::includes(key.begin(), key.end(), core.key.begin(), core.key.end())) {
+          ++stats_.cache_hits;
+          ++stats_.cache_unsat_shortcuts;
+          ++stats_.unsat;
+          result.kind = SolveKind::kUnsat;
+          // Promote to an exact entry so repeats of this query skip the
+          // linear core scan.
+          if (cache_.size() >= options_.max_cache_entries) {
+            cache_.clear();
+          }
+          CacheEntry promoted;
+          promoted.kind = SolveKind::kUnsat;
+          promoted.constraints = *query;
+          cache_.emplace(std::move(key), std::move(promoted));
+          return result;
+        }
+      }
+      // Opt-in model reuse: a recent SAT model satisfying this query answers
+      // it (sound but not trajectory-preserving; see SolverOptions).
+      if (options_.enable_model_reuse) {
+        for (const CacheEntry& entry : reuse_models_) {
+          if (serve_sat(entry)) {
+            ++stats_.cache_hits;
+            ++stats_.cache_model_reuses;
+            return result;
+          }
+        }
+      }
+    }
+    ++stats_.cache_misses;
+  }
+
+  auto verify_full_model = [&](const Assignment& model) {
+    for (const ExprPtr& c : constraints) {
+      if (c->Eval(model) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  core_used_rng_ = false;
+  result = SolveCore(*query, vars, base_dense);
+  if (result.kind == SolveKind::kSat && options_.enable_slicing &&
+      !verify_full_model(result.model)) {
+    // Safety net — component disjointness should make this unreachable, but a
+    // sliced model must never be trusted without the full-conjunction check.
+    result = SolveCore(constraints, vars, base_dense);
+    if (result.kind == SolveKind::kSat && !verify_full_model(result.model)) {
+      result.kind = SolveKind::kUnknown;
+      result.model.clear();
+    }
+  }
+
+  // SAT and UNKNOWN verdicts are replayable (and thus cacheable) only when
+  // the solve drew no randomness; UNSAT is hint- and rng-independent because
+  // it is proven by interval refutation, not search.
+  const bool cacheable = result.kind == SolveKind::kUnsat || !core_used_rng_;
+  if (options_.enable_cache && cacheable) {
+    if (cache_.size() >= options_.max_cache_entries) {
+      cache_.clear();
+    }
+    CacheEntry entry;
+    entry.kind = result.kind;
+    entry.constraints = *query;
+    if (result.kind != SolveKind::kUnsat) {
+      // Remember the anchoring hint over the query's support.
+      for (const ExprPtr& c : *query) {
+        for (VarId v : c->vars()) {
+          entry.hint.emplace(v, base_dense[v]);
+        }
+      }
+    }
+    if (result.kind == SolveKind::kSat) {
+      for (const ExprPtr& c : *query) {
+        for (VarId v : c->vars()) {
+          auto it = result.model.find(v);
+          if (it != result.model.end()) {
+            entry.model.emplace(v, it->second);
+          }
+        }
+      }
+      if (options_.enable_model_reuse) {
+        reuse_models_.push_front(entry);
+        if (reuse_models_.size() > options_.max_reuse_models) {
+          reuse_models_.pop_back();
+        }
+      }
+    } else if (result.kind == SolveKind::kUnsat) {
+      unsat_cores_.push_back(UnsatCore{key, *query});
+      if (unsat_cores_.size() > options_.max_unsat_cores) {
+        unsat_cores_.pop_front();
+      }
+      LearnUnsatCores(*query, vars, base_dense);
+    }
+    cache_.insert_or_assign(std::move(key), std::move(entry));
+  }
+
+  switch (result.kind) {
+    case SolveKind::kSat: ++stats_.sat; break;
+    case SolveKind::kUnsat: ++stats_.unsat; break;
+    case SolveKind::kUnknown: ++stats_.unknown; break;
+  }
   return result;
 }
 

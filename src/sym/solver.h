@@ -10,6 +10,10 @@
 // DiCE avoids unsolvable constructs such as hash functions entirely).
 //
 // Pipeline:
+//   0. fast path: constraint-independence slicing (drop the connected
+//      components the hint already satisfies) and a cross-run query cache
+//      keyed on the canonicalized interned-id constraint set, with an
+//      UNSAT-superset shortcut and SAT model reuse;
 //   1. normalize: push negations down, split conjunctions, enumerate
 //      disjunction choices (DFS with budget);
 //   2. linearize each atom into sum(coef_i * var_i) CMP constant;
@@ -24,7 +28,9 @@
 #define SRC_SYM_SOLVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sym/engine.h"
@@ -52,6 +58,31 @@ struct SolverOptions {
   // Max iterations of the stochastic fallback.
   size_t max_fallback_iterations = 5000;
   uint64_t seed = 42;
+  // Fast-path toggles. Both default on; turning them off reproduces the
+  // pre-optimization solve pipeline exactly (the baseline the perf benches
+  // compare against). The default fast path is exploration-preserving: every
+  // served SAT model is one a fresh solve would return (exact constraint
+  // set, same anchoring hint, no randomness), so runs, paths, coverage, and
+  // detections are bit-identical to the baseline. The one stats-level
+  // exception: the UNSAT-superset shortcut may classify as kUnsat a query a
+  // fresh solve would give up on as kUnknown (disjunction budget exhausted) —
+  // the driver treats both verdicts identically (skip the candidate), only
+  // the sat/unsat/unknown tallies can differ.
+  bool enable_slicing = true;
+  bool enable_cache = true;
+  // KLEE-style cross-query model reuse: before searching, try recent SAT
+  // models against the new query and accept any that satisfies it. Sound
+  // (models are verified) but NOT trajectory-preserving — a reused model may
+  // differ from what the hint-anchored search would return, steering
+  // exploration down different (equally valid) inputs. Off by default so the
+  // optimized solver is bit-identical to the baseline; turn on when raw
+  // throughput matters more than reproducibility.
+  bool enable_model_reuse = false;
+  // Bounds for the cross-run cache (entries / retained UNSAT cores / recent
+  // SAT models tried before a fresh search).
+  size_t max_cache_entries = 4096;
+  size_t max_unsat_cores = 1024;
+  size_t max_reuse_models = 32;
 };
 
 struct SolverStats {
@@ -62,6 +93,14 @@ struct SolverStats {
   uint64_t fallback_used = 0;
   uint64_t atoms_linearized = 0;
   uint64_t atoms_nonlinear = 0;
+  // Independence slicing: top-level constraints dropped because their
+  // connected component was already satisfied by the hint.
+  uint64_t atoms_sliced = 0;
+  // Cross-run query cache.
+  uint64_t cache_hits = 0;            // any cache-served verdict
+  uint64_t cache_misses = 0;          // cache enabled but a full solve ran
+  uint64_t cache_unsat_shortcuts = 0; // served via the UNSAT-superset rule
+  uint64_t cache_model_reuses = 0;    // served by re-validating a cached model
 };
 
 class Solver {
@@ -77,9 +116,72 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
 
  private:
+  // Sorted, deduplicated interned-expression ids — the canonical form of a
+  // conjunction used as cache key and UNSAT core.
+  using QueryKey = std::vector<uint64_t>;
+
+  struct CacheEntry {
+    SolveKind kind = SolveKind::kUnknown;
+    // For kSat: the model restricted to the query's variable support.
+    Assignment model;
+    // For kSat/kUnknown: the anchoring hint restricted to the support. The
+    // search is hint-anchored, so a cached verdict replays a fresh solve
+    // exactly only when the current hint matches; UNSAT is hint-independent.
+    Assignment hint;
+    // Keeps the constraint expressions alive so interned ids stay stable.
+    std::vector<ExprPtr> constraints;
+  };
+
+  // A proven-UNSAT constraint-id set; any superset query is UNSAT. `owners`
+  // keeps the expressions alive so the interned ids stay matchable.
+  struct UnsatCore {
+    QueryKey key;
+    std::vector<ExprPtr> owners;
+  };
+
+  struct QueryKeyHash {
+    size_t operator()(const QueryKey& k) const {
+      uint64_t h = 0x2545f4914f6cdd1dULL;
+      for (uint64_t id : k) {
+        h = HashCombine(h, id);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  // The post-slicing, post-cache pipeline (normalize / linearize / propagate
+  // / search / fallback) over `query`, with `base` as the completed hint in
+  // dense VarId-indexed form.
+  SolveResult SolveCore(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
+                        const std::vector<uint64_t>& base_dense);
+
+  // Drops all cached state when the variable universe changes (ids, widths,
+  // or domain bounds) — cached verdicts are only sound for the domains they
+  // were computed under.
+  void ResetCacheIfVarsChanged(const std::vector<VarInfo>& vars);
+
+  // After a fresh UNSAT verdict, tries to shrink the query to a 1- or
+  // 2-constraint core provable by interval refutation alone, so the
+  // UNSAT-superset shortcut generalizes to every later query containing the
+  // same conflicting pair (concolic candidates share these heavily: the same
+  // flipped range check conflicts with the same table constraint regardless
+  // of the surrounding path prefix).
+  void LearnUnsatCores(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
+                       const std::vector<uint64_t>& base_dense);
+
   SolverOptions options_;
   SolverStats stats_;
   Rng rng_;
+  // Whether the last SolveCore consumed randomness (candidate sampling or the
+  // stochastic fallback). Verdicts produced with rng draws are not replayable
+  // and must not enter the cache.
+  bool core_used_rng_ = false;
+
+  uint64_t vars_fingerprint_ = 0;
+  std::unordered_map<QueryKey, CacheEntry, QueryKeyHash> cache_;
+  std::deque<UnsatCore> unsat_cores_;
+  // Most-recent-first ring of (support-restricted model, owning constraints).
+  std::deque<CacheEntry> reuse_models_;
 };
 
 // --- Internals exposed for unit testing -------------------------------------
@@ -120,6 +222,20 @@ struct Interval {
 // if some interval becomes empty (UNSAT for this disjunct path).
 bool PropagateIntervals(const std::vector<LinearAtom>& atoms, std::vector<Interval>& domains,
                         const std::vector<VarInfo>& vars);
+
+// Constraint-independence slicing: partitions the top-level conjunction into
+// connected components by shared variable support (union-find) and keeps only
+// the components containing at least one constraint the hint-completed `base`
+// assignment (dense, VarId-indexed) violates — the hint already witnesses the
+// rest, so their variables carry straight into the model.
+struct SliceResult {
+  std::vector<ExprPtr> active;   // constraints that still need solving
+  size_t sliced_away = 0;        // top-level constraints dropped
+  bool trivially_unsat = false;  // a constant-false constraint was present
+};
+
+SliceResult SliceConstraints(const std::vector<ExprPtr>& constraints,
+                             const std::vector<uint64_t>& base_dense);
 
 }  // namespace solver_internal
 

@@ -5,20 +5,54 @@
 namespace dice::sym {
 namespace {
 
-uint64_t HashCombine(uint64_t h, uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-NegationCandidate MakeCandidate(const Path& path, size_t index, const Assignment& assignment) {
+NegationCandidate MakeCandidate(std::shared_ptr<const Path> path, size_t index,
+                                std::shared_ptr<const Assignment> assignment) {
   NegationCandidate c;
-  c.prefix.assign(path.begin(), path.begin() + static_cast<ptrdiff_t>(index));
-  c.negated = path[index];
-  c.parent_assignment = assignment;
+  c.path = std::move(path);
+  c.parent_assignment = std::move(assignment);
   c.depth = index;
   c.bound = index + 1;
   return c;
 }
+
+// Invokes fn(i) for every flip index of `path` whose flip hash is new to
+// `attempted`. Flip hashes share the path's rolling prefix hash, so a whole
+// batch costs O(L) instead of the O(L^2) of HashDecisionsWithFlip per index
+// (the values are identical).
+template <typename Fn>
+void ForEachNewFlip(const Path& path, std::set<uint64_t>& attempted, Fn fn) {
+  uint64_t prefix_hash = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint64_t flip_hash = HashCombine(prefix_hash, path[i].site * 2 + (path[i].taken ? 0 : 1));
+    prefix_hash = HashCombine(prefix_hash, path[i].site * 2 + (path[i].taken ? 1 : 0));
+    if (attempted.insert(flip_hash).second) {
+      fn(i);
+    }
+  }
+}
+
+// Copies of the path/assignment shared by its candidates, made only if some
+// candidate actually materializes — re-explored paths (warm steady state)
+// usually dedupe every flip and should copy nothing.
+class SharedParent {
+ public:
+  SharedParent(const Path& path, const Assignment& assignment)
+      : path_(path), assignment_(assignment) {}
+
+  NegationCandidate Candidate(size_t index) {
+    if (shared_path_ == nullptr) {
+      shared_path_ = std::make_shared<const Path>(path_);
+      shared_assignment_ = std::make_shared<const Assignment>(assignment_);
+    }
+    return MakeCandidate(shared_path_, index, shared_assignment_);
+  }
+
+ private:
+  const Path& path_;
+  const Assignment& assignment_;
+  std::shared_ptr<const Path> shared_path_;
+  std::shared_ptr<const Assignment> shared_assignment_;
+};
 
 }  // namespace
 
@@ -50,19 +84,27 @@ void GenerationalStrategy::AddPath(const Path& path, const Assignment& assignmen
   // index keeps the frontier rich without duplicates.
   (void)bound;
   for (const BranchRecord& b : path) {
-    covered_.insert({b.site, b.taken});
-  }
-  for (size_t i = 0; i < path.size(); ++i) {
-    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
-    if (!attempted_.insert(flip_hash).second) {
-      continue;
+    if (covered_.insert({b.site, b.taken}).second) {
+      // A newly covered pair stales every queued candidate targeting it.
+      auto it = fresh_by_target_.find({b.site, b.taken});
+      if (it != fresh_by_target_.end()) {
+        for (uint64_t order : it->second) {
+          fresh_.erase(order);
+        }
+        fresh_by_target_.erase(it);
+      }
     }
-    Scored s;
-    s.candidate = MakeCandidate(path, i, assignment);
-    s.covers_new = covered_.count({path[i].site, !path[i].taken}) == 0;
-    s.order = next_order_++;
-    queue_.push_back(std::move(s));
   }
+  SharedParent parent(path, assignment);
+  ForEachNewFlip(path, attempted_, [&](size_t i) {
+    uint64_t order = next_order_++;
+    queue_.emplace(order, parent.Candidate(i));
+    SiteOutcome target{path[i].site, !path[i].taken};
+    if (covered_.count(target) == 0) {
+      fresh_.insert(order);
+      fresh_by_target_[target].insert(order);
+    }
+  });
 }
 
 std::optional<NegationCandidate> GenerationalStrategy::Next() {
@@ -70,21 +112,21 @@ std::optional<NegationCandidate> GenerationalStrategy::Next() {
     return std::nullopt;
   }
   // Prefer candidates that flip a (site, outcome) pair never covered; among
-  // those, FIFO. Re-scan because coverage changes as paths are added.
-  size_t pick = queue_.size();
-  for (size_t i = 0; i < queue_.size(); ++i) {
-    const Scored& s = queue_[i];
-    bool fresh = covered_.count({s.candidate.negated.site, !s.candidate.negated.taken}) == 0;
-    if (fresh) {
-      pick = i;
-      break;
+  // those, FIFO (smallest insertion order). Nothing fresh: plain FIFO.
+  auto it = fresh_.empty() ? queue_.begin() : queue_.find(*fresh_.begin());
+  uint64_t order = it->first;
+  NegationCandidate out = std::move(it->second);
+  queue_.erase(it);
+  if (fresh_.erase(order) != 0) {
+    SiteOutcome target{out.negated().site, !out.negated().taken};
+    auto by_target = fresh_by_target_.find(target);
+    if (by_target != fresh_by_target_.end()) {
+      by_target->second.erase(order);
+      if (by_target->second.empty()) {
+        fresh_by_target_.erase(by_target);
+      }
     }
   }
-  if (pick == queue_.size()) {
-    pick = 0;  // nothing fresh: plain FIFO
-  }
-  NegationCandidate out = std::move(queue_[pick].candidate);
-  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
   return out;
 }
 
@@ -93,13 +135,9 @@ std::optional<NegationCandidate> GenerationalStrategy::Next() {
 void DfsStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
   (void)bound;  // flip-hash dedupe subsumes the generational bound
   // Push shallow-to-deep so the deepest pops first.
-  for (size_t i = 0; i < path.size(); ++i) {
-    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
-    if (!attempted_.insert(flip_hash).second) {
-      continue;
-    }
-    stack_.push_back(MakeCandidate(path, i, assignment));
-  }
+  SharedParent parent(path, assignment);
+  ForEachNewFlip(path, attempted_,
+                 [&](size_t i) { stack_.push_back(parent.Candidate(i)); });
 }
 
 std::optional<NegationCandidate> DfsStrategy::Next() {
@@ -115,13 +153,9 @@ std::optional<NegationCandidate> DfsStrategy::Next() {
 
 void BfsStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
   (void)bound;  // flip-hash dedupe subsumes the generational bound
-  for (size_t i = 0; i < path.size(); ++i) {
-    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
-    if (!attempted_.insert(flip_hash).second) {
-      continue;
-    }
-    queue_.push_back(MakeCandidate(path, i, assignment));
-  }
+  SharedParent parent(path, assignment);
+  ForEachNewFlip(path, attempted_,
+                 [&](size_t i) { queue_.push_back(parent.Candidate(i)); });
 }
 
 std::optional<NegationCandidate> BfsStrategy::Next() {
@@ -137,13 +171,9 @@ std::optional<NegationCandidate> BfsStrategy::Next() {
 
 void RandomStrategy::AddPath(const Path& path, const Assignment& assignment, size_t bound) {
   (void)bound;  // flip-hash dedupe subsumes the generational bound
-  for (size_t i = 0; i < path.size(); ++i) {
-    uint64_t flip_hash = HashDecisionsWithFlip(path, i);
-    if (!attempted_.insert(flip_hash).second) {
-      continue;
-    }
-    pool_.push_back(MakeCandidate(path, i, assignment));
-  }
+  SharedParent parent(path, assignment);
+  ForEachNewFlip(path, attempted_,
+                 [&](size_t i) { pool_.push_back(parent.Candidate(i)); });
 }
 
 std::optional<NegationCandidate> RandomStrategy::Next() {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -24,26 +25,38 @@
 
 namespace dice::sym {
 
-// A candidate input to synthesize: satisfy `prefix` constraints and the
-// negation of `negated.predicate` (as taken in the parent run).
+// A candidate input to synthesize: satisfy the path constraints before the
+// negation point and the negation of the branch at `depth` (as taken in the
+// parent run). Candidates born from the same path share one immutable copy of
+// it (and of the parent assignment) instead of materializing a prefix vector
+// each — a path of length L used to cost O(L^2) records across its
+// candidates.
 struct NegationCandidate {
-  std::vector<BranchRecord> prefix;  // constraints before the negation point
-  BranchRecord negated;              // the branch to flip
-  Assignment parent_assignment;      // hint for the solver
+  std::shared_ptr<const Path> path;                  // the parent run's path
+  std::shared_ptr<const Assignment> parent_assignment;  // hint for the solver
   size_t depth = 0;                  // index of the negation point
   // Children of the resulting run may only negate at indices > `bound`
   // (generational search bound; prevents re-deriving the same flips).
   size_t bound = 0;
 
-  // All constraints to satisfy: prefix + flipped branch.
-  std::vector<ExprPtr> Constraints() const {
-    std::vector<ExprPtr> out;
-    out.reserve(prefix.size() + 1);
-    for (const BranchRecord& b : prefix) {
-      out.push_back(b.Constraint());
+  const BranchRecord& negated() const { return (*path)[depth]; }
+
+  // Appends all constraints to satisfy — prefix + flipped branch — into a
+  // caller-owned (typically reused) buffer.
+  void AppendConstraints(std::vector<ExprPtr>& out) const {
+    out.reserve(out.size() + depth + 1);
+    for (size_t i = 0; i < depth; ++i) {
+      out.push_back((*path)[i].Constraint());
     }
     // Flip: require the branch to go the *other* way.
-    out.push_back(negated.taken ? Expr::Negate(negated.predicate) : negated.predicate);
+    const BranchRecord& flip = negated();
+    out.push_back(flip.taken ? Expr::Negate(flip.predicate) : flip.predicate);
+  }
+
+  // Convenience form for tests and one-off callers.
+  std::vector<ExprPtr> Constraints() const {
+    std::vector<ExprPtr> out;
+    AppendConstraints(out);
     return out;
   }
 };
@@ -71,6 +84,14 @@ class SearchStrategy {
 // SAGE-style generational search: every branch after the parent's bound
 // produces a child candidate; candidates that would cover a (site, outcome)
 // pair not yet seen are dequeued first.
+//
+// The frontier is indexed so Next() is O(log n): candidates are keyed by
+// insertion order, and a side index tracks which still target an uncovered
+// (site, outcome) pair. Coverage only grows, so candidates move fresh->stale
+// exactly once — when AddPath first covers their target pair — which keeps
+// the index maintenance incremental while picking the same candidate the
+// original linear re-scan picked (first fresh in insertion order, else the
+// overall FIFO head).
 class GenerationalStrategy : public SearchStrategy {
  public:
   GenerationalStrategy() = default;
@@ -81,15 +102,13 @@ class GenerationalStrategy : public SearchStrategy {
   size_t FrontierSize() const override { return queue_.size(); }
 
  private:
-  struct Scored {
-    NegationCandidate candidate;
-    bool covers_new = false;
-    uint64_t order = 0;
-  };
+  using SiteOutcome = std::pair<uint64_t, bool>;
 
-  std::deque<Scored> queue_;
+  std::map<uint64_t, NegationCandidate> queue_;  // insertion order -> candidate
+  std::set<uint64_t> fresh_;                     // orders targeting uncovered pairs
+  std::map<SiteOutcome, std::set<uint64_t>> fresh_by_target_;
   std::set<uint64_t> attempted_;       // flip hashes already queued/tried
-  std::set<std::pair<uint64_t, bool>> covered_;  // (site, outcome)
+  std::set<SiteOutcome> covered_;      // (site, outcome)
   uint64_t next_order_ = 0;
 };
 

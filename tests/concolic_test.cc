@@ -246,5 +246,75 @@ TEST(StrategyTest, GenerationalDedupesCandidates) {
   EXPECT_EQ(strategy.FrontierSize(), 1u);
 }
 
+// --- Solver fast path regression -------------------------------------------------
+//
+// The slicing + cross-run cache optimizations must be invisible in the
+// exploration results: same runs, same unique paths, same coverage, at every
+// budget, for a program mixing independent and dependent branches.
+
+TEST(ConcolicDriverTest, FastPathPreservesExplorationResults) {
+  auto make_program = [] {
+    return [](Engine& engine) {
+      Value a = engine.MakeSymbolic("a", 32, 5, 0, 1000);
+      Value b = engine.MakeSymbolic("b", 32, 5, 0, 1000);
+      Value c = engine.MakeSymbolic("c", 32, 5, 0, 1000);
+      engine.Branch(a > Value(100), 1);
+      engine.Branch(b > Value(100), 2);
+      if (engine.Branch(a + b > Value(900), 3)) {
+        engine.Branch(c == Value(77), 4);
+      }
+      engine.Branch(c < Value(500), 5);
+    };
+  };
+  for (uint64_t budget : {8, 32, 128}) {
+    ConcolicOptions baseline_options;
+    baseline_options.max_runs = budget;
+    baseline_options.solver.enable_slicing = false;
+    baseline_options.solver.enable_cache = false;
+    ConcolicDriver baseline(baseline_options);
+    baseline.Explore(make_program());
+
+    ConcolicOptions fast_options;
+    fast_options.max_runs = budget;
+    ConcolicDriver fast(fast_options);
+    fast.Explore(make_program());
+
+    EXPECT_EQ(baseline.stats().runs, fast.stats().runs) << "budget " << budget;
+    EXPECT_EQ(baseline.stats().unique_paths, fast.stats().unique_paths) << "budget " << budget;
+    EXPECT_EQ(baseline.stats().branches_covered, fast.stats().branches_covered)
+        << "budget " << budget;
+    EXPECT_EQ(baseline.stats().max_path_depth, fast.stats().max_path_depth)
+        << "budget " << budget;
+  }
+}
+
+TEST(ConcolicDriverTest, SharedSolverCachePersistsAcrossDrivers) {
+  Program program = [](Engine& engine) {
+    for (uint64_t i = 0; i < 4; ++i) {
+      Value x = engine.MakeSymbolic("x" + std::to_string(i), 16, 10, 0, 1000);
+      engine.Branch(x > Value(500), i + 1);
+    }
+  };
+  Solver shared;
+  ConcolicStats first_stats;
+  ConcolicStats second_stats;
+  {
+    ConcolicDriver driver(ConcolicOptions{}, &shared);
+    driver.Explore(program);
+    first_stats = driver.stats();
+  }
+  uint64_t hits_after_first = shared.stats().cache_hits;
+  {
+    ConcolicDriver driver(ConcolicOptions{}, &shared);
+    driver.Explore(program);
+    second_stats = driver.stats();
+  }
+  EXPECT_EQ(first_stats.runs, second_stats.runs);
+  EXPECT_EQ(first_stats.unique_paths, second_stats.unique_paths);
+  EXPECT_EQ(first_stats.branches_covered, second_stats.branches_covered);
+  EXPECT_GT(shared.stats().cache_hits, hits_after_first)
+      << "the second exploration must be served from the warm cache";
+}
+
 }  // namespace
 }  // namespace dice::sym

@@ -375,6 +375,41 @@ TEST(ExplorerTest, DetectsRouteLeakThroughErroneousFilter) {
   EXPECT_TRUE(report.first_detection_run.has_value());
 }
 
+TEST(ExplorerTest, SolverFastPathPreservesDetections) {
+  // The §4.2 leak hunt with the solver optimizations off (pre-optimization
+  // pipeline) and on must agree bit-for-bit: same runs, same paths, same
+  // coverage, same detections.
+  auto run = [](bool fast) {
+    ProviderFixture fixture("208.65.152.0/22");
+    ExplorerOptions options;
+    options.concolic.max_runs = 200;
+    options.concolic.solver.enable_slicing = fast;
+    options.concolic.solver.enable_cache = fast;
+    Explorer explorer(options);
+    explorer.AddChecker(std::make_unique<HijackChecker>());
+    explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+    explorer.ExploreSeed(SeedUpdate(), 1);
+    return explorer.report();
+  };
+  ExplorationReport baseline = run(false);
+  ExplorationReport fast = run(true);
+
+  EXPECT_EQ(baseline.concolic.runs, fast.concolic.runs);
+  EXPECT_EQ(baseline.concolic.unique_paths, fast.concolic.unique_paths);
+  EXPECT_EQ(baseline.concolic.branches_covered, fast.concolic.branches_covered);
+  ASSERT_EQ(baseline.detections.size(), fast.detections.size());
+  for (size_t i = 0; i < baseline.detections.size(); ++i) {
+    EXPECT_EQ(baseline.detections[i].prefix, fast.detections[i].prefix);
+    EXPECT_EQ(baseline.detections[i].new_origin, fast.detections[i].new_origin);
+    EXPECT_EQ(baseline.detections[i].old_origin, fast.detections[i].old_origin);
+  }
+  EXPECT_EQ(baseline.first_detection_run, fast.first_detection_run);
+  // The fast run actually exercised the fast path.
+  EXPECT_GT(fast.concolic.solver_atoms_sliced, 0u);
+  EXPECT_GT(fast.concolic.solver_cache_hits + fast.concolic.solver_cache_misses, 0u)
+      << "the cache must have been consulted";
+}
+
 TEST(ExplorerTest, CorrectFilterYieldsNoDetections) {
   ProviderFixture fixture;  // no erroneous entry
   ExplorerOptions options;

@@ -122,6 +122,61 @@ TEST_P(NegateProperty, ComplementUnderRandomAssignments) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NegateProperty, ::testing::Values(1, 2, 3));
 
+// --- Hash-consing ------------------------------------------------------------
+
+TEST(ExprInternTest, StructuralEqualityImpliesPointerEquality) {
+  auto build = [] {
+    return Expr::Eq(Expr::Add(Expr::MakeVar(0, 32), Expr::MakeConst(7, 32)),
+                    Expr::MakeConst(15, 32));
+  };
+  ExprPtr a = build();
+  ExprPtr b = build();
+  EXPECT_EQ(a.get(), b.get()) << "structurally equal expressions must intern to one node";
+  EXPECT_TRUE(Expr::Identical(a, b));
+  // Shared subtrees are shared nodes too.
+  EXPECT_EQ(a->lhs().get(), b->lhs().get());
+  // Distinct structure stays distinct.
+  ExprPtr c = Expr::Eq(Expr::Add(Expr::MakeVar(0, 32), Expr::MakeConst(8, 32)),
+                       Expr::MakeConst(15, 32));
+  EXPECT_NE(a.get(), c.get());
+  // Width participates in identity: an 8-bit 7 is not a 32-bit 7.
+  EXPECT_NE(Expr::MakeConst(7, 8).get(), Expr::MakeConst(7, 32).get());
+}
+
+TEST(ExprInternTest, HashAndIdStability) {
+  ExprPtr a = Expr::ULt(Expr::MakeVar(3, 16), Expr::MakeConst(42, 16));
+  uint64_t id = a->id();
+  uint64_t hash = a->hash();
+  EXPECT_NE(id, 0u);
+  // Rebuilding the same expression yields the same node, id, and hash.
+  ExprPtr b = Expr::ULt(Expr::MakeVar(3, 16), Expr::MakeConst(42, 16));
+  EXPECT_EQ(b->id(), id);
+  EXPECT_EQ(b->hash(), hash);
+  // Different expressions get different ids (ids are never reused).
+  ExprPtr c = Expr::ULt(Expr::MakeVar(3, 16), Expr::MakeConst(43, 16));
+  EXPECT_NE(c->id(), id);
+}
+
+TEST(ExprInternTest, DeadNodesLeaveTheTable) {
+  size_t before = Expr::InternTableSize();
+  {
+    ExprPtr tmp = Expr::Mul(Expr::MakeVar(900001, 32), Expr::MakeConst(12345, 32));
+    EXPECT_GT(Expr::InternTableSize(), before);
+  }
+  EXPECT_EQ(Expr::InternTableSize(), before) << "released nodes must be evicted";
+  // Re-creating after death re-interns under a fresh id.
+  ExprPtr again = Expr::Mul(Expr::MakeVar(900001, 32), Expr::MakeConst(12345, 32));
+  EXPECT_GT(Expr::InternTableSize(), before);
+  (void)again;
+}
+
+TEST(ExprInternTest, SortedVariableSupport) {
+  auto e = Expr::LAnd(Expr::Eq(Expr::MakeVar(7, 32), Expr::MakeConst(1, 32)),
+                      Expr::ULt(Expr::MakeVar(2, 32), Expr::MakeVar(7, 32)));
+  EXPECT_EQ(e->vars(), (std::vector<VarId>{2, 7})) << "sorted and deduplicated";
+  EXPECT_TRUE(Expr::MakeConst(5, 32)->vars().empty());
+}
+
 TEST(ExprTest, CollectVars) {
   auto e = Expr::LAnd(Expr::Eq(Expr::MakeVar(2, 32), Expr::MakeConst(1, 32)),
                       Expr::ULt(Expr::MakeVar(7, 32), Expr::MakeVar(2, 32)));

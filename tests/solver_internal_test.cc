@@ -131,6 +131,149 @@ TEST(PropagateIntervalsTest, NeDoesNotTighten) {
   EXPECT_EQ(domains[0].hi, 10u);
 }
 
+// --- Constraint-independence slicing -----------------------------------------
+
+using solver_internal::SliceConstraints;
+using solver_internal::SliceResult;
+
+ExprPtr V(VarId id, uint8_t bits = 32) { return Expr::MakeVar(id, bits); }
+ExprPtr C(uint64_t v, uint8_t bits = 32) { return Expr::MakeConst(v, bits); }
+
+TEST(SliceConstraintsTest, DropsSatisfiedIndependentComponents) {
+  // Components: {v0}, {v1}, {v2, v3} (linked by a shared atom). Base satisfies
+  // the v1 and v2/v3 components but violates the v0 constraint.
+  std::vector<ExprPtr> constraints = {
+      Expr::Eq(V(0), C(5)),                       // violated (base v0 = 1)
+      Expr::ULt(V(1), C(10)),                     // satisfied
+      Expr::UGe(Expr::Add(V(2), V(3)), C(3)),     // satisfied
+      Expr::ULe(V(3), C(9)),                      // satisfied, same component
+  };
+  std::vector<uint64_t> base = {1, 2, 2, 2};
+  SliceResult slice = SliceConstraints(constraints, base);
+  EXPECT_FALSE(slice.trivially_unsat);
+  ASSERT_EQ(slice.active.size(), 1u);
+  EXPECT_TRUE(Expr::Identical(slice.active[0], constraints[0]));
+  EXPECT_EQ(slice.sliced_away, 3u);
+}
+
+TEST(SliceConstraintsTest, KeepsWholeComponentOfViolatedConstraint) {
+  // v0 and v1 are linked through the sum atom; violating the v1 bound must
+  // keep the sum atom too, even though the base satisfies it.
+  std::vector<ExprPtr> constraints = {
+      Expr::ULe(Expr::Add(V(0), V(1)), C(10)),  // satisfied, shares v1
+      Expr::UGe(V(1), C(9)),                    // violated (base v1 = 2)
+      Expr::ULt(V(2), C(100)),                  // satisfied, independent
+  };
+  std::vector<uint64_t> base = {1, 2, 3};
+  SliceResult slice = SliceConstraints(constraints, base);
+  ASSERT_EQ(slice.active.size(), 2u);
+  EXPECT_EQ(slice.sliced_away, 1u);
+}
+
+TEST(SliceConstraintsTest, ConstantFalseIsTriviallyUnsat) {
+  std::vector<ExprPtr> constraints = {Expr::ULt(V(0), C(10)), C(0, 1)};
+  std::vector<uint64_t> base = {50};
+  SliceResult slice = SliceConstraints(constraints, base);
+  EXPECT_TRUE(slice.trivially_unsat);
+}
+
+TEST(SliceConstraintsTest, AllSatisfiedSlicesEverything) {
+  std::vector<ExprPtr> constraints = {Expr::ULt(V(0), C(10)), Expr::UGt(V(1), C(1))};
+  std::vector<uint64_t> base = {5, 7};
+  SliceResult slice = SliceConstraints(constraints, base);
+  EXPECT_TRUE(slice.active.empty());
+  EXPECT_EQ(slice.sliced_away, 2u);
+}
+
+// --- Cross-run query cache ----------------------------------------------------
+
+std::vector<VarInfo> CacheVars() {
+  std::vector<VarInfo> vars(2);
+  vars[0] = VarInfo{0, "x", 32, 0, 0, 1000};
+  vars[1] = VarInfo{1, "y", 32, 0, 0, 1000};
+  return vars;
+}
+
+TEST(SolverCacheTest, ExactHitServesRepeatedQuery) {
+  Solver solver;
+  auto vars = CacheVars();
+  Assignment hint{{0, 1}, {1, 1}};
+  std::vector<ExprPtr> query = {Expr::Eq(V(0), C(500))};
+  auto first = solver.Solve(query, vars, hint);
+  ASSERT_EQ(first.kind, SolveKind::kSat);
+  EXPECT_EQ(solver.stats().cache_hits, 0u);
+  EXPECT_EQ(solver.stats().cache_misses, 1u);
+  auto second = solver.Solve(query, vars, hint);
+  ASSERT_EQ(second.kind, SolveKind::kSat);
+  EXPECT_EQ(second.model.at(0), first.model.at(0));
+  EXPECT_EQ(solver.stats().cache_hits, 1u);
+  EXPECT_EQ(solver.stats().cache_misses, 1u);
+}
+
+TEST(SolverCacheTest, UnsatSupersetShortcut) {
+  Solver solver;
+  auto vars = CacheVars();
+  Assignment hint{{0, 1}, {1, 1}};
+  // x >= 100 && x <= 50 is interval-refuted.
+  ExprPtr ge = Expr::UGe(V(0), C(100));
+  ExprPtr le = Expr::ULe(V(0), C(50));
+  auto first = solver.Solve({ge, le}, vars, hint);
+  ASSERT_EQ(first.kind, SolveKind::kUnsat);
+  // A strict superset (extra y constraint the hint violates, so it is not
+  // sliced away) must be served by the UNSAT-superset rule without a solve.
+  uint64_t misses_before = solver.stats().cache_misses;
+  auto superset = solver.Solve({ge, le, Expr::UGe(V(1), C(7))}, vars, hint);
+  EXPECT_EQ(superset.kind, SolveKind::kUnsat);
+  EXPECT_GT(solver.stats().cache_unsat_shortcuts, 0u);
+  EXPECT_EQ(solver.stats().cache_misses, misses_before);
+}
+
+TEST(SolverCacheTest, SatModelReuse) {
+  SolverOptions options;
+  options.enable_model_reuse = true;  // opt-in: trades reproducibility for speed
+  Solver solver(options);
+  auto vars = CacheVars();
+  Assignment hint{{0, 1}, {1, 1}};
+  // First query pins x = 700.
+  auto first = solver.Solve({Expr::Eq(V(0), C(700))}, vars, hint);
+  ASSERT_EQ(first.kind, SolveKind::kSat);
+  // A *different* query satisfied by the cached model (x = 700 >= 600) is
+  // answered by model reuse, not a fresh search.
+  uint64_t misses_before = solver.stats().cache_misses;
+  auto second = solver.Solve({Expr::UGe(V(0), C(600))}, vars, hint);
+  ASSERT_EQ(second.kind, SolveKind::kSat);
+  EXPECT_EQ(second.model.at(0), 700u);
+  EXPECT_GT(solver.stats().cache_model_reuses, 0u);
+  EXPECT_EQ(solver.stats().cache_misses, misses_before);
+}
+
+TEST(SolverCacheTest, DisabledCacheNeverCounts) {
+  SolverOptions options;
+  options.enable_cache = false;
+  Solver solver(options);
+  auto vars = CacheVars();
+  Assignment hint{{0, 1}, {1, 1}};
+  std::vector<ExprPtr> query = {Expr::Eq(V(0), C(500))};
+  solver.Solve(query, vars, hint);
+  solver.Solve(query, vars, hint);
+  EXPECT_EQ(solver.stats().cache_hits, 0u);
+  EXPECT_EQ(solver.stats().cache_misses, 0u);
+}
+
+TEST(SolverSlicingTest, SlicedVarsKeepHintValues) {
+  SolverOptions options;
+  Solver solver(options);
+  auto vars = CacheVars();
+  // Hint satisfies the y constraint; only x needs solving, and y must carry
+  // the hint value into the model untouched.
+  Assignment hint{{0, 1}, {1, 321}};
+  auto result = solver.Solve({Expr::Eq(V(0), C(77)), Expr::UGe(V(1), C(300))}, vars, hint);
+  ASSERT_EQ(result.kind, SolveKind::kSat);
+  EXPECT_EQ(result.model.at(0), 77u);
+  EXPECT_EQ(result.model.at(1), 321u);
+  EXPECT_GT(solver.stats().atoms_sliced, 0u);
+}
+
 // Property: propagation is sound — it never removes an actual solution.
 class PropagationSoundness : public ::testing::TestWithParam<uint64_t> {};
 
