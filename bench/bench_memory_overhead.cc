@@ -118,6 +118,38 @@ int Run(int argc, char** argv) {
                 StrFormat("%.1f", avg_constraint_pages), "(part of the +36.93%)"});
   table.Print();
 
+  // --- Clone-cost section: eager state copies vs lazy handles ---------------
+  // The per-run cost an exploration pays before it even processes its input:
+  // an eager clone copies the RouterState (Adj-RIB-Out map included); a lazy
+  // handle copies nothing until the run writes — a reject run never does.
+  const uint64_t clone_reps = flags.GetUint("clone_reps", 20000);
+  checkpoint::CheckpointManager clone_mgr;
+  clone_mgr.Take(fig2.provider().CheckpointState(), fig2.provider().PeerViews(),
+                 fig2.loop().now());
+  volatile size_t sink = 0;
+  Stopwatch eager_timer;
+  for (uint64_t i = 0; i < clone_reps; ++i) {
+    bgp::RouterState clone = clone_mgr.Clone();
+    sink = sink + clone.rib.PrefixCount();
+  }
+  double eager_seconds = eager_timer.Seconds();
+  uint64_t eager_bytes = clone_mgr.bytes_cloned();
+  Stopwatch lazy_timer;
+  for (uint64_t i = 0; i < clone_reps; ++i) {
+    checkpoint::CloneHandle handle = clone_mgr.CloneLazy();
+    sink = sink + handle.read().rib.PrefixCount();  // a reject run: reads only
+  }
+  double lazy_seconds = lazy_timer.Seconds();
+  uint64_t lazy_bytes = clone_mgr.bytes_cloned() - eager_bytes;
+
+  std::printf("\nclone cost (%llu reps): eager %.0f ns/clone (%.0f bytes copied), "
+              "lazy reject-run %.0f ns (0 bytes), avoided=%llu\n",
+              static_cast<unsigned long long>(clone_reps),
+              eager_seconds / static_cast<double>(clone_reps) * 1e9,
+              static_cast<double>(eager_bytes) / static_cast<double>(clone_reps),
+              lazy_seconds / static_cast<double>(clone_reps) * 1e9,
+              static_cast<unsigned long long>(clone_mgr.clones_avoided()));
+
   std::printf(
       "\nnote: the paper's clone overhead includes the Oasis engine's full\n"
       "instrumentation state inside each forked child; our value-level\n"
@@ -136,6 +168,14 @@ int Run(int argc, char** argv) {
       .Add("clone_avg_unique_pages", avg_extra_pages)
       .Add("clone_avg_unique_page_fraction", mem.AvgUniquePageFraction())
       .Add("explore_seconds", explore_seconds)
+      .Add("checkpoint_attr_bytes_total", static_cast<uint64_t>(checkpoint_stats.attr_bytes_total))
+      .Add("checkpoint_attr_bytes_unique",
+           static_cast<uint64_t>(checkpoint_stats.attr_bytes_unique))
+      .Add("eager_clone_ns", eager_seconds / static_cast<double>(clone_reps) * 1e9)
+      .Add("lazy_clone_ns", lazy_seconds / static_cast<double>(clone_reps) * 1e9)
+      .Add("eager_clone_bytes",
+           static_cast<double>(eager_bytes) / static_cast<double>(clone_reps))
+      .Add("lazy_clone_bytes", static_cast<double>(lazy_bytes) / static_cast<double>(clone_reps))
       .Print();
   return 0;
 }

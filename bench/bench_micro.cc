@@ -110,14 +110,18 @@ void BM_RoutePreferred(benchmark::State& state) {
   bgp::Route a;
   a.peer = 1;
   a.peer_as = 100;
-  a.attrs.as_path = bgp::AsPath::Sequence({100, 200});
-  a.attrs.local_pref = 150;
+  bgp::PathAttributes a_attrs;
+  a_attrs.as_path = bgp::AsPath::Sequence({100, 200});
+  a_attrs.local_pref = 150;
+  a.attrs = std::move(a_attrs);
   bgp::Route b;
   b.peer = 2;
   b.peer_as = 100;
-  b.attrs.as_path = bgp::AsPath::Sequence({100, 300});
-  b.attrs.local_pref = 150;
-  b.attrs.med = 10;
+  bgp::PathAttributes b_attrs;
+  b_attrs.as_path = bgp::AsPath::Sequence({100, 300});
+  b_attrs.local_pref = 150;
+  b_attrs.med = 10;
+  b.attrs = std::move(b_attrs);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bgp::RoutePreferred(a, b));
   }

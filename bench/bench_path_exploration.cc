@@ -204,6 +204,279 @@ bool SidesIdentical(const HeadToHeadSide& a, const HeadToHeadSide& b) {
          a.detections == b.detections;
 }
 
+// --- State-layer fast path head-to-head (F1d) -------------------------------
+//
+// Clone cost is proportional to the peering fanout (the Adj-RIB-Out map is
+// copied per eager clone), so F1d explores against a provider with `fanout`
+// extra established sessions — a realistic transit router shape — under an
+// adversarial seed whose runs are mostly rejected. Lazy clones answer those
+// reject runs straight from the checkpoint: zero copies.
+
+struct StateSide {
+  double seconds = 0;
+  sym::ConcolicStats concolic;
+  size_t detections = 0;
+  uint64_t runs_accepted = 0;
+  uint64_t runs_rejected = 0;
+  uint64_t clones_avoided = 0;
+  uint64_t clones_materialized = 0;
+  uint64_t bytes_cloned = 0;
+  uint64_t total_runs = 0;  // across all reps
+};
+
+// Widens the provider's peering: `fanout` extra established sessions, each
+// with an Adj-RIB-Out entry. They are PeerViews without NeighborConfigs, so
+// accepted-run propagation skips them — only the per-clone state cost grows,
+// which is exactly the term this head-to-head isolates.
+void AddFanoutPeers(bgp::RouterState& state, std::vector<bgp::PeerView>& peers,
+                    size_t fanout) {
+  bgp::PathAttributes advertised;
+  advertised.as_path = bgp::AsPath::Sequence({3, 65000});
+  advertised.next_hop = *bgp::Ipv4Address::Parse("10.0.0.3");
+  bgp::InternedAttrs advertised_interned(std::move(advertised));
+  for (size_t i = 0; i < fanout; ++i) {
+    bgp::PeerView pv;
+    pv.id = static_cast<bgp::PeerId>(1000 + i);
+    pv.remote_as = static_cast<bgp::AsNumber>(20000 + (i % 40000));
+    pv.address = bgp::Ipv4Address(0x0b000001u + static_cast<uint32_t>(i));
+    pv.established = true;
+    peers.push_back(pv);
+    state.adj_out[pv.id].Insert(*bgp::Prefix::Parse("203.0.113.0/24"), advertised_interned);
+  }
+}
+
+StateSide RunStateSide(bool lazy, uint64_t budget, uint64_t seed, size_t prefixes,
+                       size_t entries, size_t fanout, uint64_t reps) {
+  Fig2Options options;
+  options.prefixes = prefixes;
+  options.seed = seed;
+  options.misconfig = Misconfig::kErroneousEntry;
+  options.filter_entries = entries;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+
+  bgp::RouterState state = fig2.provider().CheckpointState();
+  std::vector<bgp::PeerView> peers = fig2.provider().PeerViews();
+  AddFanoutPeers(state, peers, fanout);
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = budget;
+  explorer_options.lazy_clones = lazy;
+  Explorer explorer(explorer_options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(state, peers, fig2.loop().now());
+
+  // Adversarial seed: the customer announces foreign space, so the vast
+  // majority of explored inputs are rejected by the import filter (the
+  // paper's leak-hunting posture) — and a rejected run should cost no copy.
+  bgp::UpdateMessage seed_update;
+  seed_update.attrs.origin = bgp::Origin::kIgp;
+  seed_update.attrs.as_path = bgp::AsPath::Sequence({1, 17557});
+  seed_update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+  seed_update.nlri.push_back(*bgp::Prefix::Parse("198.51.100.0/24"));
+
+  StateSide side;
+  size_t detections_before = 0;
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    explorer.StartExploration(seed_update, Fig2::kCustomerNode);
+    while (explorer.Step()) {
+    }
+    side.seconds += timer.Seconds();
+    side.concolic = explorer.report().concolic;
+    side.detections = explorer.report().detections.size() - detections_before;
+    detections_before = explorer.report().detections.size();
+    side.total_runs += explorer.report().concolic.runs;
+  }
+  side.runs_accepted = explorer.report().runs_accepted;
+  side.runs_rejected = explorer.report().runs_rejected;
+  side.clones_avoided = explorer.report().clones_avoided;
+  side.clones_materialized = explorer.report().clones_materialized;
+  side.bytes_cloned = explorer.checkpoints().bytes_cloned();
+  return side;
+}
+
+bool StateSidesIdentical(const StateSide& a, const StateSide& b) {
+  return a.concolic.runs == b.concolic.runs &&
+         a.concolic.unique_paths == b.concolic.unique_paths &&
+         a.concolic.branches_covered == b.concolic.branches_covered &&
+         a.detections == b.detections && a.runs_accepted == b.runs_accepted &&
+         a.runs_rejected == b.runs_rejected;
+}
+
+// The steady-state per-run state cost, measured on the real concrete import
+// path with the solver entirely out of the loop (the perfectly-warm limit of
+// F1c): per exploratory input, clone the checkpoint, run the import pipeline,
+// propagate. Eager = the pre-fast-path shape (copy the state every run);
+// lazy = copy-on-first-write (reject runs are zero-copy reads).
+struct ReplaySide {
+  double seconds = 0;
+  uint64_t runs = 0;
+  uint64_t accepted = 0;
+  uint64_t emitted = 0;
+  uint64_t clones_avoided = 0;
+  uint64_t bytes_cloned = 0;
+};
+
+ReplaySide RunReplaySide(bool lazy, const bgp::RouterState& state,
+                         const std::vector<bgp::PeerView>& peers,
+                         const std::vector<bgp::UpdateMessage>& inputs) {
+  checkpoint::CheckpointManager manager;
+  manager.Take(state, peers, 0);
+
+  const bgp::PeerView& from = peers.front();  // the customer session
+  const bgp::NeighborConfig* neighbor = state.config->FindNeighbor(from.address);
+  DICE_CHECK(neighbor != nullptr);
+  uint64_t emitted = 0;
+  bgp::UpdateSink sink = [&emitted](bgp::PeerId, const bgp::UpdateMessage&) { ++emitted; };
+
+  ReplaySide side;
+  Stopwatch timer;
+  for (const bgp::UpdateMessage& update : inputs) {
+    checkpoint::CloneHandle handle = manager.CloneLazy();
+    if (!lazy) {
+      // The pre-fast-path discipline: one state copy per run, up front.
+      bgp::RouterState& clone = handle.Mutable();
+      uint64_t accepted_before = clone.routes_accepted;
+      bgp::ProcessUpdate(clone, peers, from, *neighbor, update, sink);
+      side.accepted += clone.routes_accepted - accepted_before;
+    } else {
+      // Zero-copy screen (same logic ImportRoute applies), then materialize
+      // only when the input actually mutates routing state.
+      bool mutates = false;
+      for (const bgp::Prefix& announced : update.nlri) {
+        if (bgp::ClassifyImport(handle.read(), *neighbor, announced, update.attrs)
+                .disposition == bgp::ImportDisposition::kAccepted) {
+          mutates = true;
+          break;
+        }
+      }
+      if (mutates) {
+        bgp::RouterState& clone = handle.Mutable();
+        uint64_t accepted_before = clone.routes_accepted;
+        bgp::ProcessUpdate(clone, peers, from, *neighbor, update, sink);
+        side.accepted += clone.routes_accepted - accepted_before;
+      }
+    }
+    ++side.runs;
+  }
+  side.seconds = timer.Seconds();
+  side.emitted = emitted;
+  side.clones_avoided = manager.clones_avoided();
+  side.bytes_cloned = manager.bytes_cloned();
+  return side;
+}
+
+// Deterministic steady-state input mix: mostly foreign-space announcements
+// the customer filter rejects (the adversarial posture), a few legitimate
+// customer prefixes that are accepted and propagate.
+std::vector<bgp::UpdateMessage> MakeReplayInputs(uint64_t count, uint64_t seed) {
+  Rng rng(seed ^ 0xf1dULL);
+  std::vector<bgp::UpdateMessage> inputs;
+  inputs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    bgp::UpdateMessage u;
+    u.attrs.origin = bgp::Origin::kIgp;
+    u.attrs.as_path = bgp::AsPath::Sequence(
+        {1, static_cast<bgp::AsNumber>(1 + rng.NextBelow(65000))});
+    u.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+    uint32_t addr;
+    if (rng.NextBelow(8) == 0) {
+      // Legitimate customer space (10.1.0.0/16): accepted, mutates the clone.
+      addr = 0x0a010000u | (static_cast<uint32_t>(rng.NextBelow(256)) << 8);
+    } else {
+      // Foreign space outside the customer list and outside martian ranges.
+      addr = 0x55000000u + (static_cast<uint32_t>(rng.NextBelow(1 << 16)) << 8);
+    }
+    u.nlri.push_back(bgp::Prefix::Make(bgp::Ipv4Address(addr), 24));
+    inputs.push_back(std::move(u));
+  }
+  return inputs;
+}
+
+int StateHeadToHead(uint64_t runs, uint64_t seed, size_t prefixes, size_t entries,
+                    size_t fanout, uint64_t reps, uint64_t replay_count, JsonLine& json) {
+  std::printf(
+      "\nF1d — state-layer fast path head-to-head (lazy+interned vs eager clones,\n"
+      "      %zu-session fanout)\n\n",
+      fanout);
+
+  // Gate: full exploration with lazy clones on vs off must be bit-identical
+  // (paths, coverage, detections, accept/reject split) at equal budgets.
+  StateSide eager = RunStateSide(/*lazy=*/false, runs, seed, prefixes, entries, fanout, reps);
+  StateSide lazy = RunStateSide(/*lazy=*/true, runs, seed, prefixes, entries, fanout, reps);
+  bool identical = StateSidesIdentical(eager, lazy);
+  std::printf("exploration gate (%llu reps, budget %llu): results %s, "
+              "reject runs zero-copy: %llu of %llu\n",
+              static_cast<unsigned long long>(reps), static_cast<unsigned long long>(runs),
+              identical ? "identical" : "DIVERGED",
+              static_cast<unsigned long long>(lazy.clones_avoided),
+              static_cast<unsigned long long>(lazy.clones_avoided + lazy.clones_materialized));
+
+  // Timing: the real import path per run, steady state (no solver in the
+  // loop — the warm-cache limit), on the same wide-fanout provider.
+  Fig2Options options;
+  options.prefixes = prefixes;
+  options.seed = seed;
+  options.misconfig = Misconfig::kErroneousEntry;
+  options.filter_entries = entries;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+  bgp::RouterState state = fig2.provider().CheckpointState();
+  std::vector<bgp::PeerView> peers = fig2.provider().PeerViews();
+  AddFanoutPeers(state, peers, fanout);
+  std::vector<bgp::UpdateMessage> inputs = MakeReplayInputs(replay_count, seed);
+  ReplaySide replay_eager = RunReplaySide(false, state, peers, inputs);
+  ReplaySide replay_lazy = RunReplaySide(true, state, peers, inputs);
+
+  auto runs_per_sec = [](const ReplaySide& s) {
+    return s.seconds <= 0 ? 0.0 : static_cast<double>(s.runs) / s.seconds;
+  };
+  auto bytes_per_run = [](const ReplaySide& s) {
+    return s.runs == 0 ? 0.0
+                       : static_cast<double>(s.bytes_cloned) / static_cast<double>(s.runs);
+  };
+  Table table({"clone config", "wall s", "runs/s", "bytes copied/run", "clones avoided",
+               "accepted", "emitted"});
+  auto row = [&](const char* config, const ReplaySide& s) {
+    table.AddRow({config, StrFormat("%.4f", s.seconds), StrFormat("%.0f", runs_per_sec(s)),
+                  StrFormat("%.0f", bytes_per_run(s)),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.clones_avoided)),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.accepted)),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.emitted))});
+  };
+  row("eager (pre-fast-path)", replay_eager);
+  row("lazy + interned", replay_lazy);
+  table.Print();
+
+  bool replay_identical = replay_eager.accepted == replay_lazy.accepted &&
+                          replay_eager.emitted == replay_lazy.emitted &&
+                          replay_eager.runs == replay_lazy.runs;
+  double speedup = replay_eager.seconds / std::max(replay_lazy.seconds, 1e-9);
+  std::printf("state: %.2fx steady-state speedup on the import path (%llu runs), "
+              "replay results %s\n",
+              speedup, static_cast<unsigned long long>(replay_lazy.runs),
+              replay_identical ? "identical" : "DIVERGED");
+
+  json.Add("f1d_fanout", static_cast<uint64_t>(fanout))
+      .Add("f1d_identical", identical)
+      .Add("f1d_replay_identical", replay_identical)
+      .Add("f1d_eager_seconds", replay_eager.seconds)
+      .Add("f1d_lazy_seconds", replay_lazy.seconds)
+      .Add("f1d_speedup", speedup)
+      .Add("runs_per_sec", runs_per_sec(replay_lazy))
+      .Add("runs_per_sec_eager", runs_per_sec(replay_eager))
+      .Add("bytes_copied_per_run", bytes_per_run(replay_lazy))
+      .Add("bytes_copied_per_run_eager", bytes_per_run(replay_eager))
+      .Add("clones_avoided", lazy.clones_avoided + replay_lazy.clones_avoided)
+      .Add("clones_materialized", lazy.clones_materialized);
+  if (!identical || !replay_identical) {
+    std::printf("\nFAIL: lazy clones changed exploration results\n");
+    return 1;
+  }
+  return 0;
+}
+
 void AddHeadToHeadRows(Table& table, const char* workload, const HeadToHeadSide& base,
                        const HeadToHeadSide& fast) {
   auto row = [&](const char* config, const HeadToHeadSide& s) {
@@ -275,6 +548,8 @@ int Run(int argc, char** argv) {
   const size_t entries = flags.GetUint("entries", 12);
   const uint64_t branches = flags.GetUint("branches", 16);
   const uint64_t hh_reps = flags.GetUint("hh_reps", 5);
+  const size_t fanout = flags.GetUint("fanout", 256);
+  const uint64_t replay_count = flags.GetUint("replay_runs", 3000);
 
   std::printf("F1: systematic path exploration by predicate negation (paper Fig. 1)\n\n");
   SyntheticSeries(runs, seed);
@@ -285,6 +560,7 @@ int Run(int argc, char** argv) {
       .Add("prefixes", static_cast<uint64_t>(prefixes))
       .Add("filter_entries", static_cast<uint64_t>(entries));
   int rc = HeadToHead(runs, seed, prefixes, entries, branches, hh_reps, json);
+  rc |= StateHeadToHead(runs, seed, prefixes, entries, fanout, hh_reps, replay_count, json);
   json.Print();
   return rc;
 }

@@ -53,8 +53,10 @@ router upstream {
     bgp::Route route;
     route.peer = 9;
     route.peer_as = 9;
-    route.attrs.origin = bgp::Origin::kIgp;
-    route.attrs.as_path = bgp::AsPath::Sequence({9, origin});
+    bgp::PathAttributes route_attrs;
+    route_attrs.origin = bgp::Origin::kIgp;
+    route_attrs.as_path = bgp::AsPath::Sequence({9, origin});
+    route.attrs = std::move(route_attrs);
     upstream.mutable_state_for_test().rib.AddRoute(*bgp::Prefix::Parse(prefix), route);
   };
   install("192.0.2.0/24", 64500);
@@ -76,8 +78,10 @@ router upstream {
     bgp::Route route;
     route.peer = 9;
     route.peer_as = 9;
-    route.attrs.origin = bgp::Origin::kIgp;
-    route.attrs.as_path = bgp::AsPath::Sequence({9, origin});
+    bgp::PathAttributes route_attrs;
+    route_attrs.origin = bgp::Origin::kIgp;
+    route_attrs.as_path = bgp::AsPath::Sequence({9, origin});
+    route.attrs = std::move(route_attrs);
     provider_state.rib.AddRoute(*bgp::Prefix::Parse(prefix), route);
   };
   provider_install("192.0.2.0/24", 64500);      // also known upstream

@@ -80,8 +80,10 @@ router customer {
   bgp::Route victim;
   victim.peer = 9;
   victim.peer_as = 9;
-  victim.attrs.origin = bgp::Origin::kIgp;
-  victim.attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+  bgp::PathAttributes victim_attrs;
+  victim_attrs.origin = bgp::Origin::kIgp;
+  victim_attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+  victim.attrs = std::move(victim_attrs);
   live.rib.AddRoute(*bgp::Prefix::Parse("203.0.113.0/24"), victim);
 
   // 3. Run DiCE: checkpoint, explore, check.

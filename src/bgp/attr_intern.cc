@@ -1,0 +1,152 @@
+#include "src/bgp/attr_intern.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace dice::bgp {
+namespace {
+
+// Same mixing step the sym layer uses (sym::HashCombine); duplicated here so
+// the bgp layer does not depend on sym.
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// The table keys entries by a pointer to the interned value plus its
+// precomputed hash; lookups probe with a pointer to the candidate value, so
+// equality dereferences both sides.
+struct Key {
+  const PathAttributes* attrs;
+  uint64_t hash;
+
+  bool operator==(const Key& o) const { return hash == o.hash && *attrs == *o.attrs; }
+};
+
+struct KeyHash {
+  size_t operator()(const Key& k) const { return static_cast<size_t>(k.hash); }
+};
+
+using Table = std::unordered_map<Key, std::weak_ptr<const PathAttributes>, KeyHash>;
+
+Table& InternTable() {
+  static Table* t = new Table();  // intentionally leaked: see header comment
+  return *t;
+}
+
+AttrInternStats& MutableStats() {
+  static AttrInternStats stats;
+  return stats;
+}
+
+// shared_ptr deleter: a dying node erases its own entry, so the table tracks
+// exactly the live attribute sets. The hash is recomputed here (death of a
+// distinct attribute set is far rarer than interning one).
+void EraseAndDelete(const PathAttributes* attrs) {
+  InternTable().erase(Key{attrs, HashAttrs(*attrs)});
+  delete attrs;
+}
+
+// Looks up `attrs`; nullptr on miss. A hit is allocation-free.
+std::shared_ptr<const PathAttributes> Find(const PathAttributes& attrs, uint64_t hash) {
+  Table& table = InternTable();
+  auto it = table.find(Key{&attrs, hash});
+  if (it == table.end()) {
+    return nullptr;
+  }
+  // Expiry cannot race the deleter single-threaded: the deleter erases the
+  // entry synchronously, so a present entry is always lockable.
+  ++MutableStats().hits;
+  return it->second.lock();
+}
+
+std::shared_ptr<const PathAttributes> Insert(PathAttributes&& attrs, uint64_t hash) {
+  ++MutableStats().misses;
+  auto* node = new PathAttributes(std::move(attrs));
+  std::shared_ptr<const PathAttributes> shared(node, &EraseAndDelete);
+  InternTable().emplace(Key{node, hash}, shared);
+  return shared;
+}
+
+std::shared_ptr<const PathAttributes> Intern(PathAttributes&& attrs) {
+  const uint64_t hash = HashAttrs(attrs);
+  if (auto hit = Find(attrs, hash)) {
+    return hit;
+  }
+  return Insert(std::move(attrs), hash);
+}
+
+std::shared_ptr<const PathAttributes> Intern(const PathAttributes& attrs) {
+  const uint64_t hash = HashAttrs(attrs);
+  if (auto hit = Find(attrs, hash)) {
+    return hit;
+  }
+  return Insert(PathAttributes(attrs), hash);  // deep copy only on first sighting
+}
+
+const std::shared_ptr<const PathAttributes>& EmptyAttrs() {
+  // Holds one permanent reference so the empty set is never evicted.
+  static const auto* empty =
+      new std::shared_ptr<const PathAttributes>(Intern(PathAttributes{}));
+  return *empty;
+}
+
+}  // namespace
+
+uint64_t HashAttrs(const PathAttributes& attrs) {
+  uint64_t h = 0x9ddfea08eb382d69ULL;
+  h = Mix(h, static_cast<uint64_t>(attrs.origin));
+  for (const AsSegment& seg : attrs.as_path.segments()) {
+    h = Mix(h, static_cast<uint64_t>(seg.type) | (uint64_t{seg.asns.size()} << 8));
+    for (AsNumber asn : seg.asns) {
+      h = Mix(h, asn);
+    }
+  }
+  h = Mix(h, attrs.next_hop.bits());
+  h = Mix(h, attrs.med.has_value() ? (uint64_t{1} << 32) | *attrs.med : 0);
+  h = Mix(h, attrs.local_pref.has_value() ? (uint64_t{1} << 32) | *attrs.local_pref : 0);
+  h = Mix(h, attrs.atomic_aggregate ? 1 : 0);
+  if (attrs.aggregator.has_value()) {
+    h = Mix(h, (uint64_t{attrs.aggregator->asn} << 32) | attrs.aggregator->address.bits());
+  }
+  h = Mix(h, attrs.communities.size());
+  for (Community c : attrs.communities) {
+    h = Mix(h, c);
+  }
+  h = Mix(h, attrs.unknown.size());
+  for (const UnknownAttribute& u : attrs.unknown) {
+    h = Mix(h, (uint64_t{u.flags} << 8) | u.type);
+    for (uint8_t b : u.value) {
+      h = Mix(h, b);
+    }
+  }
+  return h;
+}
+
+size_t AttrsHeapBytes(const PathAttributes& attrs) {
+  size_t bytes = sizeof(PathAttributes);
+  bytes += attrs.as_path.segments().size() * sizeof(AsSegment);
+  for (const AsSegment& seg : attrs.as_path.segments()) {
+    bytes += seg.asns.size() * sizeof(AsNumber);
+  }
+  bytes += attrs.communities.size() * sizeof(Community);
+  bytes += attrs.unknown.size() * sizeof(UnknownAttribute);
+  for (const UnknownAttribute& u : attrs.unknown) {
+    bytes += u.value.size();
+  }
+  return bytes;
+}
+
+InternedAttrs::InternedAttrs() : ptr_(EmptyAttrs()) {}
+
+InternedAttrs::InternedAttrs(const PathAttributes& attrs) : ptr_(Intern(attrs)) {}
+
+InternedAttrs::InternedAttrs(PathAttributes&& attrs) : ptr_(Intern(std::move(attrs))) {}
+
+AttrInternStats AttrInternTableStats() {
+  AttrInternStats stats = MutableStats();
+  stats.live_entries = InternTable().size();
+  return stats;
+}
+
+}  // namespace dice::bgp

@@ -153,11 +153,21 @@ class PrefixTrie {
 
   // Exact structural-sharing statistics of this trie versus `other`.
   SharingStats SharingWith(const PrefixTrie& other) const {
+    return SharingWith(other, [](const V&, bool) {});
+  }
+
+  // As above, but additionally invokes visit(value, shared) for every node
+  // carrying a value, where `shared` reports whether that node (and therefore
+  // its payload) is also reachable in `other`. The checkpoint layer uses this
+  // to charge value-owned heap bytes (route vectors, interned attributes) to
+  // the right side of the unique/shared split.
+  template <typename Fn>
+  SharingStats SharingWith(const PrefixTrie& other, Fn&& visit) const {
     std::unordered_set<const Node*> theirs;
     CollectRec(other.root_.get(), theirs);
     SharingStats stats;
     std::unordered_set<const Node*> visited;
-    ShareRec(root_.get(), theirs, visited, stats);
+    ShareRec(root_.get(), theirs, visited, /*inherited_shared=*/false, stats, visit);
     stats.unique_nodes = stats.total_nodes - stats.shared_nodes;
     return stats;
   }
@@ -348,24 +358,26 @@ class PrefixTrie {
     CollectRec(node->child[1].get(), out);
   }
 
+  // A node present in both tries is shared, and so is its entire subtree
+  // (immutability of shared nodes guarantees it) — `inherited_shared` carries
+  // that fact down without re-probing `theirs` for every descendant.
+  template <typename Fn>
   static void ShareRec(const Node* node, const std::unordered_set<const Node*>& theirs,
-                       std::unordered_set<const Node*>& visited, SharingStats& stats) {
+                       std::unordered_set<const Node*>& visited, bool inherited_shared,
+                       SharingStats& stats, Fn&& visit) {
     if (node == nullptr || !visited.insert(node).second) {
       return;
     }
+    const bool shared = inherited_shared || theirs.count(node) != 0;
     ++stats.total_nodes;
-    if (theirs.count(node) != 0) {
-      // A node present in both tries is shared, and so is its entire subtree
-      // (immutability of shared nodes guarantees it); count it wholesale.
-      size_t subtree = CountRec(node);
-      stats.shared_nodes += subtree;
-      stats.total_nodes += subtree - 1;
-      // Mark subtree visited so overlapping walks do not double count.
-      CollectRec(node, visited);
-      return;
+    if (shared) {
+      ++stats.shared_nodes;
     }
-    ShareRec(node->child[0].get(), theirs, visited, stats);
-    ShareRec(node->child[1].get(), theirs, visited, stats);
+    if (node->value.has_value()) {
+      visit(*node->value, shared);
+    }
+    ShareRec(node->child[0].get(), theirs, visited, shared, stats, visit);
+    ShareRec(node->child[1].get(), theirs, visited, shared, stats, visit);
   }
 
   NodePtr root_;

@@ -4,26 +4,26 @@ namespace dice::bgp {
 
 bool RoutePreferred(const Route& a, const Route& b) {
   // 1. Higher LOCAL_PREF.
-  uint32_t lp_a = a.attrs.local_pref.value_or(kDefaultLocalPref);
-  uint32_t lp_b = b.attrs.local_pref.value_or(kDefaultLocalPref);
+  uint32_t lp_a = a.attrs->local_pref.value_or(kDefaultLocalPref);
+  uint32_t lp_b = b.attrs->local_pref.value_or(kDefaultLocalPref);
   if (lp_a != lp_b) {
     return lp_a > lp_b;
   }
   // 2. Shorter AS path.
-  size_t len_a = a.attrs.as_path.EffectiveLength();
-  size_t len_b = b.attrs.as_path.EffectiveLength();
+  size_t len_a = a.attrs->as_path.EffectiveLength();
+  size_t len_b = b.attrs->as_path.EffectiveLength();
   if (len_a != len_b) {
     return len_a < len_b;
   }
   // 3. Lower ORIGIN (IGP < EGP < INCOMPLETE).
-  if (a.attrs.origin != b.attrs.origin) {
-    return static_cast<uint8_t>(a.attrs.origin) < static_cast<uint8_t>(b.attrs.origin);
+  if (a.attrs->origin != b.attrs->origin) {
+    return static_cast<uint8_t>(a.attrs->origin) < static_cast<uint8_t>(b.attrs->origin);
   }
   // 4. Lower MED, comparable only between routes from the same neighbor AS
   //    (RFC 4271 §9.1.2.2 c). Missing MED is treated as 0 (lowest).
   if (a.peer_as == b.peer_as) {
-    uint32_t med_a = a.attrs.med.value_or(0);
-    uint32_t med_b = b.attrs.med.value_or(0);
+    uint32_t med_a = a.attrs->med.value_or(0);
+    uint32_t med_b = b.attrs->med.value_or(0);
     if (med_a != med_b) {
       return med_a < med_b;
     }
@@ -140,9 +140,10 @@ const Route* Rib::BestRoute(const Prefix& prefix) const {
   return entry == nullptr ? nullptr : entry->BestRoute();
 }
 
-std::vector<Route> Rib::Candidates(const Prefix& prefix) const {
+const std::vector<Route>& Rib::Candidates(const Prefix& prefix) const {
+  static const std::vector<Route> kEmpty;
   const RibEntry* entry = trie_.Find(prefix);
-  return entry == nullptr ? std::vector<Route>{} : entry->routes;
+  return entry == nullptr ? kEmpty : entry->routes;
 }
 
 std::optional<std::pair<Prefix, Route>> Rib::Lookup(Ipv4Address addr) const {

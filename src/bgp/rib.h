@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/bgp/attr_intern.h"
 #include "src/bgp/message.h"
 #include "src/bgp/prefix_trie.h"
 
@@ -28,7 +29,9 @@ constexpr PeerId kLocalPeer = 0;
 struct Route {
   PeerId peer = kLocalPeer;
   AsNumber peer_as = 0;  // neighbor AS the route was learned from (0 = local)
-  PathAttributes attrs;
+  // Interned: copying a Route is O(1), and attrs comparison is pointer
+  // equality. Mutation sites build a PathAttributes and assign it.
+  InternedAttrs attrs;
   uint64_t sequence = 0;  // arrival order; newer replaces older from same peer
 
   friend bool operator==(const Route&, const Route&) = default;
@@ -83,8 +86,13 @@ class Rib {
   // Current selection for `prefix`, or nullptr.
   const Route* BestRoute(const Prefix& prefix) const;
 
-  // All candidates for `prefix` (empty if none).
-  std::vector<Route> Candidates(const Prefix& prefix) const;
+  // The whole entry for `prefix` (candidates + selection), or nullptr — the
+  // zero-copy way to inspect a prefix's state.
+  const RibEntry* Entry(const Prefix& prefix) const { return trie_.Find(prefix); }
+
+  // All candidates for `prefix` (a view into the entry; empty if none).
+  // Never copies routes: the reference stays valid until the next mutation.
+  const std::vector<Route>& Candidates(const Prefix& prefix) const;
 
   // Longest-prefix-match forwarding lookup against Loc-RIB selections.
   std::optional<std::pair<Prefix, Route>> Lookup(Ipv4Address addr) const;

@@ -26,10 +26,9 @@ bool IsMartian(const Prefix& prefix) {
   return kLoopback.Covers(prefix) || kClassDE.Covers(prefix);
 }
 
-ImportOutcome ImportRoute(RouterState& state, const PeerView& peer,
-                          const NeighborConfig& neighbor, const Prefix& prefix,
-                          const PathAttributes& attrs) {
-  ImportOutcome out;
+ImportClassification ClassifyImport(const RouterState& state, const NeighborConfig& neighbor,
+                                    const Prefix& prefix, const PathAttributes& attrs) {
+  ImportClassification out;
 
   if (IsMartian(prefix)) {
     out.disposition = ImportDisposition::kMartianRejected;
@@ -38,54 +37,73 @@ ImportOutcome ImportRoute(RouterState& state, const PeerView& peer,
   // AS-path loop detection (§9.1.2): our own AS in the path means the route
   // has already transited us.
   if (attrs.as_path.Contains(state.config->local_as)) {
-    ++state.routes_loop_rejected;
     out.disposition = ImportDisposition::kLoopRejected;
     return out;
   }
 
   // Import policy.
-  PathAttributes imported = attrs;
   if (!neighbor.import_filter.empty()) {
     const Filter* filter = state.config->policies.FindFilter(neighbor.import_filter);
     DICE_CHECK(filter != nullptr) << "validated at parse time";
     FilterVerdict verdict =
-        EvaluateFilterConcrete(*filter, state.config->policies, prefix, imported);
+        EvaluateFilterConcrete(*filter, state.config->policies, prefix, attrs);
     if (!verdict.accepted) {
-      ++state.routes_filtered;
       out.disposition = ImportDisposition::kFilteredOut;
       return out;
     }
-    imported = std::move(verdict.attrs);
+    out.attrs = std::move(verdict.attrs);
   } else if (!neighbor.import_default_accept) {
-    ++state.routes_filtered;
     out.disposition = ImportDisposition::kFilteredOut;
     return out;
+  } else {
+    out.attrs = attrs;  // unmodified: interning shares the existing node
+  }
+  out.disposition = ImportDisposition::kAccepted;
+  return out;
+}
+
+ImportOutcome ImportRoute(RouterState& state, const PeerView& peer,
+                          const NeighborConfig& neighbor, const Prefix& prefix,
+                          const PathAttributes& attrs) {
+  ImportOutcome out;
+  ImportClassification classified = ClassifyImport(state, neighbor, prefix, attrs);
+  out.disposition = classified.disposition;
+  switch (classified.disposition) {
+    case ImportDisposition::kMartianRejected:
+      return out;
+    case ImportDisposition::kLoopRejected:
+      ++state.routes_loop_rejected;
+      return out;
+    case ImportDisposition::kFilteredOut:
+      ++state.routes_filtered;
+      return out;
+    case ImportDisposition::kAccepted:
+      break;
   }
 
   Route route;
   route.peer = peer.id;
   route.peer_as = peer.remote_as;
-  route.attrs = std::move(imported);
+  route.attrs = std::move(classified.attrs);
   out.rib = state.rib.AddRoute(prefix, std::move(route));
-  out.disposition = ImportDisposition::kAccepted;
   ++state.routes_accepted;
   return out;
 }
 
-std::optional<PathAttributes> ExportAttributes(const RouterState& state,
-                                               const NeighborConfig& neighbor,
-                                               Ipv4Address own_address, const Prefix& prefix,
-                                               const Route& route) {
+std::optional<InternedAttrs> ExportAttributes(const RouterState& state,
+                                              const NeighborConfig& neighbor,
+                                              Ipv4Address own_address, const Prefix& prefix,
+                                              const Route& route) {
   // Well-known communities (RFC 1997): NO_EXPORT / NO_ADVERTISE routes are
   // never sent to an eBGP peer, before any configured policy runs.
-  if (route.attrs.HasCommunity(kCommunityNoExport) ||
-      route.attrs.HasCommunity(kCommunityNoAdvertise)) {
+  if (route.attrs->HasCommunity(kCommunityNoExport) ||
+      route.attrs->HasCommunity(kCommunityNoAdvertise)) {
     return std::nullopt;
   }
 
   // Split horizon: never advertise a route back to its source peer.
   // (Local routes have peer == kLocalPeer and are advertised to everyone.)
-  PathAttributes attrs = route.attrs;
+  PathAttributes attrs = *route.attrs;
 
   if (!neighbor.export_filter.empty()) {
     const Filter* filter = state.config->policies.FindFilter(neighbor.export_filter);
@@ -105,7 +123,7 @@ std::optional<PathAttributes> ExportAttributes(const RouterState& state,
   attrs.next_hop = own_address;
   attrs.local_pref.reset();
   attrs.med.reset();
-  return attrs;
+  return InternedAttrs(std::move(attrs));
 }
 
 void SyncAdjOut(RouterState& state, const PeerView& peer, const NeighborConfig& neighbor,
@@ -115,22 +133,22 @@ void SyncAdjOut(RouterState& state, const PeerView& peer, const NeighborConfig& 
   }
   const Route* best = state.rib.BestRoute(prefix);
 
-  std::optional<PathAttributes> desired;
+  std::optional<InternedAttrs> desired;
   if (best != nullptr && best->peer != peer.id) {
     desired = ExportAttributes(state, neighbor, own_address, prefix, *best);
   }
 
-  PrefixTrie<PathAttributes>& adj = state.adj_out[peer.id];
-  const PathAttributes* current = adj.Find(prefix);
+  PrefixTrie<InternedAttrs>& adj = state.adj_out[peer.id];
+  const InternedAttrs* current = adj.Find(prefix);
 
   if (desired.has_value()) {
     if (current != nullptr && *current == *desired) {
-      return;  // already advertised identically
+      return;  // already advertised identically (pointer equality, interned)
     }
     adj.Insert(prefix, *desired);
     UpdateMessage update;
     update.nlri.push_back(prefix);
-    update.attrs = std::move(*desired);
+    update.attrs = **desired;  // the wire message carries attributes by value
     sink(peer.id, update);
   } else if (current != nullptr) {
     adj.Erase(prefix);
@@ -145,6 +163,7 @@ void ProcessUpdate(RouterState& state, const std::vector<PeerView>& peers, const
                    const UpdateSink& sink) {
   ++state.updates_processed;
   std::vector<Prefix> changed;
+  changed.reserve(update.withdrawn.size() + update.nlri.size());
 
   for (const Prefix& prefix : update.withdrawn) {
     ++state.routes_withdrawn_in;
@@ -182,8 +201,10 @@ void OriginateNetworks(RouterState& state, const std::vector<PeerView>& peers,
     Route route;
     route.peer = kLocalPeer;
     route.peer_as = 0;
-    route.attrs.origin = Origin::kIgp;
-    route.attrs.next_hop = own_address;
+    PathAttributes attrs;
+    attrs.origin = Origin::kIgp;
+    attrs.next_hop = own_address;
+    route.attrs = std::move(attrs);
     RibUpdateResult result = state.rib.AddRoute(prefix, std::move(route));
     if (!result.best_changed) {
       continue;

@@ -30,8 +30,9 @@ namespace dice::bgp {
 struct RouterState {
   std::shared_ptr<const RouterConfig> config;
   Rib rib;
-  // What has been advertised to each peer (prefix -> attributes as sent).
-  std::map<PeerId, PrefixTrie<PathAttributes>> adj_out;
+  // What has been advertised to each peer (prefix -> interned attributes as
+  // sent). Interning makes the per-entry payload one shared_ptr.
+  std::map<PeerId, PrefixTrie<InternedAttrs>> adj_out;
 
   // Statistics (cheap, copied with the state).
   uint64_t updates_processed = 0;
@@ -70,8 +71,19 @@ struct ImportOutcome {
 // (host loopback, multicast/class-E, default route).
 bool IsMartian(const Prefix& prefix);
 
+// Read-only import classification: the disposition ImportRoute would assign,
+// plus (on accept) the post-filter attributes, interned. This is the screen
+// lazy exploration clones use to decide whether a run mutates state at all —
+// a rejected announcement never needs the clone materialized.
+struct ImportClassification {
+  ImportDisposition disposition = ImportDisposition::kFilteredOut;
+  InternedAttrs attrs;  // meaningful only when disposition == kAccepted
+};
+ImportClassification ClassifyImport(const RouterState& state, const NeighborConfig& neighbor,
+                                    const Prefix& prefix, const PathAttributes& attrs);
+
 // Imports one announced route from `peer`. Applies loop detection and the
-// neighbor's import policy, then updates the RIB.
+// neighbor's import policy (via ClassifyImport), then updates the RIB.
 ImportOutcome ImportRoute(RouterState& state, const PeerView& peer,
                           const NeighborConfig& neighbor, const Prefix& prefix,
                           const PathAttributes& attrs);
@@ -79,10 +91,11 @@ ImportOutcome ImportRoute(RouterState& state, const PeerView& peer,
 // Computes the attributes `state` would export to `neighbor` for `route`,
 // or nullopt if the export policy rejects it. Applies eBGP export rules:
 // prepend own AS, set next-hop to `own_address`, strip LOCAL_PREF and MED.
-std::optional<PathAttributes> ExportAttributes(const RouterState& state,
-                                               const NeighborConfig& neighbor,
-                                               Ipv4Address own_address, const Prefix& prefix,
-                                               const Route& route);
+// The result is interned, so Adj-RIB-Out comparison is pointer equality.
+std::optional<InternedAttrs> ExportAttributes(const RouterState& state,
+                                              const NeighborConfig& neighbor,
+                                              Ipv4Address own_address, const Prefix& prefix,
+                                              const Route& route);
 
 // Recomputes the Adj-RIB-Out entry for (`peer`, `prefix`) after a Loc-RIB
 // change and emits the resulting UPDATE or withdraw through `sink`.

@@ -1,5 +1,8 @@
 #include "src/checkpoint/checkpoint.h"
 
+#include <unordered_set>
+
+#include "src/bgp/attr_intern.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -7,13 +10,56 @@ namespace dice::checkpoint {
 
 std::string MemoryStats::ToString() const {
   return StrFormat(
-      "nodes total=%zu shared=%zu unique=%zu | pages total=%zu unique=%zu (%.2f%% unique)",
-      total_nodes, shared_nodes, unique_nodes, total_pages, unique_pages,
+      "nodes total=%zu shared=%zu unique=%zu | bytes total=%zu unique=%zu "
+      "(attrs %zu/%zu) | pages total=%zu unique=%zu (%.2f%% unique)",
+      total_nodes, shared_nodes, unique_nodes, total_bytes, unique_bytes,
+      attr_bytes_unique, attr_bytes_total, total_pages, unique_pages,
       UniquePageFraction() * 100.0);
 }
 
+namespace {
+
+// Collects every interned attribute set the reference state can reach; an
+// attribute set in `state` that also appears here is shared storage no matter
+// which trie node points at it.
+void CollectAttrs(const bgp::RouterState& reference,
+                  std::unordered_set<const bgp::PathAttributes*>& out) {
+  reference.rib.Walk([&](const bgp::Prefix&, const bgp::RibEntry& entry) {
+    for (const bgp::Route& route : entry.routes) {
+      out.insert(route.attrs.ptr().get());
+    }
+    return true;
+  });
+  for (const auto& [peer, trie] : reference.adj_out) {
+    trie.Walk([&](const bgp::Prefix&, const bgp::InternedAttrs& attrs) {
+      out.insert(attrs.ptr().get());
+      return true;
+    });
+  }
+}
+
+}  // namespace
+
 MemoryStats ComputeSharing(const bgp::RouterState& state, const bgp::RouterState& reference) {
   MemoryStats stats;
+
+  std::unordered_set<const bgp::PathAttributes*> reference_attrs;
+  CollectAttrs(reference, reference_attrs);
+
+  // Each distinct interned attribute set is charged once, to the unique side
+  // only if the reference state references it nowhere.
+  std::unordered_set<const bgp::PathAttributes*> counted_attrs;
+  auto charge_attrs = [&](const bgp::InternedAttrs& attrs) {
+    const bgp::PathAttributes* p = attrs.ptr().get();
+    if (!counted_attrs.insert(p).second) {
+      return;
+    }
+    size_t bytes = bgp::AttrsHeapBytes(*p);
+    stats.attr_bytes_total += bytes;
+    if (reference_attrs.count(p) == 0) {
+      stats.attr_bytes_unique += bytes;
+    }
+  };
 
   auto accumulate = [&stats](auto sharing, size_t node_bytes) {
     stats.total_nodes += sharing.total_nodes;
@@ -23,27 +69,64 @@ MemoryStats ComputeSharing(const bgp::RouterState& state, const bgp::RouterState
     stats.unique_bytes += sharing.unique_nodes * node_bytes;
   };
 
-  accumulate(state.rib.trie().SharingWith(reference.rib.trie()),
+  accumulate(state.rib.trie().SharingWith(
+                 reference.rib.trie(),
+                 [&](const bgp::RibEntry& entry, bool shared) {
+                   // The route vector's heap belongs to the trie node that
+                   // owns it: unique node -> unique bytes.
+                   size_t bytes = entry.routes.size() * sizeof(bgp::Route);
+                   stats.total_bytes += bytes;
+                   if (!shared) {
+                     stats.unique_bytes += bytes;
+                   }
+                   for (const bgp::Route& route : entry.routes) {
+                     charge_attrs(route.attrs);
+                   }
+                 }),
              bgp::PrefixTrie<bgp::RibEntry>::kNodeBytes);
 
-  static const bgp::PrefixTrie<bgp::PathAttributes> kEmptyAdjOut;
+  static const bgp::PrefixTrie<bgp::InternedAttrs> kEmptyAdjOut;
   for (const auto& [peer, trie] : state.adj_out) {
     auto ref = reference.adj_out.find(peer);
-    if (ref != reference.adj_out.end()) {
-      accumulate(trie.SharingWith(ref->second),
-                 bgp::PrefixTrie<bgp::PathAttributes>::kNodeBytes);
-    } else {
-      accumulate(trie.SharingWith(kEmptyAdjOut),
-                 bgp::PrefixTrie<bgp::PathAttributes>::kNodeBytes);
-    }
+    const bgp::PrefixTrie<bgp::InternedAttrs>& against =
+        ref != reference.adj_out.end() ? ref->second : kEmptyAdjOut;
+    accumulate(trie.SharingWith(against,
+                                [&](const bgp::InternedAttrs& attrs, bool) {
+                                  charge_attrs(attrs);
+                                }),
+               bgp::PrefixTrie<bgp::InternedAttrs>::kNodeBytes);
   }
 
+  stats.total_bytes += stats.attr_bytes_total;
+  stats.unique_bytes += stats.attr_bytes_unique;
   stats.total_pages = (stats.total_bytes + kPageSize - 1) / kPageSize;
   stats.unique_pages = (stats.unique_bytes + kPageSize - 1) / kPageSize;
   if (stats.unique_bytes == 0) {
     stats.unique_pages = 0;
   }
   return stats;
+}
+
+size_t CloneCostBytes(const bgp::RouterState& state) {
+  // One std::map node per Adj-RIB-Out peer: the pair payload plus the
+  // three-pointers-and-a-color red-black bookkeeping (approximate).
+  constexpr size_t kMapNodeOverhead = 4 * sizeof(void*);
+  using AdjOutEntry = std::pair<const bgp::PeerId, bgp::PrefixTrie<bgp::InternedAttrs>>;
+  return sizeof(bgp::RouterState) +
+         state.adj_out.size() * (sizeof(AdjOutEntry) + kMapNodeOverhead);
+}
+
+bgp::RouterState& CloneHandle::Mutable() {
+  if (borrowed_ != nullptr) {
+    return *borrowed_;
+  }
+  if (!owned_.has_value()) {
+    owned_ = *base_;  // the eager copy, deferred to the first write
+    if (manager_ != nullptr) {
+      manager_->NoteMaterialized();
+    }
+  }
+  return *owned_;
 }
 
 const Checkpoint& CheckpointManager::Take(const bgp::RouterState& state,
@@ -64,7 +147,20 @@ const Checkpoint& CheckpointManager::current() const {
 bgp::RouterState CheckpointManager::Clone() const {
   DICE_CHECK(have_) << "no checkpoint taken";
   ++clones_made_;
+  bytes_cloned_ += CloneCostBytes(current_.state);
   return current_.state;
+}
+
+CloneHandle CheckpointManager::CloneLazy() const {
+  DICE_CHECK(have_) << "no checkpoint taken";
+  ++lazy_clones_issued_;
+  return CloneHandle(&current_.state, this);
+}
+
+void CheckpointManager::NoteMaterialized() const {
+  ++clones_made_;
+  ++clones_materialized_;
+  bytes_cloned_ += CloneCostBytes(current_.state);
 }
 
 MemoryStats CheckpointManager::CheckpointSharing(const bgp::RouterState& live) const {

@@ -8,11 +8,17 @@
 // plain copy whose nodes are shared until written — the same mechanism one
 // level up. PageAccountant translates node-level sharing statistics into
 // 4 KiB-page terms so the benchmark reports the same quantity the paper does.
+//
+// Exploration clones go one step further: CloneHandle defers even the O(peers)
+// RouterState copy until the run first writes, so a rejected exploratory input
+// (the common case under adversarial seeds) is a pure read against the
+// checkpoint — a zero-copy run.
 
 #ifndef SRC_CHECKPOINT_CHECKPOINT_H_
 #define SRC_CHECKPOINT_CHECKPOINT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,10 +33,17 @@ struct MemoryStats {
   size_t total_nodes = 0;
   size_t shared_nodes = 0;
   size_t unique_nodes = 0;
+  // Byte totals include the trie node structs, the heap the node values own
+  // (RibEntry route vectors), and each distinct interned attribute set once.
   size_t total_bytes = 0;
   size_t unique_bytes = 0;
   size_t total_pages = 0;
   size_t unique_pages = 0;
+  // The interned-attribute share of the byte totals: each distinct
+  // PathAttributes is charged once; it is unique only if the reference state
+  // references it nowhere.
+  size_t attr_bytes_total = 0;
+  size_t attr_bytes_unique = 0;
 
   // The headline number: fraction of this state's pages not shared with the
   // reference state (the paper's "unique memory pages").
@@ -46,12 +59,56 @@ struct MemoryStats {
 // how much of `state`'s RIB + Adj-RIB-Out storage is shared with `reference`.
 MemoryStats ComputeSharing(const bgp::RouterState& state, const bgp::RouterState& reference);
 
+// Estimated bytes the eager copy of one RouterState costs: the struct itself
+// plus one map node per Adj-RIB-Out peer (the tries' contents stay shared).
+// This is exactly the cost a lazy clone avoids until first write.
+size_t CloneCostBytes(const bgp::RouterState& state);
+
 // A captured checkpoint: the state itself plus provenance metadata.
 struct Checkpoint {
   bgp::RouterState state;
   std::vector<bgp::PeerView> peers;
   net::SimTime taken_at = 0;
   uint64_t id = 0;
+};
+
+class CheckpointManager;
+
+// A lazily-materialized exploration clone. Reads go straight to the
+// checkpoint state; the first call to Mutable() copies the state (the eager
+// Clone() of old) and every later access uses the private copy. A handle
+// that is never mutated never copies anything — writes through Mutable() are
+// isolated exactly like an eager clone's.
+class CloneHandle {
+ public:
+  // Wraps an already-materialized state the caller owns (tests and eager
+  // call sites); read() and Mutable() both address it directly.
+  explicit CloneHandle(bgp::RouterState* state) : borrowed_(state) {}
+
+  CloneHandle(CloneHandle&&) = default;
+  CloneHandle& operator=(CloneHandle&&) = default;
+
+  const bgp::RouterState& read() const {
+    if (borrowed_ != nullptr) {
+      return *borrowed_;
+    }
+    return owned_.has_value() ? *owned_ : *base_;
+  }
+
+  // Materializes on first call (copy-on-first-write).
+  bgp::RouterState& Mutable();
+
+  bool materialized() const { return borrowed_ != nullptr || owned_.has_value(); }
+
+ private:
+  friend class CheckpointManager;
+  CloneHandle(const bgp::RouterState* base, const CheckpointManager* manager)
+      : base_(base), manager_(manager) {}
+
+  bgp::RouterState* borrowed_ = nullptr;
+  const bgp::RouterState* base_ = nullptr;
+  const CheckpointManager* manager_ = nullptr;
+  std::optional<bgp::RouterState> owned_;
 };
 
 // Manages checkpoints of one router and hands out exploration clones.
@@ -66,10 +123,14 @@ class CheckpointManager {
   bool HasCheckpoint() const { return have_; }
   const Checkpoint& current() const;
 
-  // A fresh clone of the current checkpoint for one exploration run. The
-  // clone is independent: writes to it never reach the checkpoint or the
+  // A fresh eager clone of the current checkpoint for one exploration run.
+  // The clone is independent: writes to it never reach the checkpoint or the
   // live router (isolation, §2.3).
   bgp::RouterState Clone() const;
+
+  // The lazy form: nothing is copied until the run first mutates the handle.
+  // The handle must not outlive this manager or the current checkpoint.
+  CloneHandle CloneLazy() const;
 
   // Memory accounting. Checkpoint-vs-live measures what taking the checkpoint
   // cost; clone-vs-checkpoint measures what one exploration run dirtied.
@@ -77,13 +138,26 @@ class CheckpointManager {
   MemoryStats CloneSharing(const bgp::RouterState& clone) const;
 
   uint64_t checkpoints_taken() const { return next_id_; }
+  // States actually copied: eager Clone() calls plus lazy materializations.
   uint64_t clones_made() const { return clones_made_; }
+  uint64_t lazy_clones_issued() const { return lazy_clones_issued_; }
+  uint64_t clones_materialized() const { return clones_materialized_; }
+  // Lazy handles that (so far) never needed a copy.
+  uint64_t clones_avoided() const { return lazy_clones_issued_ - clones_materialized_; }
+  // Estimated bytes spent copying states (see CloneCostBytes).
+  uint64_t bytes_cloned() const { return bytes_cloned_; }
 
  private:
+  friend class CloneHandle;
+  void NoteMaterialized() const;
+
   Checkpoint current_;
   bool have_ = false;
   uint64_t next_id_ = 0;
   mutable uint64_t clones_made_ = 0;
+  mutable uint64_t lazy_clones_issued_ = 0;
+  mutable uint64_t clones_materialized_ = 0;
+  mutable uint64_t bytes_cloned_ = 0;
 };
 
 }  // namespace dice::checkpoint

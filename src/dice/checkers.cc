@@ -28,7 +28,7 @@ std::optional<bgp::AsNumber> HijackChecker::BaselineOriginExact(
   if (best->peer == bgp::kLocalPeer) {
     return local_as_;  // locally originated
   }
-  return best->attrs.as_path.OriginAs();
+  return best->attrs->as_path.OriginAs();
 }
 
 bool HijackChecker::IsAnycast(const bgp::Prefix& prefix) const {
@@ -82,7 +82,7 @@ void HijackChecker::OnRun(const RunInfo& info, std::vector<Detection>* out) {
   }
   bgp::AsNumber covering_origin = covering->second.peer == bgp::kLocalPeer
                                       ? local_as_
-                                      : covering->second.attrs.as_path.OriginAs();
+                                      : covering->second.attrs->as_path.OriginAs();
   if (covering_origin != new_origin) {
     if (IsAnycast(outcome.prefix)) {
       ++suppressed_anycast_;
@@ -113,7 +113,7 @@ void LocalNetworksIntactChecker::OnRun(const RunInfo& info, std::vector<Detectio
       d.checker = name();
       d.description = "locally originated network displaced or lost in clone RIB";
       d.prefix = network;
-      d.new_origin = best != nullptr ? best->attrs.as_path.OriginAs() : 0;
+      d.new_origin = best != nullptr ? best->attrs->as_path.OriginAs() : 0;
       d.old_origin = info.clone_after->config->local_as;
       d.input = info.outcome->input;
       d.run_index = info.run_index;

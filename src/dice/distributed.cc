@@ -21,7 +21,8 @@ NarrowReply RemoteExplorationPeer::ProcessExploratory(const bgp::UpdateMessage& 
   }
   reply.prefix = update.nlri[0];
 
-  bgp::RouterState clone = checkpoints_.Clone();
+  checkpoint::CloneHandle handle = checkpoints_.CloneLazy();
+  const bgp::RouterState& base = handle.read();
   const checkpoint::Checkpoint& cp = checkpoints_.current();
 
   const bgp::PeerView* from_view = nullptr;
@@ -36,16 +37,67 @@ NarrowReply RemoteExplorationPeer::ProcessExploratory(const bgp::UpdateMessage& 
     fallback.established = true;
     from_view = &fallback;
   }
-  const bgp::NeighborConfig* neighbor = clone.config->FindNeighbor(from_view->address);
+  const bgp::NeighborConfig* neighbor = base.config->FindNeighbor(from_view->address);
   static const bgp::NeighborConfig kAcceptAll;
   if (neighbor == nullptr) {
     neighbor = &kAcceptAll;
   }
 
-  const bgp::Route* previous_best = clone.rib.BestRoute(reply.prefix);
+  // Zero-copy screen: the remote clone only needs materializing if the
+  // update can actually change state — a withdrawal that removes an existing
+  // route from this session, or an announcement the import policy accepts.
+  // ClassifyImport is the same logic ImportRoute applies, so the screen
+  // cannot drift from the processing path. Accepted updates evaluate the
+  // filter a second time inside ProcessUpdate — the deliberate trade: the
+  // common case under adversarial seeds (rejects) saves a whole state copy,
+  // the minority (accepts) pays one extra O(filter) pass.
+  bool mutates = false;
+  for (const bgp::Prefix& withdrawn : update.withdrawn) {
+    if (const bgp::RibEntry* entry = base.rib.Entry(withdrawn)) {
+      for (const bgp::Route& candidate : entry->routes) {
+        if (candidate.peer == from_peer_) {
+          mutates = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!mutates) {
+    for (const bgp::Prefix& announced : update.nlri) {
+      if (bgp::ClassifyImport(base, *neighbor, announced, update.attrs).disposition ==
+          bgp::ImportDisposition::kAccepted) {
+        mutates = true;
+        break;
+      }
+    }
+  }
+
+  const bgp::Route* previous_best = base.rib.BestRoute(reply.prefix);
   bgp::AsNumber previous_origin =
-      previous_best != nullptr ? previous_best->attrs.as_path.OriginAs() : 0;
+      previous_best != nullptr ? previous_best->attrs->as_path.OriginAs() : 0;
   bool had_previous = previous_best != nullptr;
+
+  if (!mutates) {
+    // Pure-reject update: the reply is computable from the checkpoint state
+    // itself, and nothing was copied (this run was free). The fields must
+    // match what the materialized path below would report after a no-op
+    // ProcessUpdate — including a pre-existing candidate from this session.
+    reply.accepted = false;
+    if (const bgp::RibEntry* entry = base.rib.Entry(reply.prefix)) {
+      for (const bgp::Route& candidate : entry->routes) {
+        if (candidate.peer == from_peer_) {
+          reply.accepted = true;
+        }
+      }
+    }
+    const bgp::Route* best = base.rib.BestRoute(reply.prefix);
+    reply.adopted_as_best = best != nullptr && best->peer == from_peer_;
+    reply.origin_changed = false;  // nothing changed, so no origin change
+    reply.would_propagate = 0;     // no Loc-RIB change, nothing to emit
+    return reply;
+  }
+
+  bgp::RouterState& clone = handle.Mutable();
 
   // Isolation: the clone's outbound messages are intercepted; only their
   // count crosses the domain boundary.
@@ -55,14 +107,16 @@ NarrowReply RemoteExplorationPeer::ProcessExploratory(const bgp::UpdateMessage& 
 
   const bgp::Route* new_best = clone.rib.BestRoute(reply.prefix);
   reply.accepted = false;
-  for (const bgp::Route& candidate : clone.rib.Candidates(reply.prefix)) {
-    if (candidate.peer == from_peer_) {
-      reply.accepted = true;
+  if (const bgp::RibEntry* entry = clone.rib.Entry(reply.prefix)) {
+    for (const bgp::Route& candidate : entry->routes) {
+      if (candidate.peer == from_peer_) {
+        reply.accepted = true;
+      }
     }
   }
   reply.adopted_as_best = new_best != nullptr && new_best->peer == from_peer_;
   reply.origin_changed = had_previous && reply.adopted_as_best &&
-                         new_best->attrs.as_path.OriginAs() != previous_origin;
+                         new_best->attrs->as_path.OriginAs() != previous_origin;
   reply.would_propagate = emitted;
   return reply;
 }

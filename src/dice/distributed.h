@@ -74,6 +74,8 @@ class RemoteExplorationPeer {
   NarrowReply ProcessExploratory(const bgp::UpdateMessage& update);
 
   uint64_t clones_made() const { return checkpoints_.clones_made(); }
+  // Exploratory messages answered without copying any state (pure rejects).
+  uint64_t clones_avoided() const { return checkpoints_.clones_avoided(); }
 
  private:
   std::string domain_name_;

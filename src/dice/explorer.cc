@@ -17,6 +17,9 @@ std::string ExplorationReport::Summary() const {
       static_cast<unsigned long long>(runs_rejected),
       static_cast<unsigned long long>(intercepted_messages),
       static_cast<unsigned long long>(clones_made), detections.size());
+  out += StrFormat(" clones_avoided=%llu clones_materialized=%llu",
+                   static_cast<unsigned long long>(clones_avoided),
+                   static_cast<unsigned long long>(clones_materialized));
   out += StrFormat(" cache_hits=%llu cache_misses=%llu sliced_atoms=%llu",
                    static_cast<unsigned long long>(concolic.solver_cache_hits),
                    static_cast<unsigned long long>(concolic.solver_cache_misses),
@@ -73,7 +76,10 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
   // Each invocation is one exploration run: fresh clone, isolated sink, the
   // instrumented processing path, then the checkers.
   return [this, seed = std::move(seed), from](sym::Engine& engine) {
-    bgp::RouterState clone = checkpoints_.Clone();
+    checkpoint::CloneHandle handle = checkpoints_.CloneLazy();
+    if (!options_.lazy_clones) {
+      handle.Mutable();  // eager baseline: pay the copy up front, as before
+    }
     ++report_.clones_made;
 
     const checkpoint::Checkpoint& cp = checkpoints_.current();
@@ -95,7 +101,7 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
       intercepted_.push_back(InterceptedMessage{to, update});
     };
 
-    ExplorationOutcome outcome = ExploreUpdateOnClone(engine, clone, cp.peers, *from_view, seed,
+    ExplorationOutcome outcome = ExploreUpdateOnClone(engine, handle, cp.peers, *from_view, seed,
                                                       options_.spec, sink);
     report_.intercepted_messages += intercepted_.size() - intercepted_before;
     if (outcome.installed) {
@@ -103,9 +109,14 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
     } else {
       ++report_.runs_rejected;
     }
+    if (handle.materialized()) {
+      ++report_.clones_materialized;
+    } else {
+      ++report_.clones_avoided;
+    }
 
     if (options_.measure_memory) {
-      checkpoint::MemoryStats stats = checkpoints_.CloneSharing(clone);
+      checkpoint::MemoryStats stats = checkpoints_.CloneSharing(handle.read());
       double fraction = stats.UniquePageFraction();
       report_.memory.runs_measured += 1;
       report_.memory.unique_page_fraction_sum += fraction;
@@ -128,7 +139,7 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
     RunInfo info;
     info.run_index = run_counter_;
     info.outcome = &outcome;
-    info.clone_after = &clone;
+    info.clone_after = &handle.read();
     size_t before = report_.detections.size();
     for (auto& checker : checkers_) {
       checker->OnRun(info, &report_.detections);

@@ -35,6 +35,12 @@ struct ExplorerOptions {
   // When set, every run's clone is measured against the checkpoint (COW
   // sharing statistics) — the instrumentation behind the E1 memory bench.
   bool measure_memory = false;
+  // Copy-on-first-write clones (default): a run's RouterState is copied only
+  // when the run installs a route, so rejected runs read the checkpoint
+  // directly and cost zero copies. Off = eager per-run clones (the
+  // pre-fast-path behavior, kept for head-to-head benches and regression
+  // gates). Results are identical either way.
+  bool lazy_clones = true;
 };
 
 // Aggregated copy-on-write statistics over all exploration clones.
@@ -60,7 +66,9 @@ struct ExplorationReport {
   uint64_t runs_accepted = 0;   // exploratory inputs that passed the import policy
   uint64_t runs_rejected = 0;
   uint64_t intercepted_messages = 0;
-  uint64_t clones_made = 0;
+  uint64_t clones_made = 0;          // logical clones (one per run)
+  uint64_t clones_materialized = 0;  // runs whose state was actually copied
+  uint64_t clones_avoided = 0;       // zero-copy runs (read the checkpoint only)
   std::optional<uint64_t> first_detection_run;  // run index of the first fault found
   CloneMemoryStats memory;                      // filled when measure_memory is set
 

@@ -70,17 +70,17 @@ sym::Bool NewRoutePreferred(const bgp::RouteView<sym::Value>& view, bgp::PeerId 
   using sym::Value;
 
   const Value lp_new = view.local_pref;
-  const Value lp_old(incumbent.attrs.local_pref.value_or(bgp::kDefaultLocalPref));
+  const Value lp_old(incumbent.attrs->local_pref.value_or(bgp::kDefaultLocalPref));
   const Value len_new(static_cast<uint64_t>(view.as_path.size()));
-  const Value len_old(static_cast<uint64_t>(incumbent.attrs.as_path.EffectiveLength()));
+  const Value len_old(static_cast<uint64_t>(incumbent.attrs->as_path.EffectiveLength()));
   const Value origin_new = view.origin_code;
-  const Value origin_old(static_cast<uint64_t>(incumbent.attrs.origin));
+  const Value origin_old(static_cast<uint64_t>(incumbent.attrs->origin));
 
   Bool tie5(new_peer < incumbent.peer);
   Bool med_wins = tie5;
   if (new_peer_as == incumbent.peer_as) {
     const Value med_new = view.med;  // absent MED already models as 0
-    const Value med_old(incumbent.attrs.med.value_or(0));
+    const Value med_old(incumbent.attrs->med.value_or(0));
     med_wins = (med_new < med_old) || ((med_new == med_old) && tie5);
   }
   Bool origin_wins = (origin_new < origin_old) || ((origin_new == origin_old) && med_wins);
@@ -90,7 +90,7 @@ sym::Bool NewRoutePreferred(const bgp::RouteView<sym::Value>& view, bgp::PeerId 
 
 }  // namespace
 
-ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& clone,
+ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, checkpoint::CloneHandle& handle,
                                         const std::vector<bgp::PeerView>& peers,
                                         const bgp::PeerView& from,
                                         const bgp::UpdateMessage& seed,
@@ -99,10 +99,13 @@ ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& c
   SymbolicCtx ctx(&engine);
   SymbolicUpdate symbolic = BuildSymbolicUpdate(engine, seed, spec);
 
+  // Everything up to the actual install is pure reading: on a lazy handle
+  // the checkpoint state serves all of it and nothing is copied.
+  const bgp::RouterState& state = handle.read();
+
   ExplorationOutcome outcome;
   outcome.input = symbolic.concrete;
   outcome.prefix = symbolic.concrete.nlri[0];
-  ++clone.updates_processed;
 
   // --- Sanity screening (symbolic IsMartian / loop detection) --------------
   if (ctx.Decide(MartianCond(ctx, symbolic.view), kSiteMartian)) {
@@ -112,72 +115,74 @@ ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& c
   {
     sym::Bool loop = ctx.False();
     for (const sym::Value& asn : symbolic.view.as_path) {
-      loop = ctx.Or(loop, ctx.Cmp(bgp::CmpOp::kEq, asn, clone.config->local_as));
+      loop = ctx.Or(loop, ctx.Cmp(bgp::CmpOp::kEq, asn, state.config->local_as));
     }
     if (ctx.Decide(loop, kSiteLoop)) {
       outcome.loop_rejected = true;
-      ++clone.routes_loop_rejected;
       return outcome;
     }
   }
 
   // --- Import policy (the interpreted filter: code + configuration) --------
-  const bgp::NeighborConfig* neighbor = clone.config->FindNeighbor(from.address);
+  const bgp::NeighborConfig* neighbor = state.config->FindNeighbor(from.address);
   bgp::RouteView<sym::Value> route_view = symbolic.view;
   if (neighbor != nullptr && !neighbor->import_filter.empty()) {
-    const bgp::Filter* filter = clone.config->policies.FindFilter(neighbor->import_filter);
+    const bgp::Filter* filter = state.config->policies.FindFilter(neighbor->import_filter);
     DICE_CHECK(filter != nullptr);
     auto eval =
-        bgp::EvaluateFilter(ctx, *filter, clone.config->policies, std::move(route_view));
+        bgp::EvaluateFilter(ctx, *filter, state.config->policies, std::move(route_view));
     if (!eval.accepted) {
-      ++clone.routes_filtered;
       return outcome;
     }
     route_view = std::move(eval.route);
   } else if (neighbor != nullptr && !neighbor->import_default_accept) {
-    ++clone.routes_filtered;
     return outcome;
   }
   outcome.filter_accepted = true;
 
   // --- Build the concrete imported route from the (possibly modified) view -
-  bgp::Route route;
-  route.peer = from.id;
-  route.peer_as = from.remote_as;
-  route.attrs = symbolic.concrete.attrs;
+  bgp::PathAttributes imported = symbolic.concrete.attrs;
   if (route_view.local_pref_present) {
-    route.attrs.local_pref = static_cast<uint32_t>(route_view.local_pref.concrete());
+    imported.local_pref = static_cast<uint32_t>(route_view.local_pref.concrete());
   }
   if (route_view.med_present) {
-    route.attrs.med = static_cast<uint32_t>(route_view.med.concrete());
+    imported.med = static_cast<uint32_t>(route_view.med.concrete());
   }
   // Prepends applied by filter actions extend the view's path at the front.
   size_t original_len = symbolic.view.as_path.size();
   if (route_view.as_path.size() > original_len) {
     size_t prepended = route_view.as_path.size() - original_len;
     for (size_t i = prepended; i > 0; --i) {
-      route.attrs.as_path.Prepend(
+      imported.as_path.Prepend(
           static_cast<bgp::AsNumber>(route_view.as_path[i - 1].concrete()));
     }
   }
-  route.attrs.communities.clear();
+  imported.communities.clear();
   for (const sym::Value& c : route_view.communities) {
-    route.attrs.communities.push_back(static_cast<bgp::Community>(c.concrete()));
+    imported.communities.push_back(static_cast<bgp::Community>(c.concrete()));
   }
 
-  outcome.new_origin_as = route.attrs.as_path.OriginAs();
+  bgp::Route route;
+  route.peer = from.id;
+  route.peer_as = from.remote_as;
+  route.attrs = std::move(imported);
+
+  outcome.new_origin_as = route.attrs->as_path.OriginAs();
 
   // Instrumented RIB lookup (see RecordLpmDescent).
-  RecordLpmDescent(ctx, clone.rib, symbolic.view, outcome.prefix.address());
+  RecordLpmDescent(ctx, state.rib, symbolic.view, outcome.prefix.address());
 
-  if (const bgp::Route* prev = clone.rib.BestRoute(outcome.prefix)) {
-    outcome.previous_origin_as = prev->attrs.as_path.OriginAs();
+  if (const bgp::Route* prev = state.rib.BestRoute(outcome.prefix)) {
+    outcome.previous_origin_as = prev->attrs->as_path.OriginAs();
     // Symbolic decision process: record the preference predicate so the
     // engine can steer exploration toward (or away from) takeover inputs.
     ctx.Decide(NewRoutePreferred(route_view, from.id, from.remote_as, *prev),
                kSiteDecision);
   }
 
+  // --- First (and only) write: materialize the clone and install -----------
+  bgp::RouterState& clone = handle.Mutable();
+  ++clone.updates_processed;
   bgp::RibUpdateResult rib_result = clone.rib.AddRoute(outcome.prefix, std::move(route));
   outcome.installed = true;
   ++clone.routes_accepted;
@@ -204,6 +209,16 @@ ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& c
     outcome.messages_emitted = emitted;
   }
   return outcome;
+}
+
+ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& clone,
+                                        const std::vector<bgp::PeerView>& peers,
+                                        const bgp::PeerView& from,
+                                        const bgp::UpdateMessage& seed,
+                                        const SymbolicUpdateSpec& spec,
+                                        const bgp::UpdateSink& sink) {
+  checkpoint::CloneHandle handle(&clone);
+  return ExploreUpdateOnClone(engine, handle, peers, from, seed, spec, sink);
 }
 
 }  // namespace dice

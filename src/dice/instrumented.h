@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "src/bgp/update_processing.h"
+#include "src/checkpoint/checkpoint.h"
 #include "src/dice/symbolic_update.h"
 #include "src/sym/engine.h"
 
@@ -34,8 +35,20 @@ struct ExplorationOutcome {
 };
 
 // Processes one symbolic UPDATE (seed + spec under `engine`'s current
-// assignment) against `clone`. Returns the outcome; path constraints
-// accumulate in `engine`.
+// assignment) against the clone behind `handle`. Returns the outcome; path
+// constraints accumulate in `engine`. All screening (martian, loop, import
+// filter, decision preference) runs against handle.read(); the handle is
+// materialized only when the run actually installs a route — a rejected
+// input is a zero-copy run.
+ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, checkpoint::CloneHandle& handle,
+                                        const std::vector<bgp::PeerView>& peers,
+                                        const bgp::PeerView& from,
+                                        const bgp::UpdateMessage& seed,
+                                        const SymbolicUpdateSpec& spec,
+                                        const bgp::UpdateSink& sink);
+
+// Convenience overload for callers that already hold a materialized state
+// (tests, parity harnesses): wraps `clone` in a borrowed handle.
 ExplorationOutcome ExploreUpdateOnClone(sym::Engine& engine, bgp::RouterState& clone,
                                         const std::vector<bgp::PeerView>& peers,
                                         const bgp::PeerView& from,

@@ -1,0 +1,94 @@
+// Tests for the hash-consed PathAttributes table: structural equality must
+// mean pointer equality, the table must stay stable under repeated interning,
+// and dead attribute sets must be evicted.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/attr_intern.h"
+#include "src/bgp/rib.h"
+
+namespace dice::bgp {
+namespace {
+
+PathAttributes SampleAttrs(std::vector<AsNumber> path, uint32_t community_tag = 0) {
+  PathAttributes attrs;
+  attrs.origin = Origin::kIgp;
+  attrs.as_path = AsPath::Sequence(std::move(path));
+  attrs.next_hop = *Ipv4Address::Parse("10.0.0.9");
+  attrs.local_pref = 150;
+  if (community_tag != 0) {
+    attrs.communities.push_back(MakeCommunity(65000, static_cast<uint16_t>(community_tag)));
+  }
+  return attrs;
+}
+
+TEST(AttrInternTest, StructuralEqualityIsPointerEquality) {
+  InternedAttrs a = SampleAttrs({1, 2, 3});
+  InternedAttrs b = SampleAttrs({1, 2, 3});  // built independently
+  EXPECT_EQ(a.ptr().get(), b.ptr().get());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AttrInternTest, DistinctValuesGetDistinctNodes) {
+  InternedAttrs a = SampleAttrs({1, 2, 3});
+  InternedAttrs b = SampleAttrs({1, 2, 4});
+  InternedAttrs c = SampleAttrs({1, 2, 3}, /*community_tag=*/7);
+  EXPECT_NE(a.ptr().get(), b.ptr().get());
+  EXPECT_NE(a.ptr().get(), c.ptr().get());
+  EXPECT_FALSE(a == b);
+  // The payloads really differ (equality is not vacuously false).
+  EXPECT_FALSE(*a == *b);
+}
+
+TEST(AttrInternTest, DefaultHandleIsInternedEmptySet) {
+  InternedAttrs a;
+  InternedAttrs b;
+  EXPECT_EQ(a.ptr().get(), b.ptr().get());
+  EXPECT_TRUE(*a == PathAttributes{});
+  EXPECT_TRUE(a == InternedAttrs(PathAttributes{}));
+}
+
+TEST(AttrInternTest, TableStableUnderRepeatedInterning) {
+  InternedAttrs keep = SampleAttrs({64500, 64501});
+  AttrInternStats before = AttrInternTableStats();
+  for (int i = 0; i < 100; ++i) {
+    InternedAttrs again = SampleAttrs({64500, 64501});
+    EXPECT_EQ(again.ptr().get(), keep.ptr().get());
+  }
+  AttrInternStats after = AttrInternTableStats();
+  EXPECT_EQ(after.live_entries, before.live_entries) << "re-interning must not grow the table";
+  EXPECT_GE(after.hits, before.hits + 100);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(AttrInternTest, DeadEntriesAreEvicted) {
+  AttrInternStats before = AttrInternTableStats();
+  {
+    InternedAttrs transient = SampleAttrs({59999, 59998, 59997});  // unique to this test
+    EXPECT_EQ(AttrInternTableStats().live_entries, before.live_entries + 1);
+  }
+  EXPECT_EQ(AttrInternTableStats().live_entries, before.live_entries)
+      << "the last handle dying must erase the table entry";
+}
+
+TEST(AttrInternTest, RouteCopiesShareTheNode) {
+  Route route;
+  route.peer = 1;
+  route.peer_as = 65000;
+  route.attrs = SampleAttrs({65000, 64496});
+  Route copy = route;
+  EXPECT_EQ(copy.attrs.ptr().get(), route.attrs.ptr().get());
+  EXPECT_TRUE(copy == route);
+}
+
+TEST(AttrInternTest, HeapBytesCountOwnedStorage) {
+  PathAttributes empty;
+  PathAttributes big = SampleAttrs({1, 2, 3, 4, 5, 6}, /*community_tag=*/3);
+  EXPECT_EQ(AttrsHeapBytes(empty), sizeof(PathAttributes));
+  EXPECT_GT(AttrsHeapBytes(big),
+            sizeof(PathAttributes) + 6 * sizeof(AsNumber))
+      << "AS path elements and communities must be charged";
+}
+
+}  // namespace
+}  // namespace dice::bgp

@@ -10,6 +10,12 @@ namespace {
 
 bgp::Prefix P(const char* s) { return *bgp::Prefix::Parse(s); }
 
+bgp::PathAttributes AttrsWithPath(std::vector<bgp::AsNumber> path) {
+  bgp::PathAttributes attrs;
+  attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+  return attrs;
+}
+
 bgp::RouterState MakeState(size_t prefixes, uint64_t seed = 1) {
   bgp::RouterState state;
   auto config = std::make_shared<bgp::RouterConfig>();
@@ -46,7 +52,7 @@ TEST(CheckpointTest, CloneIsIsolatedFromCheckpointAndLive) {
   bgp::Route route;
   route.peer = 9;
   route.peer_as = 64999;
-  route.attrs.as_path = bgp::AsPath::Sequence({64999});
+  route.attrs = AttrsWithPath({64999});
   clone.rib.AddRoute(P("192.0.2.0/24"), route);
 
   EXPECT_NE(clone.rib.BestRoute(P("192.0.2.0/24")), nullptr);
@@ -77,7 +83,7 @@ TEST(CheckpointTest, LiveMutationDirtiesFewPages) {
     bgp::Route route;
     route.peer = 1;
     route.peer_as = 65000;
-    route.attrs.as_path = bgp::AsPath::Sequence({65000, static_cast<bgp::AsNumber>(100 + i)});
+    route.attrs = AttrsWithPath({65000, static_cast<bgp::AsNumber>(100 + i)});
     live.rib.AddRoute(P(("10.200." + std::to_string(i) + ".0/24").c_str()), route);
   }
   MemoryStats stats = mgr.CheckpointSharing(live);
@@ -99,7 +105,7 @@ TEST(CheckpointTest, CloneSharingGrowsWithWrites) {
     bgp::Route route;
     route.peer = 7;
     route.peer_as = 64000;
-    route.attrs.as_path = bgp::AsPath::Sequence({64000});
+    route.attrs = AttrsWithPath({64000});
     clone.rib.AddRoute(P(("172.16." + std::to_string(i) + ".0/24").c_str()), route);
   }
   MemoryStats after = mgr.CloneSharing(clone);
@@ -140,6 +146,135 @@ TEST(CheckpointTest, PeersCapturedInCheckpoint) {
   mgr.Take(live, {peer}, 0);
   ASSERT_EQ(mgr.current().peers.size(), 1u);
   EXPECT_EQ(mgr.current().peers[0].id, 4u);
+}
+
+// --- Lazy clones (CloneHandle) -----------------------------------------------
+
+TEST(CloneHandleTest, ReadsCheckpointWithoutCopying) {
+  bgp::RouterState live = MakeState(300);
+  CheckpointManager mgr;
+  mgr.Take(live, {}, 0);
+
+  CloneHandle handle = mgr.CloneLazy();
+  EXPECT_FALSE(handle.materialized());
+  EXPECT_EQ(handle.read().rib.PrefixCount(), 300u);
+  EXPECT_EQ(&handle.read(), &mgr.current().state)
+      << "an unmaterialized handle reads the checkpoint state itself";
+  EXPECT_FALSE(handle.materialized()) << "reading must never materialize";
+  EXPECT_EQ(mgr.clones_made(), 0u) << "nothing was copied";
+  EXPECT_EQ(mgr.lazy_clones_issued(), 1u);
+  EXPECT_EQ(mgr.clones_avoided(), 1u);
+  EXPECT_EQ(mgr.bytes_cloned(), 0u);
+}
+
+TEST(CloneHandleTest, WritesNeverReachTheCheckpoint) {
+  bgp::RouterState live = MakeState(300);
+  CheckpointManager mgr;
+  mgr.Take(live, {}, 0);
+
+  CloneHandle handle = mgr.CloneLazy();
+  bgp::Route route;
+  route.peer = 9;
+  route.peer_as = 64999;
+  route.attrs = AttrsWithPath({64999});
+  handle.Mutable().rib.AddRoute(P("192.0.2.0/24"), route);
+
+  EXPECT_TRUE(handle.materialized());
+  EXPECT_NE(handle.read().rib.BestRoute(P("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(mgr.current().state.rib.BestRoute(P("192.0.2.0/24")), nullptr)
+      << "isolation: the checkpoint must not see the clone's write";
+  EXPECT_EQ(live.rib.BestRoute(P("192.0.2.0/24")), nullptr);
+  EXPECT_EQ(mgr.clones_materialized(), 1u);
+  EXPECT_EQ(mgr.clones_avoided(), 0u);
+  EXPECT_EQ(mgr.clones_made(), 1u) << "a materialization is a clone";
+  EXPECT_GT(mgr.bytes_cloned(), 0u);
+}
+
+TEST(CloneHandleTest, MaterializeIsIdempotent) {
+  bgp::RouterState live = MakeState(50);
+  CheckpointManager mgr;
+  mgr.Take(live, {}, 0);
+  CloneHandle handle = mgr.CloneLazy();
+  bgp::RouterState* first = &handle.Mutable();
+  bgp::RouterState* second = &handle.Mutable();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(mgr.clones_materialized(), 1u);
+}
+
+TEST(CloneHandleTest, BorrowedHandleAddressesTheCallerState) {
+  bgp::RouterState state = MakeState(20);
+  CloneHandle handle(&state);
+  EXPECT_TRUE(handle.materialized());
+  EXPECT_EQ(&handle.read(), &state);
+  EXPECT_EQ(&handle.Mutable(), &state);
+}
+
+// --- Corrected byte accounting (routes + interned attributes) ----------------
+
+TEST(MemoryStatsTest, BytesIncludeRouteVectorsAndAttrs) {
+  bgp::RouterState live = MakeState(500);
+  CheckpointManager mgr;
+  mgr.Take(live, {}, 0);
+  MemoryStats stats = mgr.CheckpointSharing(live);
+  // kNodeBytes alone understates the state: route vectors and interned
+  // attribute sets own real heap that the page accounting must see.
+  EXPECT_GT(stats.attr_bytes_total, 0u);
+  EXPECT_GT(stats.total_bytes,
+            stats.total_nodes * bgp::PrefixTrie<bgp::RibEntry>::kNodeBytes)
+      << stats.ToString();
+  // Fully shared state: nothing unique, including attribute storage.
+  EXPECT_EQ(stats.unique_bytes, 0u);
+  EXPECT_EQ(stats.attr_bytes_unique, 0u);
+}
+
+TEST(MemoryStatsTest, NewAttrsInCloneAreUniqueBytes) {
+  bgp::RouterState live = MakeState(500);
+  CheckpointManager mgr;
+  mgr.Take(live, {}, 0);
+  bgp::RouterState clone = mgr.Clone();
+  bgp::Route route;
+  route.peer = 7;
+  route.peer_as = 64000;
+  route.attrs = AttrsWithPath({64000, 64001, 64002});  // not in the table state
+  clone.rib.AddRoute(P("172.16.0.0/24"), route);
+
+  MemoryStats stats = mgr.CloneSharing(clone);
+  EXPECT_GT(stats.unique_nodes, 0u);
+  EXPECT_GT(stats.attr_bytes_unique, 0u) << "the new path is storage only the clone has";
+  EXPECT_GE(stats.unique_bytes,
+            stats.unique_nodes * bgp::PrefixTrie<bgp::RibEntry>::kNodeBytes +
+                stats.attr_bytes_unique + sizeof(bgp::Route))
+      << "unique bytes must cover node structs, the route vector, and the new "
+         "attribute set: "
+      << stats.ToString();
+}
+
+TEST(MemoryStatsTest, SharedInternedAttrsAreNotUnique) {
+  bgp::RouterState live = MakeState(500);
+  CheckpointManager mgr;
+  mgr.Take(live, {}, 0);
+  bgp::RouterState clone = mgr.Clone();
+  // Re-announce an existing route's attributes under a brand-new prefix: the
+  // trie nodes are unique to the clone, but the attribute storage is the
+  // same interned node the checkpoint already references.
+  const bgp::Route* donor = nullptr;
+  clone.rib.Walk([&](const bgp::Prefix&, const bgp::RibEntry& entry) {
+    donor = &entry.routes[0];
+    return false;
+  });
+  ASSERT_NE(donor, nullptr);
+  bgp::Route route;
+  route.peer = 7;
+  route.peer_as = 64000;
+  route.attrs = donor->attrs;
+  clone.rib.AddRoute(P("172.16.1.0/24"), route);
+
+  MemoryStats stats = mgr.CloneSharing(clone);
+  EXPECT_GT(stats.unique_nodes, 0u);
+  EXPECT_EQ(stats.attr_bytes_unique, 0u)
+      << "attribute storage shared with the checkpoint must not count as "
+         "unique: "
+      << stats.ToString();
 }
 
 TEST(MemoryStatsTest, PageMathRoundsUp) {

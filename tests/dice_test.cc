@@ -84,9 +84,11 @@ struct ProviderFixture {
     bgp::Route route;
     route.peer = peer;
     route.peer_as = peer_as;
-    route.attrs.origin = bgp::Origin::kIgp;
-    route.attrs.as_path = bgp::AsPath::Sequence(std::move(path));
-    route.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+    bgp::PathAttributes route_attrs;
+    route_attrs.origin = bgp::Origin::kIgp;
+    route_attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+    route_attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+    route.attrs = std::move(route_attrs);
     state.rib.AddRoute(P(prefix), std::move(route));
   }
 
@@ -408,6 +410,48 @@ TEST(ExplorerTest, SolverFastPathPreservesDetections) {
   EXPECT_GT(fast.concolic.solver_atoms_sliced, 0u);
   EXPECT_GT(fast.concolic.solver_cache_hits + fast.concolic.solver_cache_misses, 0u)
       << "the cache must have been consulted";
+}
+
+TEST(ExplorerTest, LazyClonesPreserveResults) {
+  // The state-layer fast path (copy-on-first-write clones) must be invisible
+  // to exploration: same runs, same unique paths, same coverage, same
+  // accept/reject split, same detections — only the copies differ.
+  auto run = [](bool lazy) {
+    ProviderFixture fixture("208.65.152.0/22");
+    ExplorerOptions options;
+    options.concolic.max_runs = 200;
+    options.lazy_clones = lazy;
+    Explorer explorer(options);
+    explorer.AddChecker(std::make_unique<HijackChecker>());
+    explorer.TakeCheckpoint(fixture.state, fixture.Peers(), 0);
+    explorer.ExploreSeed(SeedUpdate(), 1);
+    return explorer.report();
+  };
+  ExplorationReport eager = run(false);
+  ExplorationReport lazy = run(true);
+
+  EXPECT_EQ(eager.concolic.runs, lazy.concolic.runs);
+  EXPECT_EQ(eager.concolic.unique_paths, lazy.concolic.unique_paths);
+  EXPECT_EQ(eager.concolic.branches_covered, lazy.concolic.branches_covered);
+  EXPECT_EQ(eager.runs_accepted, lazy.runs_accepted);
+  EXPECT_EQ(eager.runs_rejected, lazy.runs_rejected);
+  EXPECT_EQ(eager.intercepted_messages, lazy.intercepted_messages);
+  ASSERT_EQ(eager.detections.size(), lazy.detections.size());
+  for (size_t i = 0; i < eager.detections.size(); ++i) {
+    EXPECT_EQ(eager.detections[i].prefix, lazy.detections[i].prefix);
+    EXPECT_EQ(eager.detections[i].new_origin, lazy.detections[i].new_origin);
+    EXPECT_EQ(eager.detections[i].old_origin, lazy.detections[i].old_origin);
+    EXPECT_EQ(eager.detections[i].input, lazy.detections[i].input);
+  }
+  EXPECT_EQ(eager.first_detection_run, lazy.first_detection_run);
+
+  // Accounting: eager mode copies a state per run; lazy mode copies only for
+  // installing runs — rejected runs (the majority here) are zero-copy.
+  EXPECT_EQ(eager.clones_avoided, 0u);
+  EXPECT_EQ(eager.clones_materialized, eager.concolic.runs);
+  EXPECT_GT(lazy.clones_avoided, 0u) << "reject runs must avoid the copy";
+  EXPECT_EQ(lazy.clones_materialized, lazy.runs_accepted);
+  EXPECT_EQ(lazy.clones_avoided + lazy.clones_materialized, lazy.clones_made);
 }
 
 TEST(ExplorerTest, CorrectFilterYieldsNoDetections) {

@@ -116,6 +116,58 @@ TEST_F(DistributedFixture, RemoteDetectsOriginChange) {
   EXPECT_TRUE(reply.origin_changed);
 }
 
+TEST_F(DistributedFixture, RejectedExploratoryMessageIsZeroCopy) {
+  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
+  peer.TakeCheckpoint(0);
+  // The guarded prefix is rejected by the remote's import filter: the reply
+  // must be computed against the checkpoint directly, with no clone made.
+  NarrowReply reply = peer.ProcessExploratory(Announce("198.51.100.0/24", {3, 1, 100}));
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_FALSE(reply.adopted_as_best);
+  EXPECT_EQ(reply.would_propagate, 0u);
+  EXPECT_EQ(peer.clones_made(), 0u) << "a pure reject must not copy any state";
+  EXPECT_EQ(peer.clones_avoided(), 1u);
+
+  // An accepted exploratory message still materializes a clone.
+  peer.ProcessExploratory(Announce("203.0.113.0/24", {3, 1, 100}));
+  EXPECT_EQ(peer.clones_made(), 1u);
+  EXPECT_EQ(peer.clones_avoided(), 1u);
+}
+
+TEST_F(DistributedFixture, ZeroCopyRejectStillReportsPreexistingCandidate) {
+  // The checkpoint already holds a route learned over the exploring node's
+  // session; a *rejected* exploratory announcement for the same prefix must
+  // report accepted=true (the pre-existing candidate), exactly as the
+  // materialized path would after a no-op ProcessUpdate.
+  bgp::RouterState& state = upstream_router_->mutable_state_for_test();
+  bgp::Route existing;
+  existing.peer = 2;  // the session exploratory messages arrive on
+  existing.peer_as = 3;
+  bgp::PathAttributes existing_attrs;
+  existing_attrs.as_path = bgp::AsPath::Sequence({3, 64501});
+  existing.attrs = std::move(existing_attrs);
+  state.rib.AddRoute(P("198.51.100.0/24"), existing);
+
+  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
+  peer.TakeCheckpoint(0);
+  NarrowReply reply = peer.ProcessExploratory(Announce("198.51.100.0/24", {3, 1, 100}));
+  EXPECT_TRUE(reply.accepted) << "the checkpoint candidate from this session counts";
+  EXPECT_TRUE(reply.adopted_as_best);
+  EXPECT_EQ(peer.clones_made(), 0u) << "still zero-copy: the reject changed nothing";
+}
+
+TEST_F(DistributedFixture, NoOpWithdrawalIsZeroCopy) {
+  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
+  peer.TakeCheckpoint(0);
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn.push_back(P("203.0.113.0/24"));  // nothing learned from us there
+  withdraw.nlri.push_back(P("198.51.100.0/24"));      // and the announcement is filtered
+  withdraw.attrs.as_path = bgp::AsPath::Sequence({3, 1, 100});
+  NarrowReply reply = peer.ProcessExploratory(withdraw);
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_EQ(peer.clones_made(), 0u);
+}
+
 TEST_F(DistributedFixture, RemoteCloneIsIsolatedFromLiveRemote) {
   RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
   peer.TakeCheckpoint(0);
@@ -132,7 +184,9 @@ TEST_F(DistributedFixture, CheckpointIsolatesFromLaterLiveChanges) {
   bgp::Route route;
   route.peer = 9;
   route.peer_as = 9;
-  route.attrs.as_path = bgp::AsPath::Sequence({9, 777});
+  bgp::PathAttributes route_attrs;
+  route_attrs.as_path = bgp::AsPath::Sequence({9, 777});
+  route.attrs = std::move(route_attrs);
   state.rib.AddRoute(P("203.0.113.0/24"), route);
   // ...but the clone still sees the checkpoint: the prefix is new there.
   NarrowReply reply = peer.ProcessExploratory(Announce("203.0.113.0/24", {3, 1, 100}));
@@ -157,8 +211,10 @@ TEST_F(DistributedFixture, SystemWideConfirmationOfLocalLeak) {
   bgp::Route victim;
   victim.peer = 9;
   victim.peer_as = 9;
-  victim.attrs.origin = bgp::Origin::kIgp;
-  victim.attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+  bgp::PathAttributes victim_attrs;
+  victim_attrs.origin = bgp::Origin::kIgp;
+  victim_attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+  victim.attrs = std::move(victim_attrs);
   provider_state.rib.AddRoute(P("192.0.2.0/24"), victim);
 
   bgp::PeerView customer_view;
@@ -208,8 +264,10 @@ TEST_F(DistributedFixture, GuardedRemoteNotListedAsAdopting) {
   bgp::Route victim;
   victim.peer = 9;
   victim.peer_as = 9;
-  victim.attrs.origin = bgp::Origin::kIgp;
-  victim.attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+  bgp::PathAttributes victim_attrs;
+  victim_attrs.origin = bgp::Origin::kIgp;
+  victim_attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+  victim.attrs = std::move(victim_attrs);
   // The victim here is the prefix the upstream *filters*.
   provider_state.rib.AddRoute(P("198.51.100.0/24"), victim);
 

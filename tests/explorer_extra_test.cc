@@ -93,8 +93,10 @@ bgp::RouterState MakeProviderState(bool with_victim) {
     bgp::Route victim;
     victim.peer = 9;
     victim.peer_as = 9;
-    victim.attrs.origin = bgp::Origin::kIgp;
-    victim.attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+    bgp::PathAttributes victim_attrs;
+    victim_attrs.origin = bgp::Origin::kIgp;
+    victim_attrs.as_path = bgp::AsPath::Sequence({9, 64500});
+    victim.attrs = std::move(victim_attrs);
     state.rib.AddRoute(P("192.0.2.0/24"), victim);
   }
   return state;
@@ -166,7 +168,9 @@ TEST(HijackCheckerLocalTest, LocalRouteOverrideUsesLocalAs) {
   state.config = config;
   bgp::Route local;
   local.peer = bgp::kLocalPeer;
-  local.attrs.origin = bgp::Origin::kIgp;
+  bgp::PathAttributes local_attrs;
+  local_attrs.origin = bgp::Origin::kIgp;
+  local.attrs = std::move(local_attrs);
   state.rib.AddRoute(P("10.3.0.0/16"), local);
 
   HijackChecker checker;

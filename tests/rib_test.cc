@@ -16,10 +16,12 @@ Route MakeRoute(PeerId peer, AsNumber peer_as, std::vector<AsNumber> path,
   Route r;
   r.peer = peer;
   r.peer_as = peer_as;
-  r.attrs.as_path = AsPath::Sequence(std::move(path));
-  r.attrs.local_pref = local_pref;
-  r.attrs.med = med;
-  r.attrs.origin = origin;
+  PathAttributes attrs;
+  attrs.as_path = AsPath::Sequence(std::move(path));
+  attrs.local_pref = local_pref;
+  attrs.med = med;
+  attrs.origin = origin;
+  r.attrs = std::move(attrs);
   return r;
 }
 
@@ -128,7 +130,7 @@ TEST(RibTest, ImplicitWithdrawReplacesSamePeerRoute) {
   rib.AddRoute(P("10.0.0.0/8"), MakeRoute(1, 100, {100, 300}));
   auto r = rib.AddRoute(P("10.0.0.0/8"), MakeRoute(1, 100, {100, 300, 400, 500}));
   EXPECT_EQ(rib.Candidates(P("10.0.0.0/8")).size(), 1u);
-  EXPECT_EQ(rib.BestRoute(P("10.0.0.0/8"))->attrs.as_path.EffectiveLength(), 4u);
+  EXPECT_EQ(rib.BestRoute(P("10.0.0.0/8"))->attrs->as_path.EffectiveLength(), 4u);
   EXPECT_TRUE(r.best_changed);  // the selected route's attributes changed
 }
 
@@ -245,6 +247,44 @@ TEST_P(RibDecisionSweep, BestMatchesBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rotations, RibDecisionSweep, ::testing::Range(0, 5));
+
+TEST(RibTest, CandidatesIsAZeroCopyView) {
+  Rib rib;
+  rib.AddRoute(P("10.0.0.0/8"), MakeRoute(1, 100, {100}));
+  rib.AddRoute(P("10.0.0.0/8"), MakeRoute(2, 200, {200}));
+
+  // Candidate inspection performs no route copies: the returned reference is
+  // the entry's own vector, stable across calls.
+  const std::vector<Route>& first = rib.Candidates(P("10.0.0.0/8"));
+  const std::vector<Route>& second = rib.Candidates(P("10.0.0.0/8"));
+  EXPECT_EQ(&first, &second);
+  const RibEntry* entry = rib.Entry(P("10.0.0.0/8"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(first.data(), entry->routes.data())
+      << "Candidates must alias the RibEntry storage, not copy it";
+
+  // Absent prefixes share one empty vector (also no allocation).
+  const std::vector<Route>& empty1 = rib.Candidates(P("99.0.0.0/8"));
+  const std::vector<Route>& empty2 = rib.Candidates(P("98.0.0.0/8"));
+  EXPECT_TRUE(empty1.empty());
+  EXPECT_EQ(&empty1, &empty2);
+  EXPECT_EQ(rib.Entry(P("99.0.0.0/8")), nullptr);
+}
+
+TEST(RibTest, InterningMakesRouteCopiesShareAttrStorage) {
+  Rib rib;
+  rib.AddRoute(P("10.0.0.0/8"), MakeRoute(1, 100, {100, 200}));
+  Rib snap = rib.Snapshot();
+  // Replace the route in the original: path-copy of the entry node. The
+  // snapshot's copy of the old route still shares the interned attributes
+  // node with any other holder of the same value.
+  rib.AddRoute(P("10.0.0.0/8"), MakeRoute(1, 100, {100, 300}));
+  const Route* old_route = snap.BestRoute(P("10.0.0.0/8"));
+  ASSERT_NE(old_route, nullptr);
+  Route rebuilt = MakeRoute(1, 100, {100, 200});
+  EXPECT_EQ(old_route->attrs.ptr().get(), rebuilt.attrs.ptr().get())
+      << "equal attribute values must resolve to one interned node";
+}
 
 }  // namespace
 }  // namespace dice::bgp

@@ -104,14 +104,16 @@ TEST_P(DecisionParityProperty, InstrumentedDecisionMatchesRib) {
     for (size_t i = 0; i < inc_len; ++i) {
       inc_path.push_back(static_cast<bgp::AsNumber>(100 + rng.NextBelow(500)));
     }
-    incumbent.attrs.as_path = bgp::AsPath::Sequence(inc_path);
-    incumbent.attrs.origin = static_cast<bgp::Origin>(rng.NextBelow(3));
+    bgp::PathAttributes inc_attrs;
+    inc_attrs.as_path = bgp::AsPath::Sequence(inc_path);
+    inc_attrs.origin = static_cast<bgp::Origin>(rng.NextBelow(3));
     if (rng.NextBool(0.5)) {
-      incumbent.attrs.med = static_cast<uint32_t>(rng.NextBelow(100));
+      inc_attrs.med = static_cast<uint32_t>(rng.NextBelow(100));
     }
     if (rng.NextBool(0.3)) {
-      incumbent.attrs.local_pref = static_cast<uint32_t>(50 + rng.NextBelow(300));
+      inc_attrs.local_pref = static_cast<uint32_t>(50 + rng.NextBelow(300));
     }
+    incumbent.attrs = std::move(inc_attrs);
     Prefix prefix = *Prefix::Parse("203.0.113.0/24");
     state.rib.AddRoute(prefix, incumbent);
 

@@ -68,21 +68,21 @@ TEST_F(TwoRouterTest, NetworksPropagateBothWays) {
   StartAndConverge();
   const Route* at_b = b_.rib().BestRoute(P("203.0.113.0/24"));
   ASSERT_NE(at_b, nullptr);
-  EXPECT_EQ(at_b->attrs.as_path.ToString(), "65001");
-  EXPECT_EQ(at_b->attrs.next_hop.ToString(), "10.0.0.1");
+  EXPECT_EQ(at_b->attrs->as_path.ToString(), "65001");
+  EXPECT_EQ(at_b->attrs->next_hop.ToString(), "10.0.0.1");
   EXPECT_EQ(at_b->peer_as, 65001u);
 
   const Route* at_a = a_.rib().BestRoute(P("198.51.100.0/24"));
   ASSERT_NE(at_a, nullptr);
-  EXPECT_EQ(at_a->attrs.as_path.ToString(), "65002");
+  EXPECT_EQ(at_a->attrs->as_path.ToString(), "65002");
 }
 
 TEST_F(TwoRouterTest, EbgpExportStripsLocalPrefAndMed) {
   StartAndConverge();
   const Route* at_b = b_.rib().BestRoute(P("203.0.113.0/24"));
   ASSERT_NE(at_b, nullptr);
-  EXPECT_FALSE(at_b->attrs.local_pref.has_value());
-  EXPECT_FALSE(at_b->attrs.med.has_value());
+  EXPECT_FALSE(at_b->attrs->local_pref.has_value());
+  EXPECT_FALSE(at_b->attrs->med.has_value());
 }
 
 TEST_F(TwoRouterTest, LinkLossFlushesLearnedRoutes) {
@@ -157,12 +157,12 @@ class ChainTest : public ::testing::Test {
 TEST_F(ChainTest, TransitPropagationAppendsAsPath) {
   const Route* at_c = c_.rib().BestRoute(P("203.0.113.0/24"));
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attrs.as_path.ToString(), "65002 65001");
-  EXPECT_EQ(at_c->attrs.next_hop.ToString(), "10.0.0.2") << "next-hop-self at each eBGP hop";
+  EXPECT_EQ(at_c->attrs->as_path.ToString(), "65002 65001");
+  EXPECT_EQ(at_c->attrs->next_hop.ToString(), "10.0.0.2") << "next-hop-self at each eBGP hop";
 
   const Route* at_a = a_.rib().BestRoute(P("198.51.100.0/24"));
   ASSERT_NE(at_a, nullptr);
-  EXPECT_EQ(at_a->attrs.as_path.ToString(), "65002 65003");
+  EXPECT_EQ(at_a->attrs->as_path.ToString(), "65002 65003");
 }
 
 TEST_F(ChainTest, WithdrawPropagatesThroughTransit) {
@@ -218,7 +218,7 @@ TEST_F(ChainTest, BetterRouteReplacesAndPropagates) {
   loop_.RunFor(net::kSecond);
   const Route* at_c = c_.rib().BestRoute(P("192.0.2.0/24"));
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attrs.as_path.EffectiveLength(), 4u);
+  EXPECT_EQ(at_c->attrs->as_path.EffectiveLength(), 4u);
 
   UpdateMessage better = worse;
   better.attrs.as_path = AsPath::Sequence({65001, 64999});
@@ -226,7 +226,7 @@ TEST_F(ChainTest, BetterRouteReplacesAndPropagates) {
   loop_.RunFor(net::kSecond);
   at_c = c_.rib().BestRoute(P("192.0.2.0/24"));
   ASSERT_NE(at_c, nullptr);
-  EXPECT_EQ(at_c->attrs.as_path.EffectiveLength(), 3u);
+  EXPECT_EQ(at_c->attrs->as_path.EffectiveLength(), 3u);
 }
 
 // --- Import filter applied inside the router ----------------------------------
@@ -266,7 +266,7 @@ TEST(RouterFilterTest, ImportFilterDropsUnlistedPrefixes) {
   // Listed customer prefix accepted with elevated local-pref...
   const Route* listed = p.rib().BestRoute(P("10.1.7.0/24"));
   ASSERT_NE(listed, nullptr);
-  EXPECT_EQ(listed->attrs.local_pref, 200u);
+  EXPECT_EQ(listed->attrs->local_pref, 200u);
   // ...but the leak (192.0.2.0/24 is not the customer's) is filtered.
   EXPECT_EQ(p.rib().BestRoute(P("192.0.2.0/24")), nullptr);
   EXPECT_EQ(p.state().routes_filtered, 1u);

@@ -193,7 +193,7 @@ TEST_F(FeedTest, ReplayedUpdatesCarryFeedPath) {
   const auto& route = gen.table()[0];
   const bgp::Route* best = router_->rib().BestRoute(route.prefix);
   ASSERT_NE(best, nullptr);
-  EXPECT_EQ(best->attrs.as_path, route.attrs.as_path);
+  EXPECT_EQ(best->attrs->as_path, route.attrs.as_path);
 }
 
 TEST_F(FeedTest, WithdrawReplayRemovesRoutes) {

@@ -99,7 +99,7 @@ TEST(ImportRouteTest, AcceptsListedAndAppliesActions) {
   EXPECT_EQ(out.disposition, ImportDisposition::kAccepted);
   const Route* best = h.state.rib.BestRoute(P("10.1.5.0/24"));
   ASSERT_NE(best, nullptr);
-  EXPECT_EQ(best->attrs.local_pref, 200u) << "set local-pref action must apply";
+  EXPECT_EQ(best->attrs->local_pref, 200u) << "set local-pref action must apply";
   EXPECT_EQ(h.state.routes_accepted, 1u);
 }
 
@@ -132,17 +132,18 @@ TEST(ExportAttributesTest, EbgpTransformations) {
   Route route;
   route.peer = 1;
   route.peer_as = 1;
-  route.attrs = h.Attrs({1, 100});
-  route.attrs.local_pref = 200;
-  route.attrs.med = 50;
+  PathAttributes attrs = h.Attrs({1, 100});
+  attrs.local_pref = 200;
+  attrs.med = 50;
+  route.attrs = std::move(attrs);
 
   auto exported = ExportAttributes(h.state, h.upstream_neighbor(),
                                    *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
   ASSERT_TRUE(exported.has_value());
-  EXPECT_EQ(exported->as_path.ToString(), "3 1 100") << "own AS prepended";
-  EXPECT_EQ(exported->next_hop.ToString(), "10.0.0.3") << "next-hop self";
-  EXPECT_FALSE(exported->local_pref.has_value()) << "LOCAL_PREF stays in the AS";
-  EXPECT_FALSE(exported->med.has_value()) << "MED not propagated onward";
+  EXPECT_EQ((*exported)->as_path.ToString(), "3 1 100") << "own AS prepended";
+  EXPECT_EQ((*exported)->next_hop.ToString(), "10.0.0.3") << "next-hop self";
+  EXPECT_FALSE((*exported)->local_pref.has_value()) << "LOCAL_PREF stays in the AS";
+  EXPECT_FALSE((*exported)->med.has_value()) << "MED not propagated onward";
 }
 
 TEST(ExportAttributesTest, ExportFilterRejects) {
@@ -150,8 +151,9 @@ TEST(ExportAttributesTest, ExportFilterRejects) {
   Route route;
   route.peer = 1;
   route.peer_as = 1;
-  route.attrs = h.Attrs({1, 100});
-  route.attrs.communities.push_back(kCommunityNoExport);
+  PathAttributes attrs = h.Attrs({1, 100});
+  attrs.communities.push_back(kCommunityNoExport);
+  route.attrs = std::move(attrs);
   auto exported = ExportAttributes(h.state, h.upstream_neighbor(),
                                    *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
   EXPECT_FALSE(exported.has_value());
@@ -297,20 +299,23 @@ TEST(ExportAttributesTest, WellKnownNoExportCommunityBlocksExport) {
   Route route;
   route.peer = 1;
   route.peer_as = 1;
-  route.attrs = h.Attrs({1, 100});
-  route.attrs.communities.push_back(kCommunityNoExport);
+  PathAttributes attrs = h.Attrs({1, 100});
+  attrs.communities.push_back(kCommunityNoExport);
+  route.attrs = attrs;
   // Even toward the neighbor with NO configured export filter, the RFC 1997
   // well-known community must block export.
   auto exported = ExportAttributes(h.state, h.customer_neighbor(),
                                    *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
   EXPECT_FALSE(exported.has_value());
 
-  route.attrs.communities = {kCommunityNoAdvertise};
+  attrs.communities = {kCommunityNoAdvertise};
+  route.attrs = attrs;
   exported = ExportAttributes(h.state, h.customer_neighbor(),
                               *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
   EXPECT_FALSE(exported.has_value());
 
-  route.attrs.communities = {MakeCommunity(65000, 1)};  // ordinary community
+  attrs.communities = {MakeCommunity(65000, 1)};  // ordinary community
+  route.attrs = attrs;
   exported = ExportAttributes(h.state, h.customer_neighbor(),
                               *Ipv4Address::Parse("10.0.0.3"), P("10.1.5.0/24"), route);
   EXPECT_TRUE(exported.has_value());
