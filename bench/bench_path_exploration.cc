@@ -16,12 +16,15 @@
 // bench exits non-zero if they diverge.
 //
 // Flags: --runs=N, --seed=S, --branches=N (head-to-head synthetic width),
-// --hh_reps=N (head-to-head repetitions), --prefixes=N.
+// --hh_reps=N (head-to-head repetitions), --prefixes=N; F1e (federated
+// fan-out): --remote_domains=N, --remote_batch=N, --rpc_inputs=N.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
 #include "bench/topology.h"
+#include "src/dice/exploration_service.h"
 #include "src/dice/explorer.h"
 #include "src/sym/concolic.h"
 #include "src/util/rng.h"
@@ -477,6 +480,196 @@ int StateHeadToHead(uint64_t runs, uint64_t seed, size_t prefixes, size_t entrie
   return 0;
 }
 
+// --- Federated fan-out head-to-head (F1e) ------------------------------------
+//
+// The distributed layer's cost model: every exploratory input the provider
+// wants confirmed crosses the narrow interface to N remote domains, as real
+// serialized bytes (WireExplorationService). Batched requests amortize the
+// frame, the per-batch session/policy resolution, and the screen cache across
+// many updates; the per-message side replays the old point-to-point shape
+// (batch_size=1, one RPC per update). Verdicts must be identical either way.
+
+// One remote domain: filters the foreign space the adversarial input mix
+// announces (so most updates are zero-copy rejects), holds victim routes in
+// the legit space (so accepted updates produce origin-change verdicts), and
+// has a second configured peer so adopted routes show spread.
+std::unique_ptr<WireExplorationService> MakeRemoteDomain(size_t index) {
+  bgp::RouterConfig config;
+  std::string name = "domain" + std::to_string(index);
+  config.name = name;
+  config.local_as = static_cast<bgp::AsNumber>(100 + index);
+  config.router_id = bgp::Ipv4Address(0x0a0000c8u + static_cast<uint32_t>(index));
+
+  bgp::PrefixList guarded;
+  guarded.name = "guarded";
+  guarded.entries.push_back(bgp::PrefixListEntry{*bgp::Prefix::Parse("85.0.0.0/8"), 0, 32});
+  DICE_CHECK(config.policies.AddPrefixList(std::move(guarded)).ok());
+  bgp::Filter filter;
+  filter.name = "block-foreign";
+  bgp::FilterTerm deny;
+  bgp::Match match;
+  match.kind = bgp::MatchKind::kPrefixInList;
+  match.list_name = "guarded";
+  deny.matches.push_back(match);
+  bgp::Action reject;
+  reject.kind = bgp::ActionKind::kReject;
+  deny.actions.push_back(reject);
+  filter.terms.push_back(deny);
+  filter.default_accept = true;
+  DICE_CHECK(config.policies.AddFilter(std::move(filter)).ok());
+
+  bgp::NeighborConfig from_provider;
+  from_provider.address = *bgp::Ipv4Address::Parse("10.0.0.3");
+  from_provider.remote_as = 3;
+  from_provider.import_filter = "block-foreign";
+  config.neighbors.push_back(from_provider);
+  bgp::NeighborConfig downstream;
+  downstream.address = *bgp::Ipv4Address::Parse("10.0.0.99");
+  downstream.remote_as = 99;
+  config.neighbors.push_back(downstream);
+
+  bgp::RouterState state;
+  state.config = std::make_shared<const bgp::RouterConfig>(std::move(config));
+  for (uint32_t i = 0; i < 64; ++i) {
+    bgp::Route victim;
+    victim.peer = 9;
+    victim.peer_as = 9;
+    bgp::PathAttributes attrs;
+    attrs.origin = bgp::Origin::kIgp;
+    attrs.as_path = bgp::AsPath::Sequence({9, static_cast<bgp::AsNumber>(64500 + i)});
+    attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+    victim.attrs = std::move(attrs);
+    state.rib.AddRoute(bgp::Prefix::Make(bgp::Ipv4Address(0x0a010000u + (i << 8)), 24),
+                       victim);
+  }
+
+  bgp::PeerView provider_view;
+  provider_view.id = 1;
+  provider_view.remote_as = 3;
+  provider_view.address = *bgp::Ipv4Address::Parse("10.0.0.3");
+  provider_view.established = true;
+  bgp::PeerView downstream_view;
+  downstream_view.id = 2;
+  downstream_view.remote_as = 99;
+  downstream_view.address = *bgp::Ipv4Address::Parse("10.0.0.99");
+  downstream_view.established = true;
+
+  return std::make_unique<WireExplorationService>(
+      std::make_unique<InProcessExplorationService>(
+          std::move(name), std::move(state),
+          std::vector<bgp::PeerView>{provider_view, downstream_view}, provider_view.id));
+}
+
+struct FanoutSide {
+  double seconds = 0;
+  std::vector<NarrowReply> verdicts;  // domain-major, input order within
+  uint64_t batches = 0;
+  uint64_t errors = 0;
+  uint64_t request_bytes = 0;
+  uint64_t reply_bytes = 0;
+  BatchCounters counters;
+};
+
+FanoutSide RunFanoutSide(size_t domains, size_t batch_size,
+                         const std::vector<bgp::UpdateMessage>& inputs) {
+  std::vector<std::unique_ptr<WireExplorationService>> services;
+  std::vector<uint64_t> epochs;
+  services.reserve(domains);
+  for (size_t d = 0; d < domains; ++d) {
+    services.push_back(MakeRemoteDomain(d));
+    epochs.push_back(services.back()->TakeCheckpoint(0));
+  }
+
+  FanoutSide side;
+  side.verdicts.reserve(domains * inputs.size());
+  Stopwatch timer;
+  for (size_t d = 0; d < domains; ++d) {
+    for (size_t begin = 0; begin < inputs.size(); begin += batch_size) {
+      size_t end = std::min(begin + batch_size, inputs.size());
+      ExploratoryBatchRequest request;
+      request.checkpoint_epoch = epochs[d];
+      request.updates.assign(inputs.begin() + static_cast<ptrdiff_t>(begin),
+                             inputs.begin() + static_cast<ptrdiff_t>(end));
+      StatusOr<ExploratoryBatchReply> reply = services[d]->ExecuteBatch(request);
+      ++side.batches;
+      if (!reply.ok()) {
+        ++side.errors;
+        continue;
+      }
+      side.verdicts.insert(side.verdicts.end(), reply->replies.begin(),
+                           reply->replies.end());
+      side.counters.clones_materialized += reply->counters.clones_materialized;
+      side.counters.clones_avoided += reply->counters.clones_avoided;
+      side.counters.screen_cache_hits += reply->counters.screen_cache_hits;
+    }
+  }
+  side.seconds = timer.Seconds();
+  for (const auto& service : services) {
+    side.request_bytes += service->request_bytes();
+    side.reply_bytes += service->reply_bytes();
+  }
+  return side;
+}
+
+int FanoutHeadToHead(size_t domains, size_t batch_size, uint64_t input_count, uint64_t seed,
+                     JsonLine& json) {
+  std::printf(
+      "\nF1e — batched narrow-interface fan-out (%zu remote domains, wire-serialized)\n\n",
+      domains);
+  std::vector<bgp::UpdateMessage> inputs = MakeReplayInputs(input_count, seed);
+
+  FanoutSide per_message = RunFanoutSide(domains, 1, inputs);
+  FanoutSide batched = RunFanoutSide(domains, batch_size, inputs);
+
+  bool identical = per_message.verdicts == batched.verdicts &&
+                   per_message.errors == 0 && batched.errors == 0 &&
+                   batched.verdicts.size() == domains * inputs.size();
+  auto replies_per_sec = [](const FanoutSide& s) {
+    return s.seconds <= 0 ? 0.0 : static_cast<double>(s.verdicts.size()) / s.seconds;
+  };
+  auto bytes_per_reply = [](const FanoutSide& s) {
+    return s.verdicts.empty() ? 0.0
+                              : static_cast<double>(s.request_bytes + s.reply_bytes) /
+                                    static_cast<double>(s.verdicts.size());
+  };
+
+  Table table({"rpc shape", "wall s", "batches", "replies", "replies/s", "wire bytes/reply",
+               "clones avoided", "screen hits"});
+  auto row = [&](const char* shape, const FanoutSide& s) {
+    table.AddRow({shape, StrFormat("%.4f", s.seconds),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.batches)),
+                  StrFormat("%zu", s.verdicts.size()), StrFormat("%.0f", replies_per_sec(s)),
+                  StrFormat("%.1f", bytes_per_reply(s)),
+                  StrFormat("%llu", static_cast<unsigned long long>(s.counters.clones_avoided)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(s.counters.screen_cache_hits))});
+  };
+  row("per-message (batch=1)", per_message);
+  row(StrFormat("batched (batch=%zu)", batch_size).c_str(), batched);
+  table.Print();
+
+  double speedup = per_message.seconds / std::max(batched.seconds, 1e-9);
+  std::printf("fan-out: %.2fx replies/s from batching, verdicts %s\n", speedup,
+              identical ? "identical" : "DIVERGED");
+
+  json.Add("f1e_domains", static_cast<uint64_t>(domains))
+      .Add("f1e_inputs", input_count)
+      .Add("batch_size", static_cast<uint64_t>(batch_size))
+      .Add("f1e_identical", identical)
+      .Add("replies_per_sec", replies_per_sec(batched))
+      .Add("replies_per_sec_per_message", replies_per_sec(per_message))
+      .Add("bytes_per_reply", bytes_per_reply(batched))
+      .Add("bytes_per_reply_per_message", bytes_per_reply(per_message))
+      .Add("f1e_speedup", speedup)
+      .Add("f1e_clones_avoided", batched.counters.clones_avoided)
+      .Add("f1e_screen_cache_hits", batched.counters.screen_cache_hits);
+  if (!identical) {
+    std::printf("\nFAIL: batched narrow replies diverged from per-message replies\n");
+    return 1;
+  }
+  return 0;
+}
+
 void AddHeadToHeadRows(Table& table, const char* workload, const HeadToHeadSide& base,
                        const HeadToHeadSide& fast) {
   auto row = [&](const char* config, const HeadToHeadSide& s) {
@@ -550,6 +743,9 @@ int Run(int argc, char** argv) {
   const uint64_t hh_reps = flags.GetUint("hh_reps", 5);
   const size_t fanout = flags.GetUint("fanout", 256);
   const uint64_t replay_count = flags.GetUint("replay_runs", 3000);
+  const size_t remote_domains = flags.GetUint("remote_domains", 8);
+  const size_t remote_batch = flags.GetUint("remote_batch", 64);
+  const uint64_t rpc_inputs = flags.GetUint("rpc_inputs", 1000);
 
   std::printf("F1: systematic path exploration by predicate negation (paper Fig. 1)\n\n");
   SyntheticSeries(runs, seed);
@@ -561,6 +757,8 @@ int Run(int argc, char** argv) {
       .Add("filter_entries", static_cast<uint64_t>(entries));
   int rc = HeadToHead(runs, seed, prefixes, entries, branches, hh_reps, json);
   rc |= StateHeadToHead(runs, seed, prefixes, entries, fanout, hh_reps, replay_count, json);
+  rc |= FanoutHeadToHead(remote_domains, std::max<size_t>(remote_batch, 1), rpc_inputs, seed,
+                         json);
   json.Print();
   return rc;
 }

@@ -10,6 +10,12 @@
 // narrow verdicts — yet DiCE can tell which locally-detected leaks would
 // actually spread beyond the provider.
 //
+// The domains talk through the batched dice::ExplorationService API: every
+// local detection rides to the upstream in one ExploratoryBatchRequest, and —
+// because the upstream is registered behind WireExplorationService — each
+// request and reply round-trips through real serialized bytes, exactly what a
+// cross-domain RPC transport would carry.
+//
 // Build & run:  ./build/examples/federated_exploration
 
 #include <cstdio>
@@ -98,7 +104,12 @@ router upstream {
   options.concolic.max_runs = 300;
   DistributedExplorer dice(options);
   dice.AddChecker(std::make_unique<HijackChecker>());
-  dice.AddRemotePeer(std::make_unique<RemoteExplorationPeer>("upstream-isp", &upstream, 2));
+  // The upstream participates behind the narrow interface; the wire wrapper
+  // forces every batch through the serialized byte format.
+  auto wire = std::make_unique<WireExplorationService>(
+      std::make_unique<InProcessExplorationService>("upstream-isp", &upstream, 2));
+  const WireExplorationService* wire_view = wire.get();
+  dice.AddRemoteService(std::move(wire));
   dice.TakeCheckpoint(provider_state, {customer_view}, loop.now());
 
   bgp::UpdateMessage seed;
@@ -111,6 +122,14 @@ router upstream {
   dice.ExploreSeed(seed, /*from=*/1);
 
   std::printf("local findings: %zu\n", dice.local_report().detections.size());
+  const RemoteBatchStats& rpc = dice.remote_stats();
+  std::printf("narrow-interface traffic: %llu batch(es), %llu exploratory updates, "
+              "%llu replies; %llu request bytes, %llu reply bytes on the wire\n",
+              static_cast<unsigned long long>(rpc.batches_sent),
+              static_cast<unsigned long long>(rpc.updates_sent),
+              static_cast<unsigned long long>(rpc.replies_received),
+              static_cast<unsigned long long>(wire_view->request_bytes()),
+              static_cast<unsigned long long>(wire_view->reply_bytes()));
   std::printf("system-wide confirmed (remote clone would adopt): %zu\n\n",
               dice.system_wide().size());
   for (const SystemWideDetection& sw : dice.system_wide()) {

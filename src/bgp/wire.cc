@@ -146,25 +146,30 @@ void EncodePrefix(ByteWriter& writer, const Prefix& prefix) {
   }
 }
 
+StatusOr<Prefix> DecodePrefix(ByteReader& reader) {
+  DICE_ASSIGN_OR_RETURN(uint8_t len, reader.ReadU8());
+  if (len > 32) {
+    return UpdateError(10, StrFormat("invalid prefix length %u", len));
+  }
+  int bytes = (len + 7) / 8;
+  uint32_t bits = 0;
+  for (int i = 0; i < bytes; ++i) {
+    DICE_ASSIGN_OR_RETURN(uint8_t b, reader.ReadU8());
+    bits |= static_cast<uint32_t>(b) << (24 - 8 * i);
+  }
+  // Canonicalize: routers accept prefixes with set host bits but mask them.
+  return Prefix::Make(Ipv4Address(bits), len);
+}
+
 StatusOr<std::vector<Prefix>> DecodePrefixes(ByteReader& reader, size_t byte_count) {
   std::vector<Prefix> out;
   size_t end = reader.position() + byte_count;
   while (reader.position() < end) {
-    DICE_ASSIGN_OR_RETURN(uint8_t len, reader.ReadU8());
-    if (len > 32) {
-      return UpdateError(10, StrFormat("invalid prefix length %u", len));
-    }
-    int bytes = (len + 7) / 8;
-    if (reader.position() + static_cast<size_t>(bytes) > end) {
+    DICE_ASSIGN_OR_RETURN(Prefix prefix, DecodePrefix(reader));
+    if (reader.position() > end) {
       return UpdateError(10, "prefix bytes overrun field boundary");
     }
-    uint32_t bits = 0;
-    for (int i = 0; i < bytes; ++i) {
-      DICE_ASSIGN_OR_RETURN(uint8_t b, reader.ReadU8());
-      bits |= static_cast<uint32_t>(b) << (24 - 8 * i);
-    }
-    // Canonicalize: routers accept prefixes with set host bits but mask them.
-    out.push_back(Prefix::Make(Ipv4Address(bits), len));
+    out.push_back(prefix);
   }
   if (reader.position() != end) {
     return UpdateError(10, "prefix field length mismatch");

@@ -38,6 +38,10 @@ StatusOr<Message> Decode(const Bytes& bytes);
 // Decodes just the NLRI-style prefix list encoding (used by tests).
 StatusOr<std::vector<Prefix>> DecodePrefixes(ByteReader& reader, size_t byte_count);
 
+// Decodes one NLRI-style prefix (length octet + minimal address bytes) from
+// the reader's current position.
+StatusOr<Prefix> DecodePrefix(ByteReader& reader);
+
 // Appends the NLRI encoding of `prefix` (length octet + minimal address bytes).
 void EncodePrefix(ByteWriter& writer, const Prefix& prefix);
 

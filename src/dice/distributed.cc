@@ -1,125 +1,11 @@
 #include "src/dice/distributed.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "src/util/logging.h"
 
 namespace dice {
-
-RemoteExplorationPeer::RemoteExplorationPeer(std::string domain_name, const bgp::Router* router,
-                                             bgp::PeerId from_peer)
-    : domain_name_(std::move(domain_name)), router_(router), from_peer_(from_peer) {}
-
-void RemoteExplorationPeer::TakeCheckpoint(net::SimTime now) {
-  checkpoints_.Take(router_->CheckpointState(), router_->PeerViews(), now);
-}
-
-NarrowReply RemoteExplorationPeer::ProcessExploratory(const bgp::UpdateMessage& update) {
-  DICE_CHECK(checkpoints_.HasCheckpoint())
-      << domain_name_ << ": exploratory message before checkpoint";
-  NarrowReply reply;
-  if (update.nlri.empty()) {
-    return reply;
-  }
-  reply.prefix = update.nlri[0];
-
-  checkpoint::CloneHandle handle = checkpoints_.CloneLazy();
-  const bgp::RouterState& base = handle.read();
-  const checkpoint::Checkpoint& cp = checkpoints_.current();
-
-  const bgp::PeerView* from_view = nullptr;
-  for (const bgp::PeerView& peer : cp.peers) {
-    if (peer.id == from_peer_) {
-      from_view = &peer;
-    }
-  }
-  bgp::PeerView fallback;
-  if (from_view == nullptr) {
-    fallback.id = from_peer_;
-    fallback.established = true;
-    from_view = &fallback;
-  }
-  const bgp::NeighborConfig* neighbor = base.config->FindNeighbor(from_view->address);
-  static const bgp::NeighborConfig kAcceptAll;
-  if (neighbor == nullptr) {
-    neighbor = &kAcceptAll;
-  }
-
-  // Zero-copy screen: the remote clone only needs materializing if the
-  // update can actually change state — a withdrawal that removes an existing
-  // route from this session, or an announcement the import policy accepts.
-  // ClassifyImport is the same logic ImportRoute applies, so the screen
-  // cannot drift from the processing path. Accepted updates evaluate the
-  // filter a second time inside ProcessUpdate — the deliberate trade: the
-  // common case under adversarial seeds (rejects) saves a whole state copy,
-  // the minority (accepts) pays one extra O(filter) pass.
-  bool mutates = false;
-  for (const bgp::Prefix& withdrawn : update.withdrawn) {
-    if (const bgp::RibEntry* entry = base.rib.Entry(withdrawn)) {
-      for (const bgp::Route& candidate : entry->routes) {
-        if (candidate.peer == from_peer_) {
-          mutates = true;
-          break;
-        }
-      }
-    }
-  }
-  if (!mutates) {
-    for (const bgp::Prefix& announced : update.nlri) {
-      if (bgp::ClassifyImport(base, *neighbor, announced, update.attrs).disposition ==
-          bgp::ImportDisposition::kAccepted) {
-        mutates = true;
-        break;
-      }
-    }
-  }
-
-  const bgp::Route* previous_best = base.rib.BestRoute(reply.prefix);
-  bgp::AsNumber previous_origin =
-      previous_best != nullptr ? previous_best->attrs->as_path.OriginAs() : 0;
-  bool had_previous = previous_best != nullptr;
-
-  if (!mutates) {
-    // Pure-reject update: the reply is computable from the checkpoint state
-    // itself, and nothing was copied (this run was free). The fields must
-    // match what the materialized path below would report after a no-op
-    // ProcessUpdate — including a pre-existing candidate from this session.
-    reply.accepted = false;
-    if (const bgp::RibEntry* entry = base.rib.Entry(reply.prefix)) {
-      for (const bgp::Route& candidate : entry->routes) {
-        if (candidate.peer == from_peer_) {
-          reply.accepted = true;
-        }
-      }
-    }
-    const bgp::Route* best = base.rib.BestRoute(reply.prefix);
-    reply.adopted_as_best = best != nullptr && best->peer == from_peer_;
-    reply.origin_changed = false;  // nothing changed, so no origin change
-    reply.would_propagate = 0;     // no Loc-RIB change, nothing to emit
-    return reply;
-  }
-
-  bgp::RouterState& clone = handle.Mutable();
-
-  // Isolation: the clone's outbound messages are intercepted; only their
-  // count crosses the domain boundary.
-  uint64_t emitted = 0;
-  bgp::UpdateSink sink = [&emitted](bgp::PeerId, const bgp::UpdateMessage&) { ++emitted; };
-  bgp::ProcessUpdate(clone, cp.peers, *from_view, *neighbor, update, sink);
-
-  const bgp::Route* new_best = clone.rib.BestRoute(reply.prefix);
-  reply.accepted = false;
-  if (const bgp::RibEntry* entry = clone.rib.Entry(reply.prefix)) {
-    for (const bgp::Route& candidate : entry->routes) {
-      if (candidate.peer == from_peer_) {
-        reply.accepted = true;
-      }
-    }
-  }
-  reply.adopted_as_best = new_best != nullptr && new_best->peer == from_peer_;
-  reply.origin_changed = had_previous && reply.adopted_as_best &&
-                         new_best->attrs->as_path.OriginAs() != previous_origin;
-  reply.would_propagate = emitted;
-  return reply;
-}
 
 DistributedExplorer::DistributedExplorer(ExplorerOptions options) : local_(std::move(options)) {}
 
@@ -127,8 +13,9 @@ void DistributedExplorer::AddChecker(std::unique_ptr<Checker> checker) {
   local_.AddChecker(std::move(checker));
 }
 
-void DistributedExplorer::AddRemotePeer(std::unique_ptr<RemoteExplorationPeer> peer) {
-  remotes_.push_back(std::move(peer));
+void DistributedExplorer::AddRemoteService(std::unique_ptr<ExplorationService> service) {
+  remotes_.push_back(std::move(service));
+  remote_epochs_.push_back(0);
 }
 
 void DistributedExplorer::TakeCheckpoint(const bgp::Router& router, net::SimTime now) {
@@ -139,30 +26,78 @@ void DistributedExplorer::TakeCheckpoint(const bgp::RouterState& state,
                                          std::vector<bgp::PeerView> peers, net::SimTime now) {
   checkpoint_time_ = now;
   local_.TakeCheckpoint(state, std::move(peers), now);
-  for (auto& remote : remotes_) {
-    remote->TakeCheckpoint(now);
+  for (size_t i = 0; i < remotes_.size(); ++i) {
+    remote_epochs_[i] = remotes_[i]->TakeCheckpoint(now);
   }
 }
 
 size_t DistributedExplorer::ExploreSeed(const bgp::UpdateMessage& seed, bgp::PeerId from) {
   size_t runs = local_.ExploreSeed(seed, from);
 
+  system_wide_.clear();
+  remote_stats_ = RemoteBatchStats{};
+  const std::vector<Detection>& detections = local_.report().detections;
+  if (detections.empty() || remotes_.empty()) {
+    return runs;
+  }
+
   // For every local detection, extend the horizon across the network: would
   // the remote domains adopt the offending route? Their clones process the
-  // exact route the provider's clone would have exported; we use the
-  // detection's triggering input re-exported the way the provider would.
-  system_wide_.clear();
-  for (const Detection& detection : local_.report().detections) {
+  // exact route the provider's clone would have exported. All detections for
+  // one domain ride in as few batches as remote_batch_size allows, so the
+  // domain amortizes checkpoint screening and attr lookups across the batch.
+  const size_t chunk = remote_batch_size_ == 0 ? detections.size() : remote_batch_size_;
+
+  // verdicts[remote][detection]: nullopt when the remote's batch failed.
+  std::vector<std::vector<std::optional<NarrowReply>>> verdicts(
+      remotes_.size(),
+      std::vector<std::optional<NarrowReply>>(detections.size(), std::nullopt));
+  for (size_t ri = 0; ri < remotes_.size(); ++ri) {
+    ExplorationService& remote = *remotes_[ri];
+    for (size_t begin = 0; begin < detections.size(); begin += chunk) {
+      size_t end = std::min(begin + chunk, detections.size());
+      ExploratoryBatchRequest batch;
+      batch.checkpoint_epoch = remote_epochs_[ri];
+      batch.updates.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        batch.updates.push_back(detections[i].input);
+      }
+      ++remote_stats_.batches_sent;
+      remote_stats_.updates_sent += batch.updates.size();
+      StatusOr<ExploratoryBatchReply> reply = remote.ExecuteBatch(batch);
+      if (!reply.ok()) {
+        // A failing domain degrades to "unconfirmed there", never to a crash
+        // of the provider-side exploration.
+        ++remote_stats_.batch_errors;
+        DICE_LOG(kWarning) << remote.domain_name()
+                           << ": batch failed: " << reply.status().ToString();
+        continue;
+      }
+      if (reply->replies.size() != batch.updates.size()) {
+        ++remote_stats_.batch_errors;
+        DICE_LOG(kWarning) << remote.domain_name() << ": batch returned "
+                           << reply->replies.size() << " replies for "
+                           << batch.updates.size() << " updates";
+        continue;
+      }
+      remote_stats_.replies_received += reply->replies.size();
+      remote_stats_.counters.clones_materialized += reply->counters.clones_materialized;
+      remote_stats_.counters.clones_avoided += reply->counters.clones_avoided;
+      remote_stats_.counters.screen_cache_hits += reply->counters.screen_cache_hits;
+      for (size_t i = 0; i < reply->replies.size(); ++i) {
+        verdicts[ri][begin + i] = reply->replies[i];
+      }
+    }
+  }
+
+  for (size_t di = 0; di < detections.size(); ++di) {
     SystemWideDetection sw;
-    sw.local = detection;
-    for (auto& remote : remotes_) {
-      // The remote judges the offending route as arriving on its session with
-      // the exploring node (from_peer_ inside the peer wrapper); its own
-      // import policy then applies next-hop/AS handling as it would live.
-      NarrowReply reply = remote->ProcessExploratory(detection.input);
-      if (reply.adopted_as_best) {
-        sw.adopting_domains.push_back(remote->domain_name());
-        sw.total_spread += reply.would_propagate;
+    sw.local = detections[di];
+    for (size_t ri = 0; ri < remotes_.size(); ++ri) {
+      const std::optional<NarrowReply>& reply = verdicts[ri][di];
+      if (reply.has_value() && reply->adopted_as_best) {
+        sw.adopting_domains.push_back(remotes_[ri]->domain_name());
+        sw.total_spread += reply->would_propagate;
       }
     }
     if (!sw.adopting_domains.empty()) {

@@ -11,84 +11,45 @@
 //    ensure that nodes only communicate state information through a narrow
 //    interface yet capable to allow us to detect faults."
 //
-// RemoteExplorationPeer gives a remote (differently-administered) router the
-// two capabilities above: checkpoint-on-request and processing of exploratory
-// messages on isolated clones. Crucially for federation, it never exposes the
-// remote RIB or configuration — results cross the domain boundary only as a
-// NarrowReply (§2.4's "narrow interface"): per-prefix verdicts, no paths, no
-// policies, no table contents.
-//
 // DistributedExplorer drives the local (provider-side) exploration and, for
 // every exploratory input the local clone would have propagated, asks each
-// remote peer's clone what *it* would do — letting checkers judge the
-// system-wide consequence of a node action (e.g. "this leak would be adopted
-// by the neighbor and spread") instead of only the local one.
+// remote domain what *it* would do — letting checkers judge the system-wide
+// consequence of a node action (e.g. "this leak would be adopted by the
+// neighbor and spread") instead of only the local one.
+//
+// All remote communication goes through the dice::ExplorationService narrow
+// interface (src/dice/exploration_service.h): batched, wire-serializable
+// requests; per-prefix NarrowReply verdicts back; no paths, no policies, no
+// table contents. The explorer never sees what kind of service it talks to —
+// in-process, wire-round-tripped, or (eventually) a real transport.
 
 #ifndef SRC_DICE_DISTRIBUTED_H_
 #define SRC_DICE_DISTRIBUTED_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "src/bgp/router.h"
-#include "src/checkpoint/checkpoint.h"
+#include "src/dice/exploration_service.h"
 #include "src/dice/explorer.h"
 
 namespace dice {
 
-// What a remote domain is willing to reveal about processing one exploratory
-// message on its isolated clone. Deliberately minimal: enough to detect
-// faults, nothing about internal policy or table contents (§2.4).
-struct NarrowReply {
-  bgp::Prefix prefix;
-  bool accepted = false;       // clone's import policy accepted the route
-  bool adopted_as_best = false;  // clone's decision process selected it
-  bool origin_changed = false;   // it displaced a route with another origin
-  // How many further messages the remote clone would have emitted (spread
-  // potential) — a count only, never the messages themselves.
-  uint64_t would_propagate = 0;
-};
-
-// A remote node participating in exploration: owns its own checkpoints and
-// clones; processes exploratory messages in isolation.
-class RemoteExplorationPeer {
- public:
-  // `router` is the remote domain's live router (not owned). `from_peer` is
-  // the PeerId under which the exploring node's messages arrive there.
-  RemoteExplorationPeer(std::string domain_name, const bgp::Router* router,
-                        bgp::PeerId from_peer);
-
-  const std::string& domain_name() const { return domain_name_; }
-
-  // Checkpoints the remote node's current live state (invoked when the
-  // exploring node checkpoints, so the cross-network exploration base is
-  // consistent-ish; BGP tolerates the skew exactly as it tolerates
-  // propagation delay).
-  void TakeCheckpoint(net::SimTime now);
-
-  // Processes one exploratory UPDATE on a fresh clone of the remote
-  // checkpoint, entirely isolated (the clone's own outbound messages are
-  // intercepted and only counted). Returns the narrow reply.
-  NarrowReply ProcessExploratory(const bgp::UpdateMessage& update);
-
-  uint64_t clones_made() const { return checkpoints_.clones_made(); }
-  // Exploratory messages answered without copying any state (pure rejects).
-  uint64_t clones_avoided() const { return checkpoints_.clones_avoided(); }
-
- private:
-  std::string domain_name_;
-  const bgp::Router* router_;
-  bgp::PeerId from_peer_;
-  checkpoint::CheckpointManager checkpoints_;
-};
-
-// A fault whose system-wide consequence was confirmed by remote clones.
+// A fault whose system-wide consequence was confirmed by remote domains.
 struct SystemWideDetection {
-  Detection local;                       // the provider-side finding
+  Detection local;                            // the provider-side finding
   std::vector<std::string> adopting_domains;  // remote domains that would adopt
-  uint64_t total_spread = 0;             // sum of remote would_propagate counts
+  uint64_t total_spread = 0;                  // sum of remote would_propagate counts
+};
+
+// What crossing the federation boundary cost, summed over all remote
+// services since the last ExploreSeed.
+struct RemoteBatchStats {
+  uint64_t batches_sent = 0;      // ExecuteBatch calls issued
+  uint64_t updates_sent = 0;      // exploratory updates shipped in those batches
+  uint64_t replies_received = 0;  // NarrowReplies received back
+  uint64_t batch_errors = 0;      // batches a service answered with an error Status
+  BatchCounters counters;         // remote-side work counters, summed
 };
 
 // Orchestrates local exploration plus remote confirmation.
@@ -99,25 +60,39 @@ class DistributedExplorer {
   // Local-side configuration (same as Explorer).
   void AddChecker(std::unique_ptr<Checker> checker);
 
-  // Registers a remote domain's node. Not owned.
-  void AddRemotePeer(std::unique_ptr<RemoteExplorationPeer> peer);
+  // Registers a remote domain behind the narrow interface. Owned.
+  void AddRemoteService(std::unique_ptr<ExplorationService> service);
 
-  // Checkpoints the exploring node and every remote peer.
+  // Maximum exploratory updates per ExecuteBatch call; 0 (the default) ships
+  // every pending update to a domain in one batch. 1 reproduces the old
+  // point-to-point call shape, one RPC per update — the equivalence tests
+  // replay it against full batches.
+  void set_remote_batch_size(size_t size) { remote_batch_size_ = size; }
+  size_t remote_batch_size() const { return remote_batch_size_; }
+
+  // Checkpoints the exploring node and every remote domain.
   void TakeCheckpoint(const bgp::Router& router, net::SimTime now);
   void TakeCheckpoint(const bgp::RouterState& state, std::vector<bgp::PeerView> peers,
                       net::SimTime now);
 
-  // Runs the full exploration; for every local detection, replays the
-  // triggering input against each remote clone to judge system-wide impact.
+  // Runs the full exploration; batches every local detection's triggering
+  // input to each remote domain to judge system-wide impact.
   size_t ExploreSeed(const bgp::UpdateMessage& seed, bgp::PeerId from);
 
   const ExplorationReport& local_report() const { return local_.report(); }
   const std::vector<SystemWideDetection>& system_wide() const { return system_wide_; }
+  const RemoteBatchStats& remote_stats() const { return remote_stats_; }
+  size_t remote_count() const { return remotes_.size(); }
 
  private:
   Explorer local_;
-  std::vector<std::unique_ptr<RemoteExplorationPeer>> remotes_;
+  std::vector<std::unique_ptr<ExplorationService>> remotes_;
+  // Epoch returned by each remote's last TakeCheckpoint, index-parallel to
+  // remotes_; every batch to that remote carries it.
+  std::vector<uint64_t> remote_epochs_;
   std::vector<SystemWideDetection> system_wide_;
+  RemoteBatchStats remote_stats_;
+  size_t remote_batch_size_ = 0;
   net::SimTime checkpoint_time_ = 0;
 };
 

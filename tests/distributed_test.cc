@@ -1,6 +1,8 @@
 // Tests for distributed exploration (§2.4): remote clones process exploratory
-// messages in isolation and reveal only the narrow interface; system-wide
-// checkers judge cross-domain impact.
+// batches in isolation and reveal only the narrow interface; system-wide
+// checkers judge cross-domain impact. Everything crosses the domain boundary
+// through dice::ExplorationService — including, in the wire tests, real
+// serialized bytes.
 
 #include <gtest/gtest.h>
 
@@ -57,14 +59,20 @@ class DistributedFixture : public ::testing::Test {
     install.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
     install.nlri.push_back(upstream_state_victim_);
     // Install directly via the processing core (peer 9 not configured:
-    // accept-all default in the RemoteExplorationPeer path is not used here —
-    // go through the router's state for realism).
+    // accept-all default in the service path is not used here — go through
+    // the router's state for realism).
     bgp::RouterState& state = upstream_router_->mutable_state_for_test();
     bgp::Route route;
     route.peer = 9;
     route.peer_as = 9;
     route.attrs = install.attrs;
     state.rib.AddRoute(upstream_state_victim_, route);
+  }
+
+  // A fresh service over the fixture's upstream router.
+  std::unique_ptr<InProcessExplorationService> MakeUpstreamService() {
+    return std::make_unique<InProcessExplorationService>("upstream", upstream_router_.get(),
+                                                         2);
   }
 
   net::EventLoop loop_;
@@ -82,56 +90,97 @@ bgp::UpdateMessage Announce(const char* prefix, std::vector<bgp::AsNumber> path)
   return u;
 }
 
-TEST_F(DistributedFixture, RemotePeerRequiresCheckpoint) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  EXPECT_EQ(peer.domain_name(), "upstream");
-  EXPECT_EQ(peer.clones_made(), 0u);
+// Ships one update in a single-entry batch and returns its NarrowReply — the
+// old point-to-point call shape, replayed through the batched API.
+NarrowReply One(ExplorationService& service, uint64_t epoch,
+                const bgp::UpdateMessage& update) {
+  ExploratoryBatchRequest request;
+  request.checkpoint_epoch = epoch;
+  request.updates.push_back(update);
+  StatusOr<ExploratoryBatchReply> reply = service.ExecuteBatch(request);
+  EXPECT_TRUE(reply.ok()) << reply.status();
+  if (!reply.ok() || reply->replies.size() != 1) {
+    return NarrowReply{};
+  }
+  return reply->replies[0];
+}
+
+TEST_F(DistributedFixture, ServiceRequiresCheckpoint) {
+  auto service = MakeUpstreamService();
+  EXPECT_EQ(service->domain_name(), "upstream");
+  EXPECT_EQ(service->clones_made(), 0u);
+
+  // A batch before any checkpoint is a Status error, not a crash.
+  ExploratoryBatchRequest request;
+  request.updates.push_back(Announce("203.0.113.0/24", {3, 1, 100}));
+  StatusOr<ExploratoryBatchReply> reply = service->ExecuteBatch(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DistributedFixture, StaleEpochIsRejected) {
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
+  EXPECT_EQ(epoch, 1u);
+
+  // Batches must target the current checkpoint generation.
+  ExploratoryBatchRequest stale;
+  stale.checkpoint_epoch = epoch;
+  stale.updates.push_back(Announce("203.0.113.0/24", {3, 1, 100}));
+  uint64_t new_epoch = service->TakeCheckpoint(1);
+  EXPECT_EQ(new_epoch, 2u);
+  StatusOr<ExploratoryBatchReply> reply = service->ExecuteBatch(stale);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+
+  stale.checkpoint_epoch = new_epoch;
+  EXPECT_TRUE(service->ExecuteBatch(stale).ok());
 }
 
 TEST_F(DistributedFixture, RemoteCloneAcceptsAndReportsNarrowly) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
-  NarrowReply reply = peer.ProcessExploratory(Announce("203.0.113.0/24", {3, 1, 100}));
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
+  NarrowReply reply = One(*service, epoch, Announce("203.0.113.0/24", {3, 1, 100}));
   EXPECT_TRUE(reply.accepted);
   EXPECT_TRUE(reply.adopted_as_best);
   EXPECT_FALSE(reply.origin_changed) << "prefix was new at the remote";
-  EXPECT_EQ(peer.clones_made(), 1u);
+  EXPECT_EQ(service->clones_made(), 1u);
 }
 
 TEST_F(DistributedFixture, RemoteFilterStillApplies) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
-  NarrowReply reply = peer.ProcessExploratory(Announce("198.51.100.0/24", {3, 1, 100}));
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
+  NarrowReply reply = One(*service, epoch, Announce("198.51.100.0/24", {3, 1, 100}));
   EXPECT_FALSE(reply.accepted) << "the remote's own policy must keep protecting it";
   EXPECT_FALSE(reply.adopted_as_best);
 }
 
 TEST_F(DistributedFixture, RemoteDetectsOriginChange) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
   // 192.0.2.0/24 exists at the upstream with origin 64500; a shorter-path
   // exploratory announcement with another origin takes over.
-  NarrowReply reply = peer.ProcessExploratory(Announce("192.0.2.0/24", {3, 100}));
+  NarrowReply reply = One(*service, epoch, Announce("192.0.2.0/24", {3, 100}));
   EXPECT_TRUE(reply.adopted_as_best);
   EXPECT_TRUE(reply.origin_changed);
 }
 
 TEST_F(DistributedFixture, RejectedExploratoryMessageIsZeroCopy) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
   // The guarded prefix is rejected by the remote's import filter: the reply
   // must be computed against the checkpoint directly, with no clone made.
-  NarrowReply reply = peer.ProcessExploratory(Announce("198.51.100.0/24", {3, 1, 100}));
+  NarrowReply reply = One(*service, epoch, Announce("198.51.100.0/24", {3, 1, 100}));
   EXPECT_FALSE(reply.accepted);
   EXPECT_FALSE(reply.adopted_as_best);
   EXPECT_EQ(reply.would_propagate, 0u);
-  EXPECT_EQ(peer.clones_made(), 0u) << "a pure reject must not copy any state";
-  EXPECT_EQ(peer.clones_avoided(), 1u);
+  EXPECT_EQ(service->clones_made(), 0u) << "a pure reject must not copy any state";
+  EXPECT_EQ(service->clones_avoided(), 1u);
 
   // An accepted exploratory message still materializes a clone.
-  peer.ProcessExploratory(Announce("203.0.113.0/24", {3, 1, 100}));
-  EXPECT_EQ(peer.clones_made(), 1u);
-  EXPECT_EQ(peer.clones_avoided(), 1u);
+  One(*service, epoch, Announce("203.0.113.0/24", {3, 1, 100}));
+  EXPECT_EQ(service->clones_made(), 1u);
+  EXPECT_EQ(service->clones_avoided(), 1u);
 }
 
 TEST_F(DistributedFixture, ZeroCopyRejectStillReportsPreexistingCandidate) {
@@ -148,37 +197,37 @@ TEST_F(DistributedFixture, ZeroCopyRejectStillReportsPreexistingCandidate) {
   existing.attrs = std::move(existing_attrs);
   state.rib.AddRoute(P("198.51.100.0/24"), existing);
 
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
-  NarrowReply reply = peer.ProcessExploratory(Announce("198.51.100.0/24", {3, 1, 100}));
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
+  NarrowReply reply = One(*service, epoch, Announce("198.51.100.0/24", {3, 1, 100}));
   EXPECT_TRUE(reply.accepted) << "the checkpoint candidate from this session counts";
   EXPECT_TRUE(reply.adopted_as_best);
-  EXPECT_EQ(peer.clones_made(), 0u) << "still zero-copy: the reject changed nothing";
+  EXPECT_EQ(service->clones_made(), 0u) << "still zero-copy: the reject changed nothing";
 }
 
 TEST_F(DistributedFixture, NoOpWithdrawalIsZeroCopy) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
   bgp::UpdateMessage withdraw;
   withdraw.withdrawn.push_back(P("203.0.113.0/24"));  // nothing learned from us there
   withdraw.nlri.push_back(P("198.51.100.0/24"));      // and the announcement is filtered
   withdraw.attrs.as_path = bgp::AsPath::Sequence({3, 1, 100});
-  NarrowReply reply = peer.ProcessExploratory(withdraw);
+  NarrowReply reply = One(*service, epoch, withdraw);
   EXPECT_FALSE(reply.accepted);
-  EXPECT_EQ(peer.clones_made(), 0u);
+  EXPECT_EQ(service->clones_made(), 0u);
 }
 
 TEST_F(DistributedFixture, RemoteCloneIsIsolatedFromLiveRemote) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
-  peer.ProcessExploratory(Announce("203.0.113.0/24", {3, 1, 100}));
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
+  One(*service, epoch, Announce("203.0.113.0/24", {3, 1, 100}));
   EXPECT_EQ(upstream_router_->rib().BestRoute(P("203.0.113.0/24")), nullptr)
       << "exploratory processing must never touch the remote's live RIB";
 }
 
 TEST_F(DistributedFixture, CheckpointIsolatesFromLaterLiveChanges) {
-  RemoteExplorationPeer peer("upstream", upstream_router_.get(), 2);
-  peer.TakeCheckpoint(0);
+  auto service = MakeUpstreamService();
+  uint64_t epoch = service->TakeCheckpoint(0);
   // The live remote changes after the checkpoint...
   bgp::RouterState& state = upstream_router_->mutable_state_for_test();
   bgp::Route route;
@@ -189,14 +238,82 @@ TEST_F(DistributedFixture, CheckpointIsolatesFromLaterLiveChanges) {
   route.attrs = std::move(route_attrs);
   state.rib.AddRoute(P("203.0.113.0/24"), route);
   // ...but the clone still sees the checkpoint: the prefix is new there.
-  NarrowReply reply = peer.ProcessExploratory(Announce("203.0.113.0/24", {3, 1, 100}));
+  NarrowReply reply = One(*service, epoch, Announce("203.0.113.0/24", {3, 1, 100}));
   EXPECT_FALSE(reply.origin_changed);
+}
+
+// --- Batched vs per-message equivalence --------------------------------------
+
+// A mixed workload: accepted, filtered, origin-changing, withdrawal, and
+// duplicated updates (the duplicates exercise the per-batch screen cache).
+std::vector<bgp::UpdateMessage> MixedUpdates() {
+  std::vector<bgp::UpdateMessage> updates;
+  updates.push_back(Announce("203.0.113.0/24", {3, 1, 100}));  // accepted, new
+  updates.push_back(Announce("198.51.100.0/24", {3, 1, 100}));  // filtered
+  updates.push_back(Announce("192.0.2.0/24", {3, 100}));        // origin change
+  updates.push_back(Announce("198.51.100.0/24", {3, 1, 100}));  // filtered dup
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn.push_back(P("203.0.113.0/24"));
+  withdraw.nlri.push_back(P("198.51.100.0/24"));
+  withdraw.attrs.as_path = bgp::AsPath::Sequence({3, 1, 100});
+  updates.push_back(withdraw);
+  updates.push_back(Announce("198.51.100.0/24", {3, 1, 100}));  // filtered dup
+  return updates;
+}
+
+TEST_F(DistributedFixture, BatchedVerdictsMatchPerMessageVerdicts) {
+  std::vector<bgp::UpdateMessage> updates = MixedUpdates();
+
+  // (a) the old shape: one update per call.
+  auto per_message = MakeUpstreamService();
+  uint64_t epoch_a = per_message->TakeCheckpoint(0);
+  std::vector<NarrowReply> singles;
+  for (const bgp::UpdateMessage& update : updates) {
+    singles.push_back(One(*per_message, epoch_a, update));
+  }
+
+  // (b) the whole workload in one batch.
+  auto batched = MakeUpstreamService();
+  ExploratoryBatchRequest request;
+  request.checkpoint_epoch = batched->TakeCheckpoint(0);
+  request.updates = updates;
+  StatusOr<ExploratoryBatchReply> reply = batched->ExecuteBatch(request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+
+  ASSERT_EQ(reply->replies.size(), singles.size());
+  for (size_t i = 0; i < singles.size(); ++i) {
+    EXPECT_EQ(reply->replies[i], singles[i]) << "verdict diverged at update " << i;
+  }
+  // The duplicated filtered announcements must have hit the batch-local
+  // screen cache instead of re-running ClassifyImport.
+  EXPECT_GT(reply->counters.screen_cache_hits, 0u);
+  EXPECT_EQ(per_message->clones_made(), batched->clones_made());
+  EXPECT_EQ(per_message->clones_avoided(), batched->clones_avoided());
+}
+
+TEST_F(DistributedFixture, PureRejectBatchIsZeroCopy) {
+  auto service = MakeUpstreamService();
+  ExploratoryBatchRequest request;
+  request.checkpoint_epoch = service->TakeCheckpoint(0);
+  for (int i = 0; i < 8; ++i) {
+    request.updates.push_back(Announce("198.51.100.0/24", {3, 1, 100}));
+  }
+  StatusOr<ExploratoryBatchReply> reply = service->ExecuteBatch(request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_GT(reply->counters.clones_avoided, 0u);
+  EXPECT_EQ(reply->counters.clones_materialized, 0u);
+  EXPECT_EQ(service->clones_made(), 0u) << "a pure-reject batch must not copy any state";
 }
 
 // --- DistributedExplorer end-to-end ------------------------------------------
 
-TEST_F(DistributedFixture, SystemWideConfirmationOfLocalLeak) {
-  // Local (provider) state: no customer filter, victim route present.
+struct ProviderSetup {
+  bgp::RouterState state;
+  bgp::PeerView customer_view;
+};
+
+// Local (provider) state: no customer filter, one victim route present.
+ProviderSetup MakeProvider(const char* victim_prefix) {
   auto config = std::make_shared<bgp::RouterConfig>();
   config->name = "provider";
   config->local_as = 3;
@@ -206,8 +323,8 @@ TEST_F(DistributedFixture, SystemWideConfirmationOfLocalLeak) {
   customer.remote_as = 1;
   config->neighbors.push_back(customer);
 
-  bgp::RouterState provider_state;
-  provider_state.config = config;
+  ProviderSetup setup;
+  setup.state.config = config;
   bgp::Route victim;
   victim.peer = 9;
   victim.peer_as = 9;
@@ -215,26 +332,34 @@ TEST_F(DistributedFixture, SystemWideConfirmationOfLocalLeak) {
   victim_attrs.origin = bgp::Origin::kIgp;
   victim_attrs.as_path = bgp::AsPath::Sequence({9, 64500});
   victim.attrs = std::move(victim_attrs);
-  provider_state.rib.AddRoute(P("192.0.2.0/24"), victim);
+  setup.state.rib.AddRoute(P(victim_prefix), victim);
 
-  bgp::PeerView customer_view;
-  customer_view.id = 1;
-  customer_view.remote_as = 1;
-  customer_view.address = *bgp::Ipv4Address::Parse("10.0.0.1");
-  customer_view.established = true;
+  setup.customer_view.id = 1;
+  setup.customer_view.remote_as = 1;
+  setup.customer_view.address = *bgp::Ipv4Address::Parse("10.0.0.1");
+  setup.customer_view.established = true;
+  return setup;
+}
+
+TEST_F(DistributedFixture, SystemWideConfirmationOfLocalLeak) {
+  ProviderSetup provider = MakeProvider("192.0.2.0/24");
 
   ExplorerOptions options;
   options.concolic.max_runs = 200;
   DistributedExplorer dice(options);
   dice.AddChecker(std::make_unique<HijackChecker>());
-  dice.AddRemotePeer(
-      std::make_unique<RemoteExplorationPeer>("upstream", upstream_router_.get(), 2));
-  dice.TakeCheckpoint(provider_state, {customer_view}, 0);
+  dice.AddRemoteService(MakeUpstreamService());
+  dice.TakeCheckpoint(provider.state, {provider.customer_view}, 0);
 
   bgp::UpdateMessage seed = Announce("10.1.7.0/24", {1, 100});
   dice.ExploreSeed(seed, 1);
 
   ASSERT_FALSE(dice.local_report().detections.empty());
+  // All detections ride to the one remote in a single batch.
+  EXPECT_EQ(dice.remote_stats().batches_sent, 1u);
+  EXPECT_EQ(dice.remote_stats().updates_sent, dice.local_report().detections.size());
+  EXPECT_EQ(dice.remote_stats().replies_received, dice.local_report().detections.size());
+  EXPECT_EQ(dice.remote_stats().batch_errors, 0u);
   // The upstream has 192.0.2.0/24 too (same victim), so local findings on it
   // must be confirmed system-wide.
   bool confirmed = false;
@@ -250,40 +375,15 @@ TEST_F(DistributedFixture, SystemWideConfirmationOfLocalLeak) {
 }
 
 TEST_F(DistributedFixture, GuardedRemoteNotListedAsAdopting) {
-  auto config = std::make_shared<bgp::RouterConfig>();
-  config->name = "provider";
-  config->local_as = 3;
-  config->router_id = *bgp::Ipv4Address::Parse("10.0.0.3");
-  bgp::NeighborConfig customer;
-  customer.address = *bgp::Ipv4Address::Parse("10.0.0.1");
-  customer.remote_as = 1;
-  config->neighbors.push_back(customer);
-
-  bgp::RouterState provider_state;
-  provider_state.config = config;
-  bgp::Route victim;
-  victim.peer = 9;
-  victim.peer_as = 9;
-  bgp::PathAttributes victim_attrs;
-  victim_attrs.origin = bgp::Origin::kIgp;
-  victim_attrs.as_path = bgp::AsPath::Sequence({9, 64500});
-  victim.attrs = std::move(victim_attrs);
   // The victim here is the prefix the upstream *filters*.
-  provider_state.rib.AddRoute(P("198.51.100.0/24"), victim);
-
-  bgp::PeerView customer_view;
-  customer_view.id = 1;
-  customer_view.remote_as = 1;
-  customer_view.address = *bgp::Ipv4Address::Parse("10.0.0.1");
-  customer_view.established = true;
+  ProviderSetup provider = MakeProvider("198.51.100.0/24");
 
   ExplorerOptions options;
   options.concolic.max_runs = 200;
   DistributedExplorer dice(options);
   dice.AddChecker(std::make_unique<HijackChecker>());
-  dice.AddRemotePeer(
-      std::make_unique<RemoteExplorationPeer>("upstream", upstream_router_.get(), 2));
-  dice.TakeCheckpoint(provider_state, {customer_view}, 0);
+  dice.AddRemoteService(MakeUpstreamService());
+  dice.TakeCheckpoint(provider.state, {provider.customer_view}, 0);
   dice.ExploreSeed(Announce("10.1.7.0/24", {1, 100}), 1);
 
   for (const SystemWideDetection& sw : dice.system_wide()) {
@@ -291,6 +391,99 @@ TEST_F(DistributedFixture, GuardedRemoteNotListedAsAdopting) {
       ADD_FAILURE() << "upstream filters this prefix; it cannot be adopting";
     }
   }
+}
+
+// The acceptance gate: the same seed explored with (a) the old point-to-point
+// call shape (batch_size=1) and (b) full batches must produce identical
+// SystemWideDetections, and a wire-round-tripped service must agree too.
+TEST_F(DistributedFixture, BatchSizeDoesNotChangeSystemWideDetections) {
+  auto explore = [&](std::unique_ptr<ExplorationService> service, size_t batch_size) {
+    ProviderSetup provider = MakeProvider("192.0.2.0/24");
+    ExplorerOptions options;
+    options.concolic.max_runs = 200;
+    auto dice = std::make_unique<DistributedExplorer>(options);
+    dice->AddChecker(std::make_unique<HijackChecker>());
+    dice->AddRemoteService(std::move(service));
+    dice->set_remote_batch_size(batch_size);
+    dice->TakeCheckpoint(provider.state, {provider.customer_view}, 0);
+    dice->ExploreSeed(Announce("10.1.7.0/24", {1, 100}), 1);
+    return dice;
+  };
+
+  auto single = explore(MakeUpstreamService(), 1);
+  auto full = explore(MakeUpstreamService(), 0);
+  auto wire = explore(std::make_unique<WireExplorationService>(MakeUpstreamService()), 0);
+
+  ASSERT_FALSE(single->local_report().detections.empty());
+  // batch_size=1 is the replayed old shape: one RPC per detection.
+  EXPECT_EQ(single->remote_stats().batches_sent,
+            single->local_report().detections.size());
+  EXPECT_EQ(full->remote_stats().batches_sent, 1u);
+
+  auto same = [](const std::vector<SystemWideDetection>& a,
+                 const std::vector<SystemWideDetection>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].local.prefix, b[i].local.prefix);
+      EXPECT_EQ(a[i].local.input, b[i].local.input);
+      EXPECT_EQ(a[i].adopting_domains, b[i].adopting_domains);
+      EXPECT_EQ(a[i].total_spread, b[i].total_spread);
+    }
+  };
+  same(single->system_wide(), full->system_wide());
+  same(single->system_wide(), wire->system_wide());
+  EXPECT_FALSE(full->system_wide().empty());
+}
+
+// Pure-reject exploratory traffic must stay zero-copy through the whole
+// batched pipeline (the acceptance criterion's clones_avoided > 0).
+TEST_F(DistributedFixture, PureRejectBatchThroughExplorerAvoidsClones) {
+  ProviderSetup provider = MakeProvider("198.51.100.0/24");
+
+  for (size_t batch_size : {size_t{1}, size_t{0}}) {
+    ExplorerOptions options;
+    options.concolic.max_runs = 200;
+    DistributedExplorer dice(options);
+    dice.AddChecker(std::make_unique<HijackChecker>());
+    dice.AddRemoteService(MakeUpstreamService());
+    dice.set_remote_batch_size(batch_size);
+    dice.TakeCheckpoint(provider.state, {provider.customer_view}, 0);
+    dice.ExploreSeed(Announce("10.1.7.0/24", {1, 100}), 1);
+
+    ASSERT_FALSE(dice.local_report().detections.empty());
+    // Every detection names the guarded prefix, which the upstream filters:
+    // the whole remote confirmation pass must not copy any state.
+    EXPECT_GT(dice.remote_stats().counters.clones_avoided, 0u)
+        << "batch_size=" << batch_size;
+    EXPECT_EQ(dice.remote_stats().counters.clones_materialized, 0u)
+        << "batch_size=" << batch_size;
+    EXPECT_TRUE(dice.system_wide().empty());
+  }
+}
+
+// End-to-end through real serialized bytes: the wire service's counters prove
+// every request and reply crossed the byte boundary.
+TEST_F(DistributedFixture, WireServiceRoundTripsEveryBatch) {
+  ProviderSetup provider = MakeProvider("192.0.2.0/24");
+
+  auto wire = std::make_unique<WireExplorationService>(MakeUpstreamService());
+  WireExplorationService* wire_ptr = wire.get();
+
+  ExplorerOptions options;
+  options.concolic.max_runs = 200;
+  DistributedExplorer dice(options);
+  dice.AddChecker(std::make_unique<HijackChecker>());
+  dice.AddRemoteService(std::move(wire));
+  dice.TakeCheckpoint(provider.state, {provider.customer_view}, 0);
+  dice.ExploreSeed(Announce("10.1.7.0/24", {1, 100}), 1);
+
+  ASSERT_FALSE(dice.local_report().detections.empty());
+  EXPECT_FALSE(dice.system_wide().empty());
+  EXPECT_EQ(wire_ptr->rpcs(), dice.remote_stats().batches_sent);
+  EXPECT_GT(wire_ptr->rpcs(), 0u);
+  EXPECT_GT(wire_ptr->request_bytes(), 0u);
+  EXPECT_GT(wire_ptr->reply_bytes(), 0u);
+  EXPECT_EQ(dice.remote_stats().batch_errors, 0u);
 }
 
 }  // namespace

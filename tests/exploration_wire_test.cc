@@ -1,0 +1,240 @@
+// Robustness tests for the federated exploration batch wire format: the
+// buffers cross an administrative boundary, so Parse must answer truncation,
+// version skew, corruption, and structurally malformed bodies with a
+// util::Status — never a crash. The full matrix runs under the ASan preset
+// like every other suite.
+
+#include <gtest/gtest.h>
+
+#include "src/bgp/wire.h"
+#include "src/dice/exploration_service.h"
+#include "src/util/bytes.h"
+
+namespace dice {
+namespace {
+
+bgp::Prefix P(const char* s) { return *bgp::Prefix::Parse(s); }
+
+bgp::UpdateMessage MakeUpdate(const char* prefix, std::vector<bgp::AsNumber> path) {
+  bgp::UpdateMessage u;
+  u.attrs.origin = bgp::Origin::kIgp;
+  u.attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+  u.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.3");
+  u.nlri.push_back(P(prefix));
+  return u;
+}
+
+ExploratoryBatchRequest MakeRequest() {
+  ExploratoryBatchRequest request;
+  request.checkpoint_epoch = 42;
+  request.updates.push_back(MakeUpdate("203.0.113.0/24", {3, 1, 100}));
+  request.updates.push_back(MakeUpdate("192.0.2.0/24", {3, 100}));
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn.push_back(P("198.51.100.0/24"));
+  request.updates.push_back(withdraw);
+  return request;
+}
+
+ExploratoryBatchReply MakeReply() {
+  ExploratoryBatchReply reply;
+  reply.checkpoint_epoch = 42;
+  NarrowReply a;
+  a.prefix = P("203.0.113.0/24");
+  a.accepted = true;
+  a.adopted_as_best = true;
+  a.would_propagate = 7;
+  reply.replies.push_back(a);
+  NarrowReply b;
+  b.prefix = P("198.51.100.0/24");
+  reply.replies.push_back(b);
+  reply.counters.clones_materialized = 1;
+  reply.counters.clones_avoided = 2;
+  reply.counters.screen_cache_hits = 3;
+  return reply;
+}
+
+TEST(ExplorationWireTest, RequestRoundTrips) {
+  ExploratoryBatchRequest request = MakeRequest();
+  Bytes wire = request.Serialize();
+  StatusOr<ExploratoryBatchRequest> parsed = ExploratoryBatchRequest::Parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, request);
+}
+
+TEST(ExplorationWireTest, EmptyRequestRoundTrips) {
+  ExploratoryBatchRequest request;
+  request.checkpoint_epoch = 1;
+  StatusOr<ExploratoryBatchRequest> parsed =
+      ExploratoryBatchRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, request);
+}
+
+TEST(ExplorationWireTest, ReplyRoundTrips) {
+  ExploratoryBatchReply reply = MakeReply();
+  StatusOr<ExploratoryBatchReply> parsed = ExploratoryBatchReply::Parse(reply.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, reply);
+}
+
+TEST(ExplorationWireTest, EveryTruncationOfARequestIsAnError) {
+  Bytes wire = MakeRequest().Serialize();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<ptrdiff_t>(len));
+    StatusOr<ExploratoryBatchRequest> parsed = ExploratoryBatchRequest::Parse(truncated);
+    EXPECT_FALSE(parsed.ok()) << "truncation to " << len << " bytes parsed";
+  }
+}
+
+TEST(ExplorationWireTest, EveryTruncationOfAReplyIsAnError) {
+  Bytes wire = MakeReply().Serialize();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<ptrdiff_t>(len));
+    StatusOr<ExploratoryBatchReply> parsed = ExploratoryBatchReply::Parse(truncated);
+    EXPECT_FALSE(parsed.ok()) << "truncation to " << len << " bytes parsed";
+  }
+}
+
+TEST(ExplorationWireTest, EverySingleBitFlipIsAnError) {
+  // The checksum turns any single-bit corruption — header or body — into a
+  // parse error instead of a silently different verdict.
+  Bytes request_wire = MakeRequest().Serialize();
+  for (size_t byte = 0; byte < request_wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = request_wire;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      StatusOr<ExploratoryBatchRequest> parsed = ExploratoryBatchRequest::Parse(flipped);
+      EXPECT_FALSE(parsed.ok()) << "bit " << bit << " of byte " << byte << " parsed";
+    }
+  }
+  Bytes reply_wire = MakeReply().Serialize();
+  for (size_t byte = 0; byte < reply_wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = reply_wire;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      StatusOr<ExploratoryBatchReply> parsed = ExploratoryBatchReply::Parse(flipped);
+      EXPECT_FALSE(parsed.ok()) << "bit " << bit << " of byte " << byte << " parsed";
+    }
+  }
+}
+
+TEST(ExplorationWireTest, VersionMismatchIsAnError) {
+  ByteWriter body;
+  body.PutU64(1);  // epoch
+  body.PutU32(0);  // no updates
+  Bytes wire = FrameExplorationMessage(kBatchRequestMagic, body.bytes(),
+                                       kExplorationWireVersion + 1);
+  StatusOr<ExploratoryBatchRequest> parsed = ExploratoryBatchRequest::Parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(ExplorationWireTest, RequestMagicDoesNotParseAsReply) {
+  Bytes wire = MakeRequest().Serialize();
+  EXPECT_FALSE(ExploratoryBatchReply::Parse(wire).ok());
+  EXPECT_FALSE(ExploratoryBatchRequest::Parse(MakeReply().Serialize()).ok());
+}
+
+TEST(ExplorationWireTest, GarbageBuffersAreErrors) {
+  EXPECT_FALSE(ExploratoryBatchRequest::Parse({}).ok());
+  EXPECT_FALSE(ExploratoryBatchReply::Parse({}).ok());
+  Bytes junk(64, 0xab);
+  EXPECT_FALSE(ExploratoryBatchRequest::Parse(junk).ok());
+  EXPECT_FALSE(ExploratoryBatchReply::Parse(junk).ok());
+}
+
+// Structurally malformed bodies behind a *valid* frame (magic, version,
+// checksum all correct), so parsing reaches the body validators.
+
+TEST(ExplorationWireTest, HugeUpdateCountIsAnError) {
+  ByteWriter body;
+  body.PutU64(1);
+  body.PutU32(0xffffffffu);  // claims 4G updates in a tiny buffer
+  Bytes wire = FrameExplorationMessage(kBatchRequestMagic, body.bytes());
+  StatusOr<ExploratoryBatchRequest> parsed = ExploratoryBatchRequest::Parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("count"), std::string::npos) << parsed.status();
+}
+
+TEST(ExplorationWireTest, NonUpdateEntryIsAnError) {
+  ByteWriter body;
+  body.PutU64(1);
+  body.PutU32(1);
+  Bytes keepalive = bgp::EncodeKeepalive();
+  body.PutU16(static_cast<uint16_t>(keepalive.size()));
+  body.PutBytes(keepalive);
+  Bytes wire = FrameExplorationMessage(kBatchRequestMagic, body.bytes());
+  StatusOr<ExploratoryBatchRequest> parsed = ExploratoryBatchRequest::Parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("UPDATE"), std::string::npos) << parsed.status();
+}
+
+TEST(ExplorationWireTest, TrailingBytesAreAnError) {
+  ByteWriter body;
+  body.PutU64(1);
+  body.PutU32(0);
+  body.PutU8(0xcc);  // one byte too many
+  Bytes wire = FrameExplorationMessage(kBatchRequestMagic, body.bytes());
+  EXPECT_FALSE(ExploratoryBatchRequest::Parse(wire).ok());
+}
+
+TEST(ExplorationWireTest, ReplyWithBadPrefixLengthIsAnError) {
+  ByteWriter body;
+  body.PutU64(1);
+  body.PutU32(1);
+  body.PutU8(33);  // prefix length > 32
+  body.PutU32(0);
+  body.PutU8(0);
+  body.PutU64(0);
+  body.PutU64(0);
+  body.PutU64(0);
+  body.PutU64(0);
+  Bytes wire = FrameExplorationMessage(kBatchReplyMagic, body.bytes());
+  EXPECT_FALSE(ExploratoryBatchReply::Parse(wire).ok());
+}
+
+TEST(ExplorationWireTest, ReplyWithUnknownFlagBitsIsAnError) {
+  ByteWriter body;
+  body.PutU64(1);
+  body.PutU32(1);
+  bgp::EncodePrefix(body, P("203.0.113.0/24"));
+  body.PutU8(0x80);  // reserved bit set
+  body.PutU64(0);
+  body.PutU64(0);
+  body.PutU64(0);
+  body.PutU64(0);
+  Bytes wire = FrameExplorationMessage(kBatchReplyMagic, body.bytes());
+  StatusOr<ExploratoryBatchReply> parsed = ExploratoryBatchReply::Parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("flag"), std::string::npos) << parsed.status();
+}
+
+// The wire decorator: what comes back has survived serialize -> parse in both
+// directions, and a backend error propagates as a Status.
+class FailingService : public ExplorationService {
+ public:
+  const std::string& domain_name() const override { return name_; }
+  uint64_t TakeCheckpoint(net::SimTime) override { return 1; }
+  StatusOr<ExploratoryBatchReply> ExecuteBatch(const ExploratoryBatchRequest&) override {
+    return InternalError("backend down");
+  }
+
+ private:
+  std::string name_ = "failing";
+};
+
+TEST(ExplorationWireTest, WireServicePropagatesBackendErrors) {
+  WireExplorationService wire(std::make_unique<FailingService>());
+  ExploratoryBatchRequest request;
+  request.checkpoint_epoch = 1;
+  StatusOr<ExploratoryBatchReply> reply = wire.ExecuteBatch(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(wire.rpcs(), 1u);
+  EXPECT_GT(wire.request_bytes(), 0u);
+  EXPECT_EQ(wire.reply_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dice

@@ -104,6 +104,29 @@ TEST(WireTest, PrefixEncodingIsMinimal) {
   EXPECT_EQ(w2.bytes(), (Bytes{25, 203, 0, 113, 128}));
 }
 
+TEST(WireTest, DecodePrefixRoundTripsSingles) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "203.0.113.128/25", "192.0.2.1/32"}) {
+    Prefix prefix = *Prefix::Parse(text);
+    ByteWriter w;
+    EncodePrefix(w, prefix);
+    ByteReader r(w.bytes());
+    auto decoded = DecodePrefix(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, prefix);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(WireTest, DecodePrefixRejectsBadLengthAndTruncation) {
+  Bytes too_long{33, 1, 2, 3, 4, 5};
+  ByteReader r1(too_long);
+  EXPECT_FALSE(DecodePrefix(r1).ok());
+
+  Bytes truncated{24, 203, 0};  // /24 needs three address bytes
+  ByteReader r2(truncated);
+  EXPECT_FALSE(DecodePrefix(r2).ok());
+}
+
 // --- decode error classification ---------------------------------------------
 
 TEST(WireErrorTest, BadMarkerRejected) {

@@ -10,20 +10,29 @@
 //            [--runs=N] [--seed=N] [--seed-prefix=10.1.7.0/24] [--seed-asn=1]
 //            [--anycast=192.175.48.0/24,...] [--peer=<neighbor address>]
 //            [--inject=203.0.113.0/24:64500,...]
+//            [--remote_config=upstream.conf,...] [--remote_batch_size=N]
 //
 // The configuration must contain exactly one router block; the trace (or the
 // synthetic table) is loaded as routes from the *first* configured neighbor
 // unless --peer selects another; exploration then runs on the *last*
 // configured neighbor's session (typically the customer).
+//
+// Federation: each --remote_config file describes a neighbor domain's router
+// (one block; it should configure a neighbor whose AS is this router's AS —
+// that session receives the exploratory routes). Remote domains answer over
+// the batched, wire-serialized ExplorationService narrow interface;
+// --remote_batch_size caps exploratory updates per RPC (default 64, min 1).
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench/common.h"
-#include "src/dice/explorer.h"
+#include "src/dice/distributed.h"
 #include "src/trace/trace.h"
 
 namespace dice {
@@ -43,7 +52,8 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]\n"
                "                [--runs=N] [--seed=N] [--seed-prefix=P] [--seed-asn=A]\n"
-               "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n");
+               "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n"
+               "                [--remote_config=F,...] [--remote_batch_size=N]\n");
 }
 
 // Rejects anything bench::Flags would silently ignore or misread: unknown
@@ -54,11 +64,12 @@ void PrintUsage(std::FILE* out) {
 int ValidateArgs(int argc, char** argv, bool* help_requested) {
   // Every flag takes a value; the numeric ones must parse as unsigned.
   static const std::set<std::string> kKnownFlags = {
-      "config", "trace",     "prefixes", "runs",    "seed",
-      "peer",   "seed-prefix", "seed-asn", "anycast", "inject",
+      "config",  "trace",       "prefixes", "runs",    "seed",
+      "peer",    "seed-prefix", "seed-asn", "anycast", "inject",
+      "remote_config", "remote_batch_size",
   };
   static const std::set<std::string> kUintFlags = {"prefixes", "runs", "seed",
-                                                   "seed-asn"};
+                                                   "seed-asn", "remote_batch_size"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -84,8 +95,72 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
                    key.c_str(), value.c_str());
       return 2;
     }
+    if (key == "remote_batch_size" && *ParseUint64(value) == 0) {
+      std::fprintf(stderr, "error: flag '--remote_batch_size' must be at least 1\n");
+      return 2;
+    }
   }
   return 0;
+}
+
+// Builds one federated remote domain from a config file: its table is loaded
+// synthetically (same generator as the local router), and the session the
+// exploratory routes arrive on is the first configured neighbor whose AS
+// matches the exploring router's — the remote's own import policy for that
+// session decides what it would adopt.
+StatusOr<std::unique_ptr<WireExplorationService>> MakeRemoteDomain(
+    const std::string& path, bgp::AsNumber provider_as, uint64_t seed, uint64_t prefixes) {
+  DICE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  DICE_ASSIGN_OR_RETURN(bgp::RouterConfig config, bgp::ParseSingleRouterConfig(text));
+  if (config.neighbors.empty()) {
+    return InvalidArgumentError(path + ": remote router needs at least one neighbor");
+  }
+  const bgp::NeighborConfig* provider_neighbor = nullptr;
+  for (const bgp::NeighborConfig& neighbor : config.neighbors) {
+    if (neighbor.remote_as == provider_as) {
+      provider_neighbor = &neighbor;
+      break;
+    }
+  }
+  if (provider_neighbor == nullptr) {
+    return InvalidArgumentError(
+        StrFormat("%s: no neighbor with AS %u (the exploring router's AS)", path.c_str(),
+                  static_cast<unsigned>(provider_as)));
+  }
+
+  std::string domain = config.name.empty() ? path : config.name;
+  bgp::Ipv4Address provider_address = provider_neighbor->address;
+  bgp::RouterState state;
+  bgp::NeighborConfig table_neighbor = config.neighbors.front();
+  state.config = std::make_shared<const bgp::RouterConfig>(std::move(config));
+
+  // The remote's table: the same synthetic full dump the local router loads,
+  // learned from its first neighbor.
+  bgp::PeerView table_view;
+  table_view.id = 100;
+  table_view.remote_as = table_neighbor.remote_as;
+  table_view.address = table_neighbor.address;
+  table_view.established = true;
+  bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+  trace::TraceGeneratorOptions gen_options;
+  gen_options.seed = seed;
+  gen_options.prefix_count = prefixes;
+  trace::TraceGenerator generator(gen_options);
+  for (const trace::TraceEvent& ev : generator.FullDump().events) {
+    bgp::ProcessUpdate(state, {table_view}, table_view, table_neighbor, ev.update, discard);
+  }
+
+  // The session the exploring router's messages arrive on.
+  bgp::PeerView provider_view;
+  provider_view.id = 200;
+  provider_view.remote_as = provider_as;
+  provider_view.address = provider_address;
+  provider_view.established = true;
+
+  return std::make_unique<WireExplorationService>(
+      std::make_unique<InProcessExplorationService>(
+          domain, std::move(state), std::vector<bgp::PeerView>{table_view, provider_view},
+          provider_view.id));
 }
 
 int Run(int argc, char** argv) {
@@ -105,6 +180,7 @@ int Run(int argc, char** argv) {
   const uint64_t prefixes = flags.GetUint("prefixes", 10000);
   const uint64_t runs = flags.GetUint("runs", 1000);
   const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t remote_batch_size = flags.GetUint("remote_batch_size", 64);
 
   if (config_path.empty()) {
     PrintUsage(stderr);
@@ -220,7 +296,8 @@ int Run(int argc, char** argv) {
 
   ExplorerOptions options;
   options.concolic.max_runs = runs;
-  Explorer explorer(options);
+  DistributedExplorer explorer(options);
+  explorer.set_remote_batch_size(remote_batch_size);
   auto checker = std::make_unique<HijackChecker>();
   for (const std::string& p : Split(flags.GetString("anycast", ""), ',')) {
     auto prefix = bgp::Prefix::Parse(p);
@@ -230,6 +307,26 @@ int Run(int argc, char** argv) {
     }
   }
   explorer.AddChecker(std::move(checker));
+
+  // Federated remote domains, each behind the wire-serialized narrow
+  // interface (counters below report what crossing the boundary cost).
+  std::vector<const WireExplorationService*> wires;
+  for (const std::string& remote_path : Split(flags.GetString("remote_config", ""), ',')) {
+    if (remote_path.empty()) {
+      continue;
+    }
+    auto service = MakeRemoteDomain(remote_path, config.local_as, seed, prefixes);
+    if (!service.ok()) {
+      std::fprintf(stderr, "remote error: %s\n", service.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("federated remote domain: %s (batch size %llu)\n",
+                (*service)->domain_name().c_str(),
+                static_cast<unsigned long long>(remote_batch_size));
+    wires.push_back(service->get());
+    explorer.AddRemoteService(std::move(*service));
+  }
+
   explorer.TakeCheckpoint(state, {table_view, explore_view}, 0);
 
   bgp::UpdateMessage seed_update;
@@ -248,14 +345,49 @@ int Run(int argc, char** argv) {
               seed_update.nlri[0].ToString().c_str(), static_cast<unsigned long long>(runs));
   bench::Stopwatch timer;
   explorer.ExploreSeed(seed_update, explore_view.id);
-  std::printf("done in %.2fs: %s\n\n", timer.Seconds(), explorer.report().Summary().c_str());
+  std::printf("done in %.2fs: %s\n", timer.Seconds(), explorer.local_report().Summary().c_str());
 
-  if (explorer.report().detections.empty()) {
+  // What crossing the federation boundary cost, when remote domains are
+  // registered: RPC counts and the wire bytes that actually moved.
+  if (explorer.remote_count() > 0) {
+    const RemoteBatchStats& rpc = explorer.remote_stats();
+    uint64_t request_bytes = 0;
+    uint64_t reply_bytes = 0;
+    for (const WireExplorationService* wire : wires) {
+      request_bytes += wire->request_bytes();
+      reply_bytes += wire->reply_bytes();
+    }
+    std::printf("federation: %zu domain(s), %llu batch(es) of <=%llu updates, "
+                "%llu updates sent, %llu replies, %llu errors; wire bytes %llu out / %llu in; "
+                "remote clones avoided %llu, materialized %llu, screen cache hits %llu\n",
+                explorer.remote_count(), static_cast<unsigned long long>(rpc.batches_sent),
+                static_cast<unsigned long long>(remote_batch_size),
+                static_cast<unsigned long long>(rpc.updates_sent),
+                static_cast<unsigned long long>(rpc.replies_received),
+                static_cast<unsigned long long>(rpc.batch_errors),
+                static_cast<unsigned long long>(request_bytes),
+                static_cast<unsigned long long>(reply_bytes),
+                static_cast<unsigned long long>(rpc.counters.clones_avoided),
+                static_cast<unsigned long long>(rpc.counters.clones_materialized),
+                static_cast<unsigned long long>(rpc.counters.screen_cache_hits));
+    for (const SystemWideDetection& sw : explorer.system_wide()) {
+      std::string domains;
+      for (const std::string& d : sw.adopting_domains) {
+        domains += " " + d;
+      }
+      std::printf("SYSTEM-WIDE %s — adopted by:%s (spread %llu)\n",
+                  sw.local.ToString().c_str(), domains.c_str(),
+                  static_cast<unsigned long long>(sw.total_spread));
+    }
+  }
+  std::printf("\n");
+
+  if (explorer.local_report().detections.empty()) {
     std::printf("no potential route leaks found within budget.\n");
     return 0;
   }
   std::set<std::string> ranges;
-  for (const Detection& d : explorer.report().detections) {
+  for (const Detection& d : explorer.local_report().detections) {
     ranges.insert(d.victim.has_value() ? d.victim->ToString() : d.prefix.ToString());
   }
   std::printf("POTENTIAL ROUTE LEAKS — this session can override %zu prefix range(s):\n",
@@ -264,7 +396,7 @@ int Run(int argc, char** argv) {
     std::printf("  %s\n", r.c_str());
   }
   std::printf("\nfirst triggering input: %s\n",
-              explorer.report().detections[0].input.ToString().c_str());
+              explorer.local_report().detections[0].input.ToString().c_str());
   std::printf("fix the import policy for %s before a live announcement does this.\n",
               explore_neighbor->address.ToString().c_str());
   return 3;  // findings present
