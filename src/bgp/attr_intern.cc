@@ -1,5 +1,7 @@
 #include "src/bgp/attr_intern.h"
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -15,7 +17,10 @@ inline uint64_t Mix(uint64_t h, uint64_t v) {
 
 // The table keys entries by a pointer to the interned value plus its
 // precomputed hash; lookups probe with a pointer to the candidate value, so
-// equality dereferences both sides.
+// equality dereferences both sides. Any entry present in a shard has its key
+// object still allocated: the deleter erases the entry (under the shard
+// mutex) *before* freeing the node, so a concurrent probe never dereferences
+// freed memory.
 struct Key {
   const PathAttributes* attrs;
   uint64_t hash;
@@ -29,59 +34,86 @@ struct KeyHash {
 
 using Table = std::unordered_map<Key, std::weak_ptr<const PathAttributes>, KeyHash>;
 
-Table& InternTable() {
-  static Table* t = new Table();  // intentionally leaked: see header comment
-  return *t;
+// Lock-striped shards (hash -> shard, one mutex each), mirroring the
+// sym::Expr table: interning the same attribute set from two threads
+// serializes on the shard mutex, so both get the same node and pointer
+// identity is preserved. Hit/miss tallies are atomics so concurrent
+// interning does not tear them.
+constexpr size_t kShards = 16;
+
+struct Shard {
+  std::mutex mu;
+  Table table;
+};
+
+Shard* Shards() {
+  static Shard* s = new Shard[kShards];  // intentionally leaked: see header comment
+  return s;
 }
 
-AttrInternStats& MutableStats() {
-  static AttrInternStats stats;
-  return stats;
+Shard& ShardFor(uint64_t hash) { return Shards()[hash % kShards]; }
+
+std::atomic<uint64_t>& HitCount() {
+  static std::atomic<uint64_t> n{0};
+  return n;
+}
+
+std::atomic<uint64_t>& MissCount() {
+  static std::atomic<uint64_t> n{0};
+  return n;
 }
 
 // shared_ptr deleter: a dying node erases its own entry, so the table tracks
 // exactly the live attribute sets. The hash is recomputed here (death of a
-// distinct attribute set is far rarer than interning one).
+// distinct attribute set is far rarer than interning one). If another thread
+// already replaced the expired entry with a live node, leave it alone.
 void EraseAndDelete(const PathAttributes* attrs) {
-  InternTable().erase(Key{attrs, HashAttrs(*attrs)});
+  const uint64_t hash = HashAttrs(*attrs);
+  Shard& shard = ShardFor(hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(Key{attrs, hash});
+    if (it != shard.table.end() && it->second.expired()) {
+      shard.table.erase(it);
+    }
+  }
   delete attrs;
 }
 
-// Looks up `attrs`; nullptr on miss. A hit is allocation-free.
-std::shared_ptr<const PathAttributes> Find(const PathAttributes& attrs, uint64_t hash) {
-  Table& table = InternTable();
-  auto it = table.find(Key{&attrs, hash});
-  if (it == table.end()) {
-    return nullptr;
+// One interning pass under the shard lock: probe, and on miss (or on an
+// expired entry whose node died on another thread) insert a node built by
+// `make`. The expired entry must be erased — not overwritten — because its
+// key points into the dying node's memory.
+template <typename MakeNode>
+std::shared_ptr<const PathAttributes> FindOrInsert(const PathAttributes& probe, uint64_t hash,
+                                                   MakeNode make) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(Key{&probe, hash});
+  if (it != shard.table.end()) {
+    if (auto hit = it->second.lock()) {
+      HitCount().fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+    shard.table.erase(it);
   }
-  // Expiry cannot race the deleter single-threaded: the deleter erases the
-  // entry synchronously, so a present entry is always lockable.
-  ++MutableStats().hits;
-  return it->second.lock();
-}
-
-std::shared_ptr<const PathAttributes> Insert(PathAttributes&& attrs, uint64_t hash) {
-  ++MutableStats().misses;
-  auto* node = new PathAttributes(std::move(attrs));
+  MissCount().fetch_add(1, std::memory_order_relaxed);
+  const PathAttributes* node = make();
   std::shared_ptr<const PathAttributes> shared(node, &EraseAndDelete);
-  InternTable().emplace(Key{node, hash}, shared);
+  shard.table.emplace(Key{node, hash}, shared);
   return shared;
 }
 
 std::shared_ptr<const PathAttributes> Intern(PathAttributes&& attrs) {
   const uint64_t hash = HashAttrs(attrs);
-  if (auto hit = Find(attrs, hash)) {
-    return hit;
-  }
-  return Insert(std::move(attrs), hash);
+  return FindOrInsert(attrs, hash,
+                      [&attrs] { return new PathAttributes(std::move(attrs)); });
 }
 
 std::shared_ptr<const PathAttributes> Intern(const PathAttributes& attrs) {
   const uint64_t hash = HashAttrs(attrs);
-  if (auto hit = Find(attrs, hash)) {
-    return hit;
-  }
-  return Insert(PathAttributes(attrs), hash);  // deep copy only on first sighting
+  // Deep copy only on first sighting.
+  return FindOrInsert(attrs, hash, [&attrs] { return new PathAttributes(attrs); });
 }
 
 const std::shared_ptr<const PathAttributes>& EmptyAttrs() {
@@ -144,8 +176,14 @@ InternedAttrs::InternedAttrs(const PathAttributes& attrs) : ptr_(Intern(attrs)) 
 InternedAttrs::InternedAttrs(PathAttributes&& attrs) : ptr_(Intern(std::move(attrs))) {}
 
 AttrInternStats AttrInternTableStats() {
-  AttrInternStats stats = MutableStats();
-  stats.live_entries = InternTable().size();
+  AttrInternStats stats;
+  stats.hits = HitCount().load(std::memory_order_relaxed);
+  stats.misses = MissCount().load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& shard = Shards()[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.live_entries += shard.table.size();
+  }
   return stats;
 }
 

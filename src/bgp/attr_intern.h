@@ -11,10 +11,11 @@
 // stored once.
 //
 // Entries hold weak_ptrs; a node's shared_ptr deleter erases its table entry,
-// so the table tracks exactly the live attribute sets. Single-threaded by
-// design, like the Expr table (one exploration per process); the table is
-// heap-allocated and never destroyed so statically stored handles can outlive
-// it safely.
+// so the table tracks exactly the live attribute sets. Thread-safe, like the
+// Expr table: the table is split into lock-striped shards (hash -> shard, one
+// mutex each), so concurrent interning from solver worker threads preserves
+// pointer identity. The table is heap-allocated and never destroyed so
+// statically stored handles can outlive it safely.
 
 #ifndef SRC_BGP_ATTR_INTERN_H_
 #define SRC_BGP_ATTR_INTERN_H_

@@ -24,6 +24,15 @@ std::string ExplorationReport::Summary() const {
                    static_cast<unsigned long long>(concolic.solver_cache_hits),
                    static_cast<unsigned long long>(concolic.solver_cache_misses),
                    static_cast<unsigned long long>(concolic.solver_atoms_sliced));
+  if (concolic.solver_workers > 0) {
+    out += StrFormat(" workers=%llu solve_tasks=%llu shard_hits=",
+                     static_cast<unsigned long long>(concolic.solver_workers),
+                     static_cast<unsigned long long>(concolic.solver_tasks_dispatched));
+    for (size_t i = 0; i < concolic.solver_cache_shard_hits.size(); ++i) {
+      out += StrFormat(i == 0 ? "%llu" : ",%llu",
+                       static_cast<unsigned long long>(concolic.solver_cache_shard_hits[i]));
+    }
+  }
   if (first_detection_run.has_value()) {
     out += StrFormat(" first_detection_run=%llu",
                      static_cast<unsigned long long>(*first_detection_run));
@@ -32,7 +41,17 @@ std::string ExplorationReport::Summary() const {
 }
 
 Explorer::Explorer(ExplorerOptions options)
-    : options_(std::move(options)), solver_(options_.concolic.solver) {}
+    : options_(std::move(options)), solver_(options_.concolic.solver) {
+  if (options_.solver_workers > 0) {
+    options_.concolic.solver_workers = options_.solver_workers;
+  }
+  // Don't spawn threads a driver would decline (randomized strategy or
+  // cross-query model reuse — both keep the serial solve path).
+  if (options_.concolic.solver_workers > 0 &&
+      sym::ConcolicDriver::SolvingIsBatchable(options_.concolic)) {
+    solver_pool_ = std::make_unique<util::WorkerPool>(options_.concolic.solver_workers);
+  }
+}
 
 namespace {
 
@@ -153,7 +172,8 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
 
 void Explorer::StartExploration(const bgp::UpdateMessage& seed, bgp::PeerId from) {
   solver_stats_base_ = solver_.stats();
-  driver_ = std::make_unique<sym::ConcolicDriver>(options_.concolic, &solver_);
+  driver_ = std::make_unique<sym::ConcolicDriver>(options_.concolic, &solver_,
+                                                  solver_pool_.get());
   driver_->StartIncremental(MakeProgram(seed, from));
   report_.concolic = driver_->stats();
   report_.solver = SubtractStats(driver_->solver_stats(), solver_stats_base_);

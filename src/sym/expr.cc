@@ -1,6 +1,8 @@
 #include "src/sym/expr.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -39,9 +41,23 @@ bool Expr::IsBool() const { return bits_ == 1; }
 // One per-process table interns every node; children are themselves interned,
 // so a node's identity is (op, bits, imm, lhs pointer, rhs pointer). Entries
 // hold weak_ptrs and a node's shared_ptr deleter erases its entry, so the
-// table tracks exactly the live nodes. Single-threaded by design (the engine
-// runs one exploration per process); the table is heap-allocated and never
+// table tracks exactly the live nodes. The table is heap-allocated and never
 // destroyed so that statically stored ExprPtrs can outlive it safely.
+//
+// Thread safety (parallel candidate solving dispatches solves — which intern
+// through Expr::Negate — onto a worker pool): the table is split into
+// lock-striped shards keyed by the structural hash of the node identity, one
+// mutex per shard. Interning the same key from two threads serializes on the
+// shard mutex, so both get the same node — pointer identity is preserved.
+// Node ids come from one atomic counter: unique and stable, though the
+// *order* ids are handed out in depends on thread interleaving; nothing
+// result-bearing depends on id order (cache keys are sorted id *sets*).
+//
+// Deleter race: a node's refcount can hit zero on one thread while another
+// thread's Intern finds its (now expired) entry. The finder treats an
+// unlockable entry as a miss and replaces it; the straggling deleter only
+// erases an entry that is still expired, so it never removes the
+// replacement.
 
 struct ExprInternAccess {
   struct Key {
@@ -70,13 +86,24 @@ struct ExprInternAccess {
 
   using Table = std::unordered_map<Key, std::weak_ptr<const Expr>, KeyHash>;
 
-  static Table& table() {
-    static Table* t = new Table();  // intentionally leaked: see header comment
-    return *t;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    Table table;
+  };
+
+  static Shard* shards() {
+    static Shard* s = new Shard[kShards];  // intentionally leaked: see above
+    return s;
   }
 
-  static uint64_t& next_id() {
-    static uint64_t id = 1;
+  static Shard& ShardFor(const Key& key) {
+    return shards()[KeyHash{}(key) % kShards];
+  }
+
+  static std::atomic<uint64_t>& next_id() {
+    static std::atomic<uint64_t> id{1};
     return id;
   }
 
@@ -85,24 +112,48 @@ struct ExprInternAccess {
   }
 
   static void Erase(const Expr* e) {
-    table().erase(KeyOf(*e));
+    Key key = KeyOf(*e);
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.table.find(key);
+      // A live entry under this key is a replacement interned after our
+      // refcount hit zero — leave it alone.
+      if (it != shard.table.end() && it->second.expired()) {
+        shard.table.erase(it);
+      }
+    }
+    // Deleting outside the lock: the destructor drops child references,
+    // which can cascade into Erase on this or another shard.
     delete e;
   }
 };
 
-size_t Expr::InternTableSize() { return ExprInternAccess::table().size(); }
+size_t Expr::InternTableSize() {
+  size_t n = 0;
+  for (size_t i = 0; i < ExprInternAccess::kShards; ++i) {
+    ExprInternAccess::Shard& shard = ExprInternAccess::shards()[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.table.size();
+  }
+  return n;
+}
 
 ExprPtr Expr::Intern(Op op, uint8_t bits, uint64_t imm, ExprPtr lhs, ExprPtr rhs) {
-  ExprInternAccess::Table& table = ExprInternAccess::table();
   ExprInternAccess::Key key{op, bits, imm, lhs.get(), rhs.get()};
-  auto it = table.find(key);
-  if (it != table.end()) {
-    // Expiry cannot race the deleter single-threaded: the deleter erases the
-    // entry synchronously, so a present entry is always lockable.
-    return it->second.lock();
+  ExprInternAccess::Shard& shard = ExprInternAccess::ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it != shard.table.end()) {
+    if (ExprPtr existing = it->second.lock()) {
+      return existing;
+    }
+    // Expired: the node died on another thread but its deleter has not
+    // erased the entry yet. Take its place; the deleter skips live entries.
+    shard.table.erase(it);
   }
   Expr* node = new Expr(op, bits, imm, std::move(lhs), std::move(rhs));
-  node->id_ = ExprInternAccess::next_id()++;
+  node->id_ = ExprInternAccess::next_id().fetch_add(1, std::memory_order_relaxed);
   uint64_t h = 0x2545f4914f6cdd1dULL;
   h = HashCombine(h, static_cast<uint64_t>(op));
   h = HashCombine(h, bits);
@@ -124,7 +175,7 @@ ExprPtr Expr::Intern(Op op, uint8_t bits, uint64_t imm, ExprPtr lhs, ExprPtr rhs
     node->vars_ = node->lhs_->vars_;
   }
   ExprPtr shared(node, [](const Expr* e) { ExprInternAccess::Erase(e); });
-  table.emplace(key, shared);
+  shard.table.emplace(key, shared);
   return shared;
 }
 

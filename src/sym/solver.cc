@@ -345,7 +345,141 @@ SliceResult SliceConstraints(const std::vector<ExprPtr>& constraints,
 
 }  // namespace solver_internal
 
-Solver::Solver(SolverOptions options) : options_(options), rng_(options.seed) {}
+namespace {
+
+// Fingerprint of the variable universe (ids, widths, domain bounds): cached
+// verdicts and reuse models are only sound for the domains they were
+// computed under.
+uint64_t VarsFingerprint(const std::vector<VarInfo>& vars) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const VarInfo& v : vars) {
+    h = HashCombine(h, v.id);
+    h = HashCombine(h, v.bits);
+    h = HashCombine(h, v.lo);
+    h = HashCombine(h, v.hi);
+  }
+  return h;
+}
+
+}  // namespace
+
+// --- QueryCache --------------------------------------------------------------
+
+QueryCache::QueryCache(size_t max_entries, size_t max_cores, size_t shards)
+    : max_entries_per_shard_(std::max<size_t>(1, max_entries / std::max<size_t>(1, shards))),
+      max_cores_(max_cores) {
+  shards_.reserve(std::max<size_t>(1, shards));
+  for (size_t i = 0; i < std::max<size_t>(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t QueryCache::ResetIfVarsChanged(const std::vector<VarInfo>& vars) {
+  const uint64_t h = VarsFingerprint(vars);
+  if (vars_fingerprint_.load(std::memory_order_acquire) == h) {
+    return h;  // steady state: no lock
+  }
+  std::lock_guard<std::mutex> fingerprint_lock(fingerprint_mu_);
+  if (vars_fingerprint_.load(std::memory_order_relaxed) == h) {
+    return h;  // another thread just did this reset
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+  {
+    std::unique_lock<std::shared_mutex> cores_lock(cores_mu_);
+    cores_.clear();
+  }
+  // Publish only after the clear, so a fast-path match can never observe
+  // entries from the previous universe.
+  vars_fingerprint_.store(h, std::memory_order_release);
+  return h;
+}
+
+bool QueryCache::MatchesUnsatCore(const QueryKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(cores_mu_);
+  for (const Core& core : cores_) {
+    if (core.key.size() <= key.size() &&
+        std::includes(key.begin(), key.end(), core.key.begin(), core.key.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void QueryCache::Store(QueryKey key, Entry entry) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.entries.size() >= max_entries_per_shard_) {
+    shard.entries.clear();
+  }
+  shard.entries.insert_or_assign(std::move(key), std::move(entry));
+}
+
+void QueryCache::PublishCores(std::vector<Core> cores) {
+  if (cores.empty()) {
+    return;
+  }
+  std::unique_lock<std::shared_mutex> lock(cores_mu_);
+  for (Core& core : cores) {
+    bool duplicate = false;
+    for (const Core& existing : cores_) {
+      if (existing.key == core.key) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    cores_.push_back(std::move(core));
+    if (cores_.size() > max_cores_) {
+      cores_.pop_front();
+    }
+  }
+}
+
+std::vector<uint64_t> QueryCache::ShardHits() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    out.push_back(shard->hits.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+// --- Solver ------------------------------------------------------------------
+
+Solver::Solver(SolverOptions options)
+    : options_(options),
+      rng_(options.seed),
+      cache_(std::make_shared<QueryCache>(options.max_cache_entries, options.max_unsat_cores)) {}
+
+Solver::Solver(const SolverOptions& options, std::shared_ptr<QueryCache> cache)
+    : options_(options), rng_(options.seed), deterministic_only_(true),
+      cache_(std::move(cache)) {}
+
+std::vector<QueryCache::Core> Solver::TakeLearnedCores() {
+  std::vector<QueryCache::Core> out;
+  out.swap(pending_cores_);
+  return out;
+}
+
+void Solver::AbsorbStats(const SolverStats& s) {
+  stats_.queries += s.queries;
+  stats_.sat += s.sat;
+  stats_.unsat += s.unsat;
+  stats_.unknown += s.unknown;
+  stats_.fallback_used += s.fallback_used;
+  stats_.atoms_linearized += s.atoms_linearized;
+  stats_.atoms_nonlinear += s.atoms_nonlinear;
+  stats_.atoms_sliced += s.atoms_sliced;
+  stats_.cache_hits += s.cache_hits;
+  stats_.cache_misses += s.cache_misses;
+  stats_.cache_unsat_shortcuts += s.cache_unsat_shortcuts;
+  stats_.cache_model_reuses += s.cache_model_reuses;
+}
 
 namespace {
 
@@ -632,6 +766,14 @@ SolveResult Solver::SolveCore(const std::vector<ExprPtr>& query, const std::vect
       }
       if (list.empty()) {
         // Domain may be non-empty but all candidates excluded; sample a few.
+        if (deterministic_only_) {
+          // Worker-view solver: abort instead of drawing randomness. The
+          // driver replays this query on its serial solver, whose rng stream
+          // then advances exactly as the serial engine's would.
+          rng_needed_ = true;
+          core_used_rng_ = true;
+          return false;  // stop the whole expansion; result stays kUnknown
+        }
         core_used_rng_ = true;
         const Interval& d = domains[var];
         for (int k = 0; k < 8 && list.size() < 4; ++k) {
@@ -735,6 +877,12 @@ SolveResult Solver::SolveCore(const std::vector<ExprPtr>& query, const std::vect
   // Single stochastic fallback over one representative unresolved atom set
   // (hill climbing on the number of satisfied atoms; the last resort for
   // non-linear leftovers).
+  if (!found && have_fallback_set && !fallback_order.empty() && deterministic_only_) {
+    // The stochastic fallback draws randomness; flag for serial replay.
+    rng_needed_ = true;
+    core_used_rng_ = true;
+    have_fallback_set = false;
+  }
   if (!found && have_fallback_set && !fallback_order.empty()) {
     ++stats_.fallback_used;
     core_used_rng_ = true;
@@ -797,7 +945,8 @@ SolveResult Solver::SolveCore(const std::vector<ExprPtr>& query, const std::vect
 }
 
 void Solver::LearnUnsatCores(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
-                             const std::vector<uint64_t>& base_dense) {
+                             const std::vector<uint64_t>& base_dense,
+                             std::vector<QueryCache::Core>& out) {
   constexpr size_t kMaxQueryForLearning = 128;
   if (query.size() > kMaxQueryForLearning || query.empty()) {
     return;
@@ -816,15 +965,12 @@ void Solver::LearnUnsatCores(const std::vector<ExprPtr>& query, const std::vecto
   }
   auto add_core = [&](QueryKey core_key, std::vector<ExprPtr> owners) {
     std::sort(core_key.begin(), core_key.end());
-    for (const UnsatCore& existing : unsat_cores_) {
+    for (const QueryCache::Core& existing : out) {
       if (existing.key == core_key) {
         return;
       }
     }
-    unsat_cores_.push_back(UnsatCore{std::move(core_key), std::move(owners)});
-    if (unsat_cores_.size() > options_.max_unsat_cores) {
-      unsat_cores_.pop_front();
-    }
+    out.push_back(QueryCache::Core{std::move(core_key), std::move(owners)});
   };
   for (size_t v_idx : violated) {
     const ExprPtr& v = query[v_idx];
@@ -844,25 +990,10 @@ void Solver::LearnUnsatCores(const std::vector<ExprPtr>& query, const std::vecto
   }
 }
 
-void Solver::ResetCacheIfVarsChanged(const std::vector<VarInfo>& vars) {
-  uint64_t h = 0x2545f4914f6cdd1dULL;
-  for (const VarInfo& v : vars) {
-    h = HashCombine(h, v.id);
-    h = HashCombine(h, v.bits);
-    h = HashCombine(h, v.lo);
-    h = HashCombine(h, v.hi);
-  }
-  if (h != vars_fingerprint_) {
-    vars_fingerprint_ = h;
-    cache_.clear();
-    unsat_cores_.clear();
-    reuse_models_.clear();
-  }
-}
-
 SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
                           const std::vector<VarInfo>& vars, const Assignment& hint) {
   ++stats_.queries;
+  rng_needed_ = false;
   SolveResult result;
 
   // Base assignment: hint completed with seeds, in dense VarId-indexed form —
@@ -922,7 +1053,10 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
   // Cross-run query cache over the canonicalized (sorted interned-id) slice.
   QueryKey key;
   if (options_.enable_cache) {
-    ResetCacheIfVarsChanged(vars);
+    if (uint64_t fp = cache_->ResetIfVarsChanged(vars); fp != vars_fingerprint_) {
+      vars_fingerprint_ = fp;
+      reuse_models_.clear();
+    }
     key.reserve(query->size());
     for (const ExprPtr& c : *query) {
       key.push_back(c->id());
@@ -931,7 +1065,7 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     key.erase(std::unique(key.begin(), key.end()), key.end());
 
     std::vector<uint64_t> scratch;
-    auto serve_sat = [&](const CacheEntry& entry) -> bool {
+    auto serve_sat = [&](const QueryCache::Entry& entry) -> bool {
       scratch = base_dense;
       for (const auto& [var, value] : entry.model) {
         if (var < scratch.size()) {
@@ -946,7 +1080,7 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
       result.model = to_assignment(scratch);
       return true;
     };
-    auto same_hint = [&](const CacheEntry& entry) {
+    auto same_hint = [&](const QueryCache::Entry& entry) {
       for (const auto& [var, value] : entry.hint) {
         if (var >= base_dense.size() || base_dense[var] != value) {
           return false;
@@ -955,54 +1089,59 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
       return true;
     };
 
-    if (auto it = cache_.find(key); it != cache_.end()) {
-      if (it->second.kind == SolveKind::kUnsat) {
+    // Validation runs in place under the shard's shared lock (the visitor
+    // only reads the entry and writes this solver's locals) — a hit costs no
+    // Entry copy. The promotion/Store below happens outside the visitor, so
+    // the shard lock is never held recursively.
+    bool served = false;
+    const bool found = cache_->Lookup(key, [&](const QueryCache::Entry& entry) {
+      if (entry.kind == SolveKind::kUnsat) {
         ++stats_.cache_hits;
         ++stats_.unsat;
         result.kind = SolveKind::kUnsat;
-        return result;
+        served = true;
+        return;
       }
       // SAT and budget-exhausted verdicts are served only when the anchoring
       // hint matches on the query's support (and the original solve drew no
       // randomness — enforced at store time): under those conditions the
       // cached verdict replays a fresh solve bit-for-bit.
-      if (same_hint(it->second)) {
-        if (it->second.kind == SolveKind::kUnknown) {
+      if (same_hint(entry)) {
+        if (entry.kind == SolveKind::kUnknown) {
           ++stats_.cache_hits;
           ++stats_.unknown;
           result.kind = SolveKind::kUnknown;
-          return result;
+          served = true;
+          return;
         }
-        if (serve_sat(it->second)) {
+        if (serve_sat(entry)) {
           ++stats_.cache_hits;
-          return result;
+          served = true;
         }
       }
-    } else {
+    });
+    if (served) {
+      return result;
+    }
+    if (!found) {
       // Any superset of a proven-UNSAT constraint set is UNSAT.
-      for (const UnsatCore& core : unsat_cores_) {
-        if (core.key.size() <= key.size() &&
-            std::includes(key.begin(), key.end(), core.key.begin(), core.key.end())) {
-          ++stats_.cache_hits;
-          ++stats_.cache_unsat_shortcuts;
-          ++stats_.unsat;
-          result.kind = SolveKind::kUnsat;
-          // Promote to an exact entry so repeats of this query skip the
-          // linear core scan.
-          if (cache_.size() >= options_.max_cache_entries) {
-            cache_.clear();
-          }
-          CacheEntry promoted;
-          promoted.kind = SolveKind::kUnsat;
-          promoted.constraints = *query;
-          cache_.emplace(std::move(key), std::move(promoted));
-          return result;
-        }
+      if (cache_->MatchesUnsatCore(key)) {
+        ++stats_.cache_hits;
+        ++stats_.cache_unsat_shortcuts;
+        ++stats_.unsat;
+        result.kind = SolveKind::kUnsat;
+        // Promote to an exact entry so repeats of this query skip the
+        // linear core scan.
+        QueryCache::Entry promoted;
+        promoted.kind = SolveKind::kUnsat;
+        promoted.constraints = *query;
+        cache_->Store(std::move(key), std::move(promoted));
+        return result;
       }
       // Opt-in model reuse: a recent SAT model satisfying this query answers
       // it (sound but not trajectory-preserving; see SolverOptions).
       if (options_.enable_model_reuse) {
-        for (const CacheEntry& entry : reuse_models_) {
+        for (const QueryCache::Entry& entry : reuse_models_) {
           if (serve_sat(entry)) {
             ++stats_.cache_hits;
             ++stats_.cache_model_reuses;
@@ -1037,13 +1176,12 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
 
   // SAT and UNKNOWN verdicts are replayable (and thus cacheable) only when
   // the solve drew no randomness; UNSAT is hint- and rng-independent because
-  // it is proven by interval refutation, not search.
+  // it is proven by interval refutation, not search. A worker-view solve
+  // that aborted for randomness (rng_needed_) produced no verdict at all and
+  // must not be cached either — core_used_rng_ covers that case too.
   const bool cacheable = result.kind == SolveKind::kUnsat || !core_used_rng_;
   if (options_.enable_cache && cacheable) {
-    if (cache_.size() >= options_.max_cache_entries) {
-      cache_.clear();
-    }
-    CacheEntry entry;
+    QueryCache::Entry entry;
     entry.kind = result.kind;
     entry.constraints = *query;
     if (result.kind != SolveKind::kUnsat) {
@@ -1070,13 +1208,23 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
         }
       }
     } else if (result.kind == SolveKind::kUnsat) {
-      unsat_cores_.push_back(UnsatCore{key, *query});
-      if (unsat_cores_.size() > options_.max_unsat_cores) {
-        unsat_cores_.pop_front();
+      // The full query is itself a proven-UNSAT core; the learner then tries
+      // to shrink it to reusable 1-2 atom cores. A serial solver publishes
+      // straight to the (shared) cache; a worker-view solver defers to
+      // pending_cores_ so the driver can merge at the batch boundary in
+      // deterministic candidate order.
+      std::vector<QueryCache::Core> learned;
+      learned.push_back(QueryCache::Core{key, *query});
+      LearnUnsatCores(*query, vars, base_dense, learned);
+      if (deterministic_only_) {
+        for (QueryCache::Core& core : learned) {
+          pending_cores_.push_back(std::move(core));
+        }
+      } else {
+        cache_->PublishCores(std::move(learned));
       }
-      LearnUnsatCores(*query, vars, base_dense);
     }
-    cache_.insert_or_assign(std::move(key), std::move(entry));
+    cache_->Store(std::move(key), std::move(entry));
   }
 
   switch (result.kind) {

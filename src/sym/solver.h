@@ -27,9 +27,13 @@
 #ifndef SRC_SYM_SOLVER_H_
 #define SRC_SYM_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -103,24 +107,29 @@ struct SolverStats {
   uint64_t cache_model_reuses = 0;    // served by re-validating a cached model
 };
 
-class Solver {
+// Sorted, deduplicated interned-expression ids — the canonical form of a
+// conjunction used as cache key and UNSAT core.
+using QueryKey = std::vector<uint64_t>;
+
+// The cross-run query cache, extracted from the Solver so many solvers can
+// share one: the parallel candidate-solving path gives every worker task a
+// lightweight Solver view onto the long-lived Explorer solver's cache.
+//
+// Thread safety: entries live in lock-striped shards (key hash -> shard),
+// each behind a read-mostly std::shared_mutex — lookups take the shared
+// lock, stores the exclusive one. The UNSAT-core list has its own
+// shared_mutex (scans are reads, merges are rare writes). Per-shard hit
+// counters are atomics, surfaced through ShardHits() into ConcolicStats.
+//
+// The determinism contract that makes sharing sound (see SolverOptions): a
+// cache-served verdict always equals what a fresh solve of the same query
+// under the same hint would return — entries are validated at serve time —
+// so the driver-visible outcome of a solve does not depend on which entries
+// happen to be present. Concurrent writers can interleave freely; the only
+// timing-dependent observables are the hit/miss tallies.
+class QueryCache {
  public:
-  explicit Solver(SolverOptions options = {});
-
-  // Solves the conjunction of `constraints` over `vars` (domain bounds come
-  // from VarInfo::lo/hi). `hint` biases the search toward a known-good
-  // neighbourhood — concolic drivers pass the assignment of the parent run.
-  SolveResult Solve(const std::vector<ExprPtr>& constraints, const std::vector<VarInfo>& vars,
-                    const Assignment& hint);
-
-  const SolverStats& stats() const { return stats_; }
-
- private:
-  // Sorted, deduplicated interned-expression ids — the canonical form of a
-  // conjunction used as cache key and UNSAT core.
-  using QueryKey = std::vector<uint64_t>;
-
-  struct CacheEntry {
+  struct Entry {
     SolveKind kind = SolveKind::kUnknown;
     // For kSat: the model restricted to the query's variable support.
     Assignment model;
@@ -134,11 +143,54 @@ class Solver {
 
   // A proven-UNSAT constraint-id set; any superset query is UNSAT. `owners`
   // keeps the expressions alive so the interned ids stay matchable.
-  struct UnsatCore {
+  struct Core {
     QueryKey key;
     std::vector<ExprPtr> owners;
   };
 
+  QueryCache(size_t max_entries, size_t max_cores, size_t shards = kDefaultShards);
+
+  // Drops all cached state when the variable universe changes (ids, widths,
+  // or domain bounds) — cached verdicts are only sound for the domains they
+  // were computed under. Returns the universe fingerprint so callers can
+  // guard their own per-solver state without rehashing; the unchanged case
+  // is a lock-free atomic load (the steady state under concurrent workers).
+  uint64_t ResetIfVarsChanged(const std::vector<VarInfo>& vars);
+
+  // Invokes `fn(const Entry&)` under the owning shard's shared lock and
+  // returns true iff `key` was present (bumping the shard's hit counter).
+  // Validation runs in place — no per-hit Entry copy. `fn` must not call
+  // back into this cache (the shard lock is held).
+  template <typename Fn>
+  bool Lookup(const QueryKey& key, Fn&& fn) {
+    Shard& shard = ShardFor(key);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      return false;
+    }
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    fn(it->second);
+    return true;
+  }
+
+  // True iff `key` (sorted) is a superset of some proven-UNSAT core.
+  bool MatchesUnsatCore(const QueryKey& key) const;
+
+  void Store(QueryKey key, Entry entry);
+
+  // Appends proven cores (deduplicated by key, FIFO-capped). The parallel
+  // driver calls this at batch boundaries, in candidate order, with the
+  // cores its workers learned; the serial solver calls it directly.
+  void PublishCores(std::vector<Core> cores);
+
+  size_t shard_count() const { return shards_.size(); }
+  // Lifetime per-shard lookup hits (Lookup calls that found an entry).
+  std::vector<uint64_t> ShardHits() const;
+
+  static constexpr size_t kDefaultShards = 8;
+
+ private:
   struct QueryKeyHash {
     size_t operator()(const QueryKey& k) const {
       uint64_t h = 0x2545f4914f6cdd1dULL;
@@ -149,25 +201,82 @@ class Solver {
     }
   };
 
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<QueryKey, Entry, QueryKeyHash> entries;
+    std::atomic<uint64_t> hits{0};
+  };
+
+  Shard& ShardFor(const QueryKey& key) {
+    return *shards_[QueryKeyHash{}(key) % shards_.size()];
+  }
+
+  size_t max_entries_per_shard_;
+  size_t max_cores_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::shared_mutex cores_mu_;
+  std::deque<Core> cores_;
+
+  // Fast path reads the atomic only; the mutex serializes the rare reset.
+  std::mutex fingerprint_mu_;
+  std::atomic<uint64_t> vars_fingerprint_{0};
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  // A worker-view solver for parallel candidate solving: shares `cache` (and
+  // reads/writes it concurrently with other workers), and is deterministic
+  // by construction — where a fresh solve would have to draw randomness
+  // (candidate sampling on a fully excluded domain, or the stochastic
+  // fallback) it aborts the solve and reports needed_rng() instead, so the
+  // driver can replay that query on its serial solver whose rng stream
+  // advances in candidate order exactly as the serial engine's would.
+  // Learned UNSAT cores are *not* published to the shared cache; they queue
+  // in TakeLearnedCores() for the driver to merge at batch boundaries in
+  // deterministic candidate order.
+  Solver(const SolverOptions& options, std::shared_ptr<QueryCache> cache);
+
+  // Solves the conjunction of `constraints` over `vars` (domain bounds come
+  // from VarInfo::lo/hi). `hint` biases the search toward a known-good
+  // neighbourhood — concolic drivers pass the assignment of the parent run.
+  SolveResult Solve(const std::vector<ExprPtr>& constraints, const std::vector<VarInfo>& vars,
+                    const Assignment& hint);
+
+  const SolverStats& stats() const { return stats_; }
+
+  // The shared cross-run cache (hand this to worker-view solvers).
+  const std::shared_ptr<QueryCache>& cache() const { return cache_; }
+
+  // Worker-view introspection: whether the last Solve aborted because it
+  // needed randomness (always false on a serial solver), and the UNSAT cores
+  // deferred for batch-boundary merge.
+  bool needed_rng() const { return rng_needed_; }
+  std::vector<QueryCache::Core> TakeLearnedCores();
+
+  // Folds a worker's per-task counters into this solver's totals — the
+  // driver calls it for every *consumed* parallel solve, in candidate order,
+  // so stats() aggregates across the pool like the serial engine's would.
+  void AbsorbStats(const SolverStats& s);
+
+ private:
   // The post-slicing, post-cache pipeline (normalize / linearize / propagate
   // / search / fallback) over `query`, with `base` as the completed hint in
   // dense VarId-indexed form.
   SolveResult SolveCore(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
                         const std::vector<uint64_t>& base_dense);
 
-  // Drops all cached state when the variable universe changes (ids, widths,
-  // or domain bounds) — cached verdicts are only sound for the domains they
-  // were computed under.
-  void ResetCacheIfVarsChanged(const std::vector<VarInfo>& vars);
-
   // After a fresh UNSAT verdict, tries to shrink the query to a 1- or
   // 2-constraint core provable by interval refutation alone, so the
   // UNSAT-superset shortcut generalizes to every later query containing the
   // same conflicting pair (concolic candidates share these heavily: the same
   // flipped range check conflicts with the same table constraint regardless
-  // of the surrounding path prefix).
+  // of the surrounding path prefix). Cores are appended to `out`.
   void LearnUnsatCores(const std::vector<ExprPtr>& query, const std::vector<VarInfo>& vars,
-                       const std::vector<uint64_t>& base_dense);
+                       const std::vector<uint64_t>& base_dense,
+                       std::vector<QueryCache::Core>& out);
 
   SolverOptions options_;
   SolverStats stats_;
@@ -176,12 +285,19 @@ class Solver {
   // stochastic fallback). Verdicts produced with rng draws are not replayable
   // and must not enter the cache.
   bool core_used_rng_ = false;
+  // Worker-view mode: forbid rng draws (abort + flag instead) and defer core
+  // publication. Set iff constructed with a shared cache.
+  bool deterministic_only_ = false;
+  bool rng_needed_ = false;
+  std::vector<QueryCache::Core> pending_cores_;
 
+  std::shared_ptr<QueryCache> cache_;
+  // Guards reuse_models_ against a variable-universe change (the shared
+  // cache keeps its own fingerprint for entries and cores).
   uint64_t vars_fingerprint_ = 0;
-  std::unordered_map<QueryKey, CacheEntry, QueryKeyHash> cache_;
-  std::deque<UnsatCore> unsat_cores_;
   // Most-recent-first ring of (support-restricted model, owning constraints).
-  std::deque<CacheEntry> reuse_models_;
+  // Per-solver on purpose: model reuse is opt-in and non-deterministic.
+  std::deque<QueryCache::Entry> reuse_models_;
 };
 
 // --- Internals exposed for unit testing -------------------------------------

@@ -1,0 +1,282 @@
+// Parallel candidate solving must be invisible to exploration results: for
+// every worker count, runs, unique paths, coverage, accept/reject splits,
+// and detections are bit-identical to the serial engine — only the wall
+// clock and the solver fast-path tallies may differ. Same gate shape as
+// ExplorerTest.LazyClonesPreserveResults, applied to the worker pool.
+//
+// Two workloads: the Fig. 2 topology (bench/topology.h, the paper's
+// provider with an erroneous customer filter) and a 256-session provider
+// fanout under an adversarial mostly-rejected seed (the steady-state
+// import-path posture of bench F1d/F1f). Plus driver-level gates for the
+// dfs/bfs strategies and the random-strategy serial fallback, and a
+// WorkerPool unit test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/topology.h"
+#include "src/dice/explorer.h"
+#include "src/sym/concolic.h"
+#include "src/util/worker_pool.h"
+
+namespace dice {
+namespace {
+
+// --- WorkerPool basics -------------------------------------------------------
+
+TEST(WorkerPoolTest, ExecutesEveryTaskAndDrains) {
+  util::WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> counters(64);
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < counters.size(); ++i) {
+      pool.Submit([&counters, i] { counters[i].fetch_add(1); });
+    }
+    pool.Drain();
+    for (size_t i = 0; i < counters.size(); ++i) {
+      EXPECT_EQ(counters[i].load(), round + 1);
+    }
+  }
+  EXPECT_EQ(pool.tasks_executed(), 3u * counters.size());
+}
+
+TEST(WorkerPoolTest, DrainOnEmptyPoolReturnsImmediately) {
+  util::WorkerPool pool(2);
+  pool.Drain();
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+// --- Report comparison helpers ----------------------------------------------
+
+void ExpectIdenticalReports(const ExplorationReport& serial, const ExplorationReport& parallel,
+                            const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(serial.concolic.runs, parallel.concolic.runs);
+  EXPECT_EQ(serial.concolic.unique_paths, parallel.concolic.unique_paths);
+  EXPECT_EQ(serial.concolic.duplicate_paths, parallel.concolic.duplicate_paths);
+  EXPECT_EQ(serial.concolic.branches_covered, parallel.concolic.branches_covered);
+  EXPECT_EQ(serial.concolic.max_path_depth, parallel.concolic.max_path_depth);
+  EXPECT_EQ(serial.concolic.solver_sat, parallel.concolic.solver_sat);
+  EXPECT_EQ(serial.runs_accepted, parallel.runs_accepted);
+  EXPECT_EQ(serial.runs_rejected, parallel.runs_rejected);
+  EXPECT_EQ(serial.intercepted_messages, parallel.intercepted_messages);
+  EXPECT_EQ(serial.first_detection_run, parallel.first_detection_run);
+  ASSERT_EQ(serial.detections.size(), parallel.detections.size());
+  for (size_t i = 0; i < serial.detections.size(); ++i) {
+    EXPECT_EQ(serial.detections[i].prefix, parallel.detections[i].prefix);
+    EXPECT_EQ(serial.detections[i].new_origin, parallel.detections[i].new_origin);
+    EXPECT_EQ(serial.detections[i].old_origin, parallel.detections[i].old_origin);
+    EXPECT_EQ(serial.detections[i].input, parallel.detections[i].input);
+  }
+}
+
+// --- Fig. 2 topology gate ----------------------------------------------------
+
+ExplorationReport ExploreFig2(size_t workers) {
+  bench::Fig2Options options;
+  options.prefixes = 800;
+  options.seed = 1;
+  options.misconfig = bench::Misconfig::kErroneousEntry;
+  options.filter_entries = 4;
+  bench::Fig2 fig2(options);
+  fig2.LoadTable();
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = 120;
+  explorer_options.solver_workers = workers;
+  Explorer explorer(explorer_options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(fig2.provider(), fig2.loop().now());
+  explorer.ExploreSeed(fig2.CustomerSeedUpdate(), bench::Fig2::kCustomerNode);
+  return explorer.report();
+}
+
+TEST(ParallelSolveTest, BitIdenticalOnFig2Topology) {
+  ExplorationReport serial = ExploreFig2(0);
+  ASSERT_GT(serial.concolic.runs, 1u);
+  EXPECT_EQ(serial.concolic.solver_workers, 0u);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ExplorationReport parallel = ExploreFig2(workers);
+    ExpectIdenticalReports(serial, parallel,
+                           ("fig2 workers=" + std::to_string(workers)).c_str());
+    EXPECT_EQ(parallel.concolic.solver_workers, workers);
+    EXPECT_GT(parallel.concolic.solver_tasks_dispatched, 0u)
+        << "the pool must actually have been used";
+    EXPECT_FALSE(parallel.concolic.solver_cache_shard_hits.empty());
+  }
+}
+
+// --- 256-session provider workload gate --------------------------------------
+
+// Widens the provider's peering with extra established sessions, each with
+// an Adj-RIB-Out entry — the per-clone state shape of a transit router
+// (mirrors bench F1d's fanout construction).
+void AddFanoutPeers(bgp::RouterState& state, std::vector<bgp::PeerView>& peers, size_t fanout) {
+  bgp::PathAttributes advertised;
+  advertised.as_path = bgp::AsPath::Sequence({3, 65000});
+  advertised.next_hop = *bgp::Ipv4Address::Parse("10.0.0.3");
+  bgp::InternedAttrs advertised_interned(std::move(advertised));
+  for (size_t i = 0; i < fanout; ++i) {
+    bgp::PeerView pv;
+    pv.id = static_cast<bgp::PeerId>(1000 + i);
+    pv.remote_as = static_cast<bgp::AsNumber>(20000 + (i % 40000));
+    pv.address = bgp::Ipv4Address(0x0b000001u + static_cast<uint32_t>(i));
+    pv.established = true;
+    peers.push_back(pv);
+    state.adj_out[pv.id].Insert(*bgp::Prefix::Parse("203.0.113.0/24"), advertised_interned);
+  }
+}
+
+// Two consecutive explorations (cold then warm shared cache) of an
+// adversarial mostly-rejected seed against the wide-fanout provider; returns
+// the per-exploration reports.
+std::vector<ExplorationReport> ExploreProviderFanout(size_t workers) {
+  bench::Fig2Options options;
+  options.prefixes = 600;
+  options.seed = 2;
+  options.misconfig = bench::Misconfig::kErroneousEntry;
+  options.filter_entries = 6;
+  bench::Fig2 fig2(options);
+  fig2.LoadTable();
+
+  bgp::RouterState state = fig2.provider().CheckpointState();
+  std::vector<bgp::PeerView> peers = fig2.provider().PeerViews();
+  AddFanoutPeers(state, peers, 256);
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = 100;
+  explorer_options.solver_workers = workers;
+  Explorer explorer(explorer_options);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  explorer.TakeCheckpoint(state, peers, fig2.loop().now());
+
+  bgp::UpdateMessage seed_update;
+  seed_update.attrs.origin = bgp::Origin::kIgp;
+  seed_update.attrs.as_path = bgp::AsPath::Sequence({1, 17557});
+  seed_update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+  seed_update.nlri.push_back(*bgp::Prefix::Parse("198.51.100.0/24"));
+
+  std::vector<ExplorationReport> reports;
+  for (int rep = 0; rep < 2; ++rep) {
+    explorer.ExploreSeed(seed_update, bench::Fig2::kCustomerNode);
+    reports.push_back(explorer.report());
+  }
+  return reports;
+}
+
+TEST(ParallelSolveTest, BitIdenticalOnProviderFanoutWorkload) {
+  std::vector<ExplorationReport> serial = ExploreProviderFanout(0);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_GT(serial[0].concolic.runs, 1u);
+  for (size_t workers : {1u, 2u, 8u}) {
+    std::vector<ExplorationReport> parallel = ExploreProviderFanout(workers);
+    ASSERT_EQ(parallel.size(), 2u);
+    for (size_t rep = 0; rep < parallel.size(); ++rep) {
+      ExpectIdenticalReports(
+          serial[rep], parallel[rep],
+          ("fanout workers=" + std::to_string(workers) + " rep=" + std::to_string(rep))
+              .c_str());
+    }
+    EXPECT_GT(parallel[1].concolic.solver_tasks_dispatched, 0u);
+  }
+}
+
+// --- Driver-level strategy gates ---------------------------------------------
+
+sym::Program MakeBranchyProgram(uint64_t branches) {
+  return [branches](sym::Engine& engine) {
+    for (uint64_t i = 0; i < branches; ++i) {
+      sym::Value x =
+          engine.MakeSymbolic("f" + std::to_string(i), 16, 10 * (i + 1), 0, 1000);
+      engine.Branch(x > sym::Value(500), i + 1);
+    }
+  };
+}
+
+sym::ConcolicStats ExploreWithStrategy(const char* strategy, size_t workers) {
+  sym::ConcolicOptions options;
+  options.max_runs = 80;
+  options.strategy = strategy;
+  options.solver_workers = workers;
+  sym::ConcolicDriver driver(options);
+  driver.Explore(MakeBranchyProgram(10));
+  return driver.stats();
+}
+
+TEST(ParallelSolveTest, EveryBatchableStrategyIsBitIdentical) {
+  for (const char* strategy : {"generational", "dfs", "bfs"}) {
+    SCOPED_TRACE(strategy);
+    sym::ConcolicStats serial = ExploreWithStrategy(strategy, 0);
+    for (size_t workers : {1u, 2u, 8u}) {
+      sym::ConcolicStats parallel = ExploreWithStrategy(strategy, workers);
+      EXPECT_EQ(serial.runs, parallel.runs);
+      EXPECT_EQ(serial.unique_paths, parallel.unique_paths);
+      EXPECT_EQ(serial.duplicate_paths, parallel.duplicate_paths);
+      EXPECT_EQ(serial.branches_covered, parallel.branches_covered);
+      EXPECT_EQ(serial.solver_sat, parallel.solver_sat);
+      EXPECT_EQ(parallel.solver_workers, workers);
+    }
+  }
+}
+
+TEST(ParallelSolveTest, RandomStrategyFallsBackToSerialSolving) {
+  // A randomized pick order cannot survive batch-popping (each pop draws
+  // rng), so the driver must keep the serial solve path — and still match
+  // the serial engine exactly, because it *is* the serial engine.
+  sym::ConcolicStats serial = ExploreWithStrategy("random", 0);
+  sym::ConcolicStats parallel = ExploreWithStrategy("random", 4);
+  EXPECT_EQ(parallel.solver_workers, 0u) << "pool must be declined";
+  EXPECT_EQ(parallel.solver_tasks_dispatched, 0u);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_EQ(serial.unique_paths, parallel.unique_paths);
+  EXPECT_EQ(serial.branches_covered, parallel.branches_covered);
+}
+
+TEST(ParallelSolveTest, ModelReuseFallsBackToSerialSolving) {
+  // Cross-query model reuse keeps per-solver model lists, so a worker-view
+  // solver could answer SAT from a model the serial stream never saw; the
+  // driver must decline the pool and stay bit-identical to the serial
+  // engine with reuse enabled.
+  sym::ConcolicOptions options;
+  options.max_runs = 80;
+  options.solver.enable_model_reuse = true;
+  sym::ConcolicDriver serial_driver(options);
+  serial_driver.Explore(MakeBranchyProgram(10));
+  options.solver_workers = 4;
+  sym::ConcolicDriver parallel_driver(options);
+  parallel_driver.Explore(MakeBranchyProgram(10));
+  EXPECT_EQ(parallel_driver.stats().solver_workers, 0u) << "pool must be declined";
+  EXPECT_EQ(parallel_driver.stats().solver_tasks_dispatched, 0u);
+  EXPECT_EQ(serial_driver.stats().runs, parallel_driver.stats().runs);
+  EXPECT_EQ(serial_driver.stats().unique_paths, parallel_driver.stats().unique_paths);
+  EXPECT_EQ(serial_driver.stats().branches_covered,
+            parallel_driver.stats().branches_covered);
+}
+
+// An external pool shared across drivers (the Explorer's usage pattern).
+TEST(ParallelSolveTest, ExternalPoolSharedAcrossDrivers) {
+  util::WorkerPool pool(2);
+  sym::ConcolicOptions options;
+  options.max_runs = 60;
+  sym::ConcolicStats serial;
+  {
+    sym::ConcolicDriver driver(options);
+    driver.Explore(MakeBranchyProgram(8));
+    serial = driver.stats();
+  }
+  for (int round = 0; round < 2; ++round) {
+    sym::ConcolicDriver driver(options, /*shared_solver=*/nullptr, &pool);
+    driver.Explore(MakeBranchyProgram(8));
+    EXPECT_EQ(driver.stats().runs, serial.runs);
+    EXPECT_EQ(driver.stats().unique_paths, serial.unique_paths);
+    EXPECT_EQ(driver.stats().branches_covered, serial.branches_covered);
+    EXPECT_EQ(driver.stats().solver_workers, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace dice

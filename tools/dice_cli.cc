@@ -11,11 +11,16 @@
 //            [--anycast=192.175.48.0/24,...] [--peer=<neighbor address>]
 //            [--inject=203.0.113.0/24:64500,...]
 //            [--remote_config=upstream.conf,...] [--remote_batch_size=N]
+//            [--solver_workers=N]
 //
 // The configuration must contain exactly one router block; the trace (or the
 // synthetic table) is loaded as routes from the *first* configured neighbor
 // unless --peer selects another; exploration then runs on the *last*
 // configured neighbor's session (typically the customer).
+//
+// Parallel solving: --solver_workers=N (min 1) solves independent negation
+// candidates on an N-thread worker pool; results are bit-identical to the
+// default serial engine, only faster. Omit the flag for serial solving.
 //
 // Federation: each --remote_config file describes a neighbor domain's router
 // (one block; it should configure a neighbor whose AS is this router's AS —
@@ -53,7 +58,8 @@ void PrintUsage(std::FILE* out) {
                "usage: dice_cli --config=router.conf [--trace=updates.trc] [--prefixes=N]\n"
                "                [--runs=N] [--seed=N] [--seed-prefix=P] [--seed-asn=A]\n"
                "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n"
-               "                [--remote_config=F,...] [--remote_batch_size=N]\n");
+               "                [--remote_config=F,...] [--remote_batch_size=N]\n"
+               "                [--solver_workers=N]\n");
 }
 
 // Rejects anything bench::Flags would silently ignore or misread: unknown
@@ -66,10 +72,10 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
   static const std::set<std::string> kKnownFlags = {
       "config",  "trace",       "prefixes", "runs",    "seed",
       "peer",    "seed-prefix", "seed-asn", "anycast", "inject",
-      "remote_config", "remote_batch_size",
+      "remote_config", "remote_batch_size", "solver_workers",
   };
-  static const std::set<std::string> kUintFlags = {"prefixes", "runs", "seed",
-                                                   "seed-asn", "remote_batch_size"};
+  static const std::set<std::string> kUintFlags = {
+      "prefixes", "runs", "seed", "seed-asn", "remote_batch_size", "solver_workers"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -97,6 +103,11 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
     }
     if (key == "remote_batch_size" && *ParseUint64(value) == 0) {
       std::fprintf(stderr, "error: flag '--remote_batch_size' must be at least 1\n");
+      return 2;
+    }
+    if (key == "solver_workers" && *ParseUint64(value) == 0) {
+      std::fprintf(stderr, "error: flag '--solver_workers' must be at least 1 "
+                           "(omit the flag for serial solving)\n");
       return 2;
     }
   }
@@ -181,6 +192,7 @@ int Run(int argc, char** argv) {
   const uint64_t runs = flags.GetUint("runs", 1000);
   const uint64_t seed = flags.GetUint("seed", 1);
   const uint64_t remote_batch_size = flags.GetUint("remote_batch_size", 64);
+  const uint64_t solver_workers = flags.GetUint("solver_workers", 0);  // 0 = serial
 
   if (config_path.empty()) {
     PrintUsage(stderr);
@@ -296,6 +308,11 @@ int Run(int argc, char** argv) {
 
   ExplorerOptions options;
   options.concolic.max_runs = runs;
+  options.solver_workers = solver_workers;
+  if (solver_workers > 0) {
+    std::printf("parallel candidate solving: %llu worker(s)\n",
+                static_cast<unsigned long long>(solver_workers));
+  }
   DistributedExplorer explorer(options);
   explorer.set_remote_batch_size(remote_batch_size);
   auto checker = std::make_unique<HijackChecker>();
