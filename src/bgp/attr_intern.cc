@@ -32,6 +32,10 @@ struct KeyHash {
   size_t operator()(const Key& k) const { return static_cast<size_t>(k.hash); }
 };
 
+// Determinism audit: the table is only probed (find/emplace/erase) and
+// size()-summed for stats; nothing iterates it, so hash order never leaks
+// into exploration results. dice_lint's unordered-iteration check keeps it
+// that way.
 using Table = std::unordered_map<Key, std::weak_ptr<const PathAttributes>, KeyHash>;
 
 // Lock-striped shards (hash -> shard, one mutex each), mirroring the

@@ -67,10 +67,10 @@ struct RouterConfig {
 };
 
 // Parses a full configuration file (one or more router blocks).
-StatusOr<std::vector<RouterConfig>> ParseConfig(const std::string& text);
+[[nodiscard]] StatusOr<std::vector<RouterConfig>> ParseConfig(const std::string& text);
 
 // Parses a configuration containing exactly one router block.
-StatusOr<RouterConfig> ParseSingleRouterConfig(const std::string& text);
+[[nodiscard]] StatusOr<RouterConfig> ParseSingleRouterConfig(const std::string& text);
 
 }  // namespace dice::bgp
 

@@ -112,8 +112,8 @@ struct Filter {
 // Named prefix lists + filters of one router; referenced by neighbor configs.
 class PolicyStore {
  public:
-  Status AddPrefixList(PrefixList list);
-  Status AddFilter(Filter filter);
+  [[nodiscard]] Status AddPrefixList(PrefixList list);
+  [[nodiscard]] Status AddFilter(Filter filter);
 
   const PrefixList* FindPrefixList(const std::string& name) const;
   const Filter* FindFilter(const std::string& name) const;
@@ -122,7 +122,7 @@ class PolicyStore {
   const std::map<std::string, Filter>& filters() const { return filters_; }
 
   // Verifies every prefix-list referenced by a filter exists.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::map<std::string, PrefixList> prefix_lists_;

@@ -163,6 +163,10 @@ class PrefixTrie {
   // the right side of the unique/shared split.
   template <typename Fn>
   SharingStats SharingWith(const PrefixTrie& other, Fn&& visit) const {
+    // Determinism audit: both sets are membership-tested only (count/insert),
+    // never iterated — traversal order is the trie's structural recursion, so
+    // hash order is never observable. dice_lint's unordered-iteration check
+    // keeps it that way.
     std::unordered_set<const Node*> theirs;
     CollectRec(other.root_.get(), theirs);
     SharingStats stats;
@@ -350,12 +354,12 @@ class PrefixTrie {
     return 1 + CountRec(node->child[0].get()) + CountRec(node->child[1].get());
   }
 
-  static void CollectRec(const Node* node, std::unordered_set<const Node*>& out) {
-    if (node == nullptr || !out.insert(node).second) {
+  static void CollectRec(const Node* node, std::unordered_set<const Node*>& reachable) {
+    if (node == nullptr || !reachable.insert(node).second) {
       return;
     }
-    CollectRec(node->child[0].get(), out);
-    CollectRec(node->child[1].get(), out);
+    CollectRec(node->child[0].get(), reachable);
+    CollectRec(node->child[1].get(), reachable);
   }
 
   // A node present in both tries is shared, and so is its entire subtree

@@ -33,14 +33,14 @@ Bytes EncodeKeepalive();
 
 // Decodes one complete message from `bytes` (which must contain exactly one
 // message). Returns a detailed error for any RFC violation.
-StatusOr<Message> Decode(const Bytes& bytes);
+[[nodiscard]] StatusOr<Message> Decode(const Bytes& bytes);
 
 // Decodes just the NLRI-style prefix list encoding (used by tests).
-StatusOr<std::vector<Prefix>> DecodePrefixes(ByteReader& reader, size_t byte_count);
+[[nodiscard]] StatusOr<std::vector<Prefix>> DecodePrefixes(ByteReader& reader, size_t byte_count);
 
 // Decodes one NLRI-style prefix (length octet + minimal address bytes) from
 // the reader's current position.
-StatusOr<Prefix> DecodePrefix(ByteReader& reader);
+[[nodiscard]] StatusOr<Prefix> DecodePrefix(ByteReader& reader);
 
 // Appends the NLRI encoding of `prefix` (length octet + minimal address bytes).
 void EncodePrefix(ByteWriter& writer, const Prefix& prefix);

@@ -23,16 +23,16 @@ namespace {
 // attribute set in `state` that also appears here is shared storage no matter
 // which trie node points at it.
 void CollectAttrs(const bgp::RouterState& reference,
-                  std::unordered_set<const bgp::PathAttributes*>& out) {
+                  std::unordered_set<const bgp::PathAttributes*>& reachable) {
   reference.rib.Walk([&](const bgp::Prefix&, const bgp::RibEntry& entry) {
     for (const bgp::Route& route : entry.routes) {
-      out.insert(route.attrs.ptr().get());
+      reachable.insert(route.attrs.ptr().get());
     }
     return true;
   });
   for (const auto& [peer, trie] : reference.adj_out) {
     trie.Walk([&](const bgp::Prefix&, const bgp::InternedAttrs& attrs) {
-      out.insert(attrs.ptr().get());
+      reachable.insert(attrs.ptr().get());
       return true;
     });
   }
@@ -43,6 +43,10 @@ void CollectAttrs(const bgp::RouterState& reference,
 MemoryStats ComputeSharing(const bgp::RouterState& state, const bgp::RouterState& reference) {
   MemoryStats stats;
 
+  // Determinism audit: reference_attrs/counted_attrs are membership-tested
+  // only, never iterated; all Walk/adj_out traversals below run in trie /
+  // std::map key order, so the stats are independent of hash layout.
+  // dice_lint's unordered-iteration check keeps it that way.
   std::unordered_set<const bgp::PathAttributes*> reference_attrs;
   CollectAttrs(reference, reference_attrs);
 

@@ -83,7 +83,7 @@ struct ExploratoryBatchRequest {
   std::vector<bgp::UpdateMessage> updates;
 
   Bytes Serialize() const;
-  static StatusOr<ExploratoryBatchRequest> Parse(const Bytes& bytes);
+  [[nodiscard]] static StatusOr<ExploratoryBatchRequest> Parse(const Bytes& bytes);
 
   friend bool operator==(const ExploratoryBatchRequest&,
                          const ExploratoryBatchRequest&) = default;
@@ -96,7 +96,7 @@ struct ExploratoryBatchReply {
   BatchCounters counters;
 
   Bytes Serialize() const;
-  static StatusOr<ExploratoryBatchReply> Parse(const Bytes& bytes);
+  [[nodiscard]] static StatusOr<ExploratoryBatchReply> Parse(const Bytes& bytes);
 
   friend bool operator==(const ExploratoryBatchReply&,
                          const ExploratoryBatchReply&) = default;
@@ -121,7 +121,7 @@ class ExplorationService {
   // Processes every update in the batch on isolated clones of the current
   // checkpoint and returns one NarrowReply per update, in order. Errors
   // (stale epoch, no checkpoint yet) come back as Status, never crash.
-  virtual StatusOr<ExploratoryBatchReply> ExecuteBatch(
+  [[nodiscard]] virtual StatusOr<ExploratoryBatchReply> ExecuteBatch(
       const ExploratoryBatchRequest& request) = 0;
 };
 
@@ -145,7 +145,7 @@ class InProcessExplorationService : public ExplorationService {
 
   const std::string& domain_name() const override { return domain_name_; }
   uint64_t TakeCheckpoint(net::SimTime now) override;
-  StatusOr<ExploratoryBatchReply> ExecuteBatch(
+  [[nodiscard]] StatusOr<ExploratoryBatchReply> ExecuteBatch(
       const ExploratoryBatchRequest& request) override;
 
   // States actually copied across all batches so far.
@@ -186,7 +186,7 @@ class WireExplorationService : public ExplorationService {
   uint64_t TakeCheckpoint(net::SimTime now) override {
     return backend_->TakeCheckpoint(now);
   }
-  StatusOr<ExploratoryBatchReply> ExecuteBatch(
+  [[nodiscard]] StatusOr<ExploratoryBatchReply> ExecuteBatch(
       const ExploratoryBatchRequest& request) override;
 
   uint64_t rpcs() const { return rpcs_; }

@@ -53,13 +53,13 @@ void Engine::BeginRun(const Assignment& assignment) {
 }
 
 Assignment Engine::EffectiveAssignment() const {
-  Assignment out = current_;
+  Assignment merged = current_;
   for (const VarInfo& v : vars_) {
-    if (out.find(v.id) == out.end()) {
-      out[v.id] = v.seed;
+    if (merged.find(v.id) == merged.end()) {
+      merged[v.id] = v.seed;
     }
   }
-  return out;
+  return merged;
 }
 
 }  // namespace dice::sym

@@ -84,6 +84,9 @@ struct ExprInternAccess {
     }
   };
 
+  // Determinism audit: probed and size()-summed only, never iterated — expr
+  // ids come from the atomic counter, not table order. dice_lint's
+  // unordered-iteration check keeps it that way.
   using Table = std::unordered_map<Key, std::weak_ptr<const Expr>, KeyHash>;
 
   static constexpr size_t kShards = 16;

@@ -385,7 +385,7 @@ uint64_t QueryCache::ResetIfVarsChanged(const std::vector<VarInfo>& vars) {
   }
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
-    shard->entries.clear();
+    shard->hashed_entries.clear();
   }
   {
     std::unique_lock<std::shared_mutex> cores_lock(cores_mu_);
@@ -411,10 +411,10 @@ bool QueryCache::MatchesUnsatCore(const QueryKey& key) const {
 void QueryCache::Store(QueryKey key, Entry entry) {
   Shard& shard = ShardFor(key);
   std::unique_lock<std::shared_mutex> lock(shard.mu);
-  if (shard.entries.size() >= max_entries_per_shard_) {
-    shard.entries.clear();
+  if (shard.hashed_entries.size() >= max_entries_per_shard_) {
+    shard.hashed_entries.clear();
   }
-  shard.entries.insert_or_assign(std::move(key), std::move(entry));
+  shard.hashed_entries.insert_or_assign(std::move(key), std::move(entry));
 }
 
 void QueryCache::PublishCores(std::vector<Core> cores) {
@@ -1018,12 +1018,12 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     return true;
   };
   auto to_assignment = [&](const std::vector<uint64_t>& model) {
-    Assignment out;
-    out.reserve(vars.size());
+    Assignment dense_as_map;
+    dense_as_map.reserve(vars.size());
     for (const VarInfo& v : vars) {
-      out.emplace(v.id, model[v.id]);
+      dense_as_map.emplace(v.id, model[v.id]);
     }
-    return out;
+    return dense_as_map;
   };
 
   // Fast path: maybe the hint already satisfies everything.
@@ -1067,6 +1067,9 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     std::vector<uint64_t> scratch;
     auto serve_sat = [&](const QueryCache::Entry& entry) -> bool {
       scratch = base_dense;
+      // Order-insensitive: keys are unique, each write lands in a distinct
+      // dense slot, and the result is read only after the loop completes.
+      // dice-lint: unordered-iteration-ok(unique keys scatter into distinct dense slots)
       for (const auto& [var, value] : entry.model) {
         if (var < scratch.size()) {
           scratch[var] = value;
@@ -1081,6 +1084,9 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
       return true;
     };
     auto same_hint = [&](const QueryCache::Entry& entry) {
+      // Order-insensitive: a pure conjunction over all entries — the verdict
+      // does not depend on which mismatch is seen first.
+      // dice-lint: unordered-iteration-ok(pure conjunction, no early-exit side effects)
       for (const auto& [var, value] : entry.hint) {
         if (var >= base_dense.size() || base_dense[var] != value) {
           return false;

@@ -165,8 +165,8 @@ class QueryCache {
   bool Lookup(const QueryKey& key, Fn&& fn) {
     Shard& shard = ShardFor(key);
     std::shared_lock<std::shared_mutex> lock(shard.mu);
-    auto it = shard.entries.find(key);
-    if (it == shard.entries.end()) {
+    auto it = shard.hashed_entries.find(key);
+    if (it == shard.hashed_entries.end()) {
       return false;
     }
     shard.hits.fetch_add(1, std::memory_order_relaxed);
@@ -203,7 +203,10 @@ class QueryCache {
 
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<QueryKey, Entry, QueryKeyHash> entries;
+    // Determinism audit: entries are looked up by key and evicted wholesale
+    // (clear()), never iterated — a hit/miss verdict cannot depend on hash
+    // layout. dice_lint's unordered-iteration check keeps it that way.
+    std::unordered_map<QueryKey, Entry, QueryKeyHash> hashed_entries;
     std::atomic<uint64_t> hits{0};
   };
 

@@ -47,7 +47,7 @@ struct Trace {
 //   A|<time_us>|<as path, space separated>|<next hop>|<origin: i/e/?>|<p1,p2,...>
 //   W|<time_us>|<p1,p2,...>
 std::string SerializeTrace(const Trace& trace);
-StatusOr<Trace> ParseTrace(const std::string& text);
+[[nodiscard]] StatusOr<Trace> ParseTrace(const std::string& text);
 
 // --- Synthetic workload -----------------------------------------------------
 

@@ -75,13 +75,13 @@ class ByteReader {
   size_t position() const { return pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
-  StatusOr<uint8_t> ReadU8() {
+  [[nodiscard]] StatusOr<uint8_t> ReadU8() {
     if (remaining() < 1) {
       return Truncated("u8");
     }
     return data_[pos_++];
   }
-  StatusOr<uint16_t> ReadU16() {
+  [[nodiscard]] StatusOr<uint16_t> ReadU16() {
     if (remaining() < 2) {
       return Truncated("u16");
     }
@@ -90,7 +90,7 @@ class ByteReader {
     pos_ += 2;
     return v;
   }
-  StatusOr<uint32_t> ReadU32() {
+  [[nodiscard]] StatusOr<uint32_t> ReadU32() {
     if (remaining() < 4) {
       return Truncated("u32");
     }
@@ -101,7 +101,7 @@ class ByteReader {
     pos_ += 4;
     return v;
   }
-  StatusOr<uint64_t> ReadU64() {
+  [[nodiscard]] StatusOr<uint64_t> ReadU64() {
     if (remaining() < 8) {
       return Truncated("u64");
     }
@@ -109,7 +109,7 @@ class ByteReader {
     uint64_t lo = ReadU32().value();
     return (hi << 32) | lo;
   }
-  StatusOr<Bytes> ReadBytes(size_t n) {
+  [[nodiscard]] StatusOr<Bytes> ReadBytes(size_t n) {
     if (remaining() < n) {
       return Truncated("bytes");
     }
@@ -117,7 +117,7 @@ class ByteReader {
     pos_ += n;
     return out;
   }
-  Status Skip(size_t n) {
+  [[nodiscard]] Status Skip(size_t n) {
     if (remaining() < n) {
       return Truncated("skip");
     }
@@ -126,7 +126,7 @@ class ByteReader {
   }
 
  private:
-  Status Truncated(const char* what) const {
+  [[nodiscard]] Status Truncated(const char* what) const {
     return OutOfRangeError(std::string("truncated read of ") + what + " at offset " +
                            std::to_string(pos_) + " (size " + std::to_string(size_) + ")");
   }

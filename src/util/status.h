@@ -31,12 +31,17 @@ enum class StatusCode : int {
 const char* StatusCodeName(StatusCode code);
 
 // A success-or-error value. Cheap to copy on success (no allocation).
-class Status {
+//
+// The class itself is [[nodiscard]]: any call that returns a Status and
+// ignores it fails the -Werror build. Wire/parse errors in this codebase are
+// only ever surfaced through Status, so a silently dropped return value is a
+// silently dropped error.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -55,19 +60,21 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
 
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status OutOfRangeError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status UnimplementedError(std::string message);
-Status InternalError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status DeadlineExceededError(std::string message);
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status AlreadyExistsError(std::string message);
+[[nodiscard]] Status OutOfRangeError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status DeadlineExceededError(std::string message);
 
 // A value or an error. Access to value() on an error status is a fatal bug.
+// [[nodiscard]] for the same reason as Status: discarding one discards an
+// error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(const T& value) : value_(value) {}                       // NOLINT(runtime/explicit)
   StatusOr(T&& value) : value_(std::move(value)) {}                 // NOLINT(runtime/explicit)

@@ -1,0 +1,44 @@
+// dice_lint — static determinism & Status-discipline gate. See tools/lint/lint.h.
+//
+// Usage: dice_lint [--root=DIR] [path...]
+//   --root=DIR   repo root to scan (default: current directory)
+//   path...      files/directories relative to root (default: src tools examples)
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error — so the `lint` CMake
+// target and CI fail on any diagnostic but distinguish broken invocations.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  dice::lint::LintOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(std::string("--root=").size());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dice_lint [--root=DIR] [path...]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "dice_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!paths.empty()) {
+    options.paths = paths;
+  }
+
+  auto report = dice::lint::RunLint(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "dice_lint: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(report->ToString().c_str(), stdout);
+  return report->clean() ? 0 : 1;
+}

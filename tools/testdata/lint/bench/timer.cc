@@ -1,0 +1,6 @@
+// Known-good fixture: bench/ is allowlisted for wall-clock reads.
+#include <chrono>
+
+long Elapsed() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

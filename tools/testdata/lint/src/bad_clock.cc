@@ -1,0 +1,9 @@
+// Known-bad fixture: wall-clock reads in a deterministic layer.
+#include <chrono>
+#include <ctime>
+
+long Now() {
+  auto tick = std::chrono::steady_clock::now();
+  long t = time(nullptr);
+  return t + tick.time_since_epoch().count();
+}

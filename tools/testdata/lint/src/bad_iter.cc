@@ -1,0 +1,12 @@
+// Known-bad fixture: unannotated iteration over an unordered container.
+#include <unordered_map>
+
+int Sum() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  for (const auto& [k, v] : counts) {
+    sum += k + v;
+  }
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture: raw nondeterminism outside src/util/rng.*.
+#include <cstdlib>
+#include <random>
+
+int RollDice() {
+  std::mt19937 gen(42);
+  int a = rand();
+  std::random_device rd;
+  return static_cast<int>(gen()) + a + static_cast<int>(rd());
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture: Status-discipline violations.
+#ifndef BAD_STATUS_H_
+#define BAD_STATUS_H_
+
+class Status {};
+template <typename T>
+class StatusOr {};
+
+Status DoThing();
+StatusOr<int> MaybeThing();
+bool ParseFrame(const char* data, int size);
+void DeserializeState(int version);
+
+#endif  // BAD_STATUS_H_

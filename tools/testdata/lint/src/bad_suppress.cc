@@ -1,0 +1,11 @@
+// Known-bad fixture: suppression misuse — stale, non-suppressible, reasonless.
+int Accumulate() {
+  int x = 0;
+  // dice-lint: unordered-iteration-ok(stale - the loop below is a plain for)
+  for (int i = 0; i < 3; ++i) {
+    x += i;
+  }
+  // dice-lint: raw-rng-ok(this check may not be suppressed)
+  // dice-lint: unordered-iteration-ok()
+  return x;
+}

@@ -1,0 +1,13 @@
+// Known-good fixture: unordered iteration with a reviewed justification.
+#include <unordered_map>
+
+int Sum() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  // dice-lint: unordered-iteration-ok(commutative sum; order cannot be observed)
+  for (const auto& [k, v] : counts) {
+    sum += k + v;
+  }
+  return sum;
+}

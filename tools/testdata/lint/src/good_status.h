@@ -1,0 +1,14 @@
+// Known-good fixture: Status discipline followed.
+#ifndef GOOD_STATUS_H_
+#define GOOD_STATUS_H_
+
+class Status {};
+template <typename T>
+class StatusOr {};
+
+[[nodiscard]] Status DoThing();
+[[nodiscard]] static StatusOr<int> MaybeThing();
+[[nodiscard]] StatusOr<int> ParseFrame(const char* data, int size);
+Status status_variable_looking_thing;
+
+#endif  // GOOD_STATUS_H_

@@ -1,0 +1,8 @@
+// Known-good fixture: raw randomness is allowed only here (mirrors the real
+// src/util/rng.h allowlist entry).
+#include <random>
+
+inline int Seeded() {
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}
