@@ -26,6 +26,7 @@
 #include "bench/topology.h"
 #include "src/dice/exploration_service.h"
 #include "src/dice/explorer.h"
+#include "src/persist/query_cache_snapshot.h"
 #include "src/sym/concolic.h"
 #include "src/util/rng.h"
 
@@ -874,6 +875,129 @@ int HeadToHead(uint64_t runs, uint64_t seed, size_t prefixes, size_t entries, ui
   return 0;
 }
 
+// --- Durable-state warm restart (F1g) ----------------------------------------
+//
+// The restart story, measured: explore the wide-fanout provider cold, persist
+// the solver's query cache through the src/persist snapshot format, then
+// explore the identical checkpoint on a *fresh* Explorer warmed from those
+// bytes — the same sequence dice_cli --state_dir runs across a kill. The warm
+// side must reproduce the cold side bit-identically (runs, paths, branch
+// outcomes, detections) and serve the majority of its solver queries from the
+// reloaded cache; anything less means persistence changed exploration or
+// restored warmth that does not actually hit.
+
+struct RestartSide {
+  double seconds = 0;
+  sym::ConcolicStats concolic;
+  std::vector<std::string> detections;
+};
+
+RestartSide RunRestartSide(Explorer& explorer, const bgp::RouterState& state,
+                           const std::vector<bgp::PeerView>& peers, net::SimTime now,
+                           const bgp::UpdateMessage& seed_update) {
+  explorer.TakeCheckpoint(state, peers, now);
+  RestartSide side;
+  Stopwatch timer;
+  explorer.StartExploration(seed_update, Fig2::kCustomerNode);
+  while (explorer.Step()) {
+  }
+  side.seconds = timer.Seconds();
+  side.concolic = explorer.report().concolic;
+  for (const Detection& d : explorer.report().detections) {
+    side.detections.push_back(d.ToString());
+  }
+  return side;
+}
+
+int WarmRestartHeadToHead(uint64_t runs, uint64_t seed, size_t prefixes, size_t entries,
+                          size_t fanout, JsonLine& json) {
+  std::printf("\nF1g — durable-state warm restart (%zu-session fanout, cold vs reloaded "
+              "query cache)\n\n",
+              fanout);
+
+  Fig2Options options;
+  options.prefixes = prefixes;
+  options.seed = seed;
+  options.misconfig = Misconfig::kErroneousEntry;
+  options.filter_entries = entries;
+  Fig2 fig2(options);
+  fig2.LoadTable();
+  bgp::RouterState state = fig2.provider().CheckpointState();
+  std::vector<bgp::PeerView> peers = fig2.provider().PeerViews();
+  AddFanoutPeers(state, peers, fanout);
+
+  bgp::UpdateMessage seed_update;
+  seed_update.attrs.origin = bgp::Origin::kIgp;
+  seed_update.attrs.as_path = bgp::AsPath::Sequence({1, 17557});
+  seed_update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.1");
+  seed_update.nlri.push_back(*bgp::Prefix::Parse("198.51.100.0/24"));
+
+  ExplorerOptions explorer_options;
+  explorer_options.concolic.max_runs = runs;
+
+  Explorer cold_explorer(explorer_options);
+  cold_explorer.AddChecker(std::make_unique<HijackChecker>());
+  RestartSide cold =
+      RunRestartSide(cold_explorer, state, peers, fig2.loop().now(), seed_update);
+  Bytes snapshot = persist::SerializeQueryCache(*cold_explorer.query_cache());
+
+  // The "restarted process": a fresh Explorer warmed from the snapshot bytes.
+  Explorer warm_explorer(explorer_options);
+  warm_explorer.AddChecker(std::make_unique<HijackChecker>());
+  Status loaded = persist::LoadQueryCache(snapshot, *warm_explorer.query_cache());
+  RestartSide warm =
+      RunRestartSide(warm_explorer, state, peers, fig2.loop().now(), seed_update);
+
+  const sym::ConcolicStats& wc = warm.concolic;
+  const uint64_t warm_queries = wc.solver_cache_hits + wc.solver_cache_misses;
+  const double hit_rate =
+      warm_queries == 0
+          ? 0.0
+          : static_cast<double>(wc.solver_cache_preloaded_hits) / static_cast<double>(warm_queries);
+  bool identical = loaded.ok() && cold.concolic.runs == wc.runs &&
+                   cold.concolic.unique_paths == wc.unique_paths &&
+                   cold.concolic.branches_covered == wc.branches_covered &&
+                   cold.detections == warm.detections;
+
+  Table table({"restart", "wall s", "runs", "runs/s", "detections", "preloaded hits",
+               "hit rate", "identical"});
+  auto runs_per_sec = [](const RestartSide& s) {
+    return s.seconds <= 0 ? 0.0 : static_cast<double>(s.concolic.runs) / s.seconds;
+  };
+  table.AddRow({"cold", StrFormat("%.4f", cold.seconds),
+                StrFormat("%llu", static_cast<unsigned long long>(cold.concolic.runs)),
+                StrFormat("%.0f", runs_per_sec(cold)),
+                StrFormat("%zu", cold.detections.size()), "-", "-", "yes"});
+  table.AddRow(
+      {"warm", StrFormat("%.4f", warm.seconds),
+       StrFormat("%llu", static_cast<unsigned long long>(wc.runs)),
+       StrFormat("%.0f", runs_per_sec(warm)), StrFormat("%zu", warm.detections.size()),
+       StrFormat("%llu", static_cast<unsigned long long>(wc.solver_cache_preloaded_hits)),
+       StrFormat("%.0f%%", hit_rate * 100.0), identical ? "yes" : "DIVERGED"});
+  table.Print();
+  std::printf("warm restart: %.0f%% of solver queries served from the reloaded snapshot "
+              "(%zu-byte snapshot), results %s\n",
+              hit_rate * 100.0, snapshot.size(), identical ? "identical" : "DIVERGED");
+
+  json.Add("f1g_fanout", static_cast<uint64_t>(fanout))
+      .Add("f1g_snapshot_bytes", static_cast<uint64_t>(snapshot.size()))
+      .Add("warm_cache_hit_rate", hit_rate)
+      .Add("runs_per_sec", runs_per_sec(warm))
+      .Add("f1g_preloaded_hits", wc.solver_cache_preloaded_hits)
+      .Add("f1g_identical", identical);
+  if (!identical) {
+    std::printf("\nFAIL: warm restart changed exploration results\n");
+    return 1;
+  }
+  if (hit_rate < 0.5) {
+    std::printf("\nFAIL: warm restart served only %.0f%% of queries from the reloaded "
+                "cache (need >= 50%%)\n",
+                hit_rate * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const uint64_t runs = flags.GetUint("runs", 128);
@@ -901,6 +1025,7 @@ int Run(int argc, char** argv) {
   rc |= FanoutHeadToHead(remote_domains, std::max<size_t>(remote_batch, 1), rpc_inputs, seed,
                          json);
   rc |= ParallelHeadToHead(runs, seed, prefixes, entries, fanout, hh_reps, json);
+  rc |= WarmRestartHeadToHead(runs, seed, prefixes, entries, fanout, json);
   json.Print();
   return rc;
 }

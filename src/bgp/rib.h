@@ -108,6 +108,15 @@ class Rib {
   using Trie = PrefixTrie<RibEntry>;
   const Trie& trie() const { return trie_; }
 
+  // Snapshot restore (src/persist): installs a fully-formed entry verbatim —
+  // no reselection, no sequence assignment — so a loaded RIB is bit-identical
+  // to the persisted one. Ordinary mutation must go through AddRoute.
+  void RestoreEntry(const Prefix& prefix, RibEntry entry) {
+    trie_.Insert(prefix, std::move(entry));
+  }
+  uint64_t next_sequence() const { return next_sequence_; }
+  void RestoreNextSequence(uint64_t next_sequence) { next_sequence_ = next_sequence; }
+
  private:
   // Recomputes `entry.best`; returns the result bookkeeping.
   static RibUpdateResult Reselect(RibEntry& entry, std::optional<Route> previous_best);

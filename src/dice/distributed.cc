@@ -33,12 +33,16 @@ void DistributedExplorer::TakeCheckpoint(const bgp::RouterState& state,
 
 size_t DistributedExplorer::ExploreSeed(const bgp::UpdateMessage& seed, bgp::PeerId from) {
   size_t runs = local_.ExploreSeed(seed, from);
+  ConfirmRemotely();
+  return runs;
+}
 
+void DistributedExplorer::ConfirmRemotely() {
   system_wide_.clear();
   remote_stats_ = RemoteBatchStats{};
   const std::vector<Detection>& detections = local_.report().detections;
   if (detections.empty() || remotes_.empty()) {
-    return runs;
+    return;
   }
 
   // For every local detection, extend the horizon across the network: would
@@ -104,7 +108,6 @@ size_t DistributedExplorer::ExploreSeed(const bgp::UpdateMessage& seed, bgp::Pee
       system_wide_.push_back(std::move(sw));
     }
   }
-  return runs;
 }
 
 }  // namespace dice

@@ -79,6 +79,16 @@ class DistributedExplorer {
   // input to each remote domain to judge system-wide impact.
   size_t ExploreSeed(const bgp::UpdateMessage& seed, bgp::PeerId from);
 
+  // The local explorer, for callers that drive exploration incrementally
+  // (StartExploration/Step) — dice_cli uses this to snapshot durable state
+  // at run boundaries — then call ConfirmRemotely() themselves.
+  Explorer& local() { return local_; }
+
+  // The remote-confirmation half of ExploreSeed: batches every local
+  // detection's triggering input to each registered remote domain and
+  // rebuilds system_wide()/remote_stats(). Idempotent per exploration.
+  void ConfirmRemotely();
+
   const ExplorationReport& local_report() const { return local_.report(); }
   const std::vector<SystemWideDetection>& system_wide() const { return system_wide_; }
   const RemoteBatchStats& remote_stats() const { return remote_stats_; }

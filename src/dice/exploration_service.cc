@@ -2,14 +2,12 @@
 
 #include "src/bgp/attr_intern.h"
 #include "src/bgp/wire.h"
+#include "src/util/frame.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace dice {
 namespace {
-
-// Frame layout: u32 magic | u16 version | u32 checksum(body) | body.
-constexpr size_t kFrameHeaderSize = 4 + 2 + 4;
 
 // NarrowReply flag bits on the wire; any other bit set is a parse error.
 constexpr uint8_t kReplyAccepted = 0x01;
@@ -18,54 +16,17 @@ constexpr uint8_t kReplyOriginChanged = 0x04;
 constexpr uint8_t kReplyKnownFlags =
     kReplyAccepted | kReplyAdopted | kReplyOriginChanged;
 
-// FNV-1a over the body: cheap end-to-end corruption detection, so a flipped
-// bit anywhere in a frame surfaces as a Status error instead of a plausible
-// but wrong verdict (or a crash further down the parser).
-uint32_t BodyChecksum(const uint8_t* data, size_t size) {
-  uint32_t h = 2166136261u;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= data[i];
-    h *= 16777619u;
-  }
-  return h;
-}
-
-// Validates the frame and returns a reader positioned at the body.
+// Validates the frame against the exploration wire version and returns a
+// reader positioned at the body.
 StatusOr<ByteReader> OpenFrame(const Bytes& bytes, uint32_t expected_magic,
                                const char* what) {
-  if (bytes.size() < kFrameHeaderSize) {
-    return InvalidArgumentError(
-        StrFormat("%s: buffer shorter than frame header (%zu bytes)", what, bytes.size()));
-  }
-  ByteReader r(bytes);
-  uint32_t magic = r.ReadU32().value();
-  if (magic != expected_magic) {
-    return InvalidArgumentError(StrFormat("%s: bad magic 0x%08x", what, magic));
-  }
-  uint16_t version = r.ReadU16().value();
-  if (version != kExplorationWireVersion) {
-    return InvalidArgumentError(StrFormat("%s: unsupported wire version %u (want %u)", what,
-                                          version, kExplorationWireVersion));
-  }
-  uint32_t checksum = r.ReadU32().value();
-  uint32_t actual = BodyChecksum(bytes.data() + kFrameHeaderSize,
-                                 bytes.size() - kFrameHeaderSize);
-  if (checksum != actual) {
-    return InvalidArgumentError(
-        StrFormat("%s: checksum mismatch (frame 0x%08x, body 0x%08x)", what, checksum, actual));
-  }
-  return r;
+  return dice::OpenFrame(bytes, expected_magic, kExplorationWireVersion, what);
 }
 
 }  // namespace
 
 Bytes FrameExplorationMessage(uint32_t magic, const Bytes& body, uint16_t version) {
-  ByteWriter w;
-  w.PutU32(magic);
-  w.PutU16(version);
-  w.PutU32(BodyChecksum(body.data(), body.size()));
-  w.PutBytes(body);
-  return w.Take();
+  return FrameMessage(magic, version, body);
 }
 
 Bytes ExploratoryBatchRequest::Serialize() const {

@@ -24,6 +24,10 @@ std::string ExplorationReport::Summary() const {
                    static_cast<unsigned long long>(concolic.solver_cache_hits),
                    static_cast<unsigned long long>(concolic.solver_cache_misses),
                    static_cast<unsigned long long>(concolic.solver_atoms_sliced));
+  if (concolic.solver_cache_preloaded_hits > 0) {
+    out += StrFormat(" preloaded_hits=%llu",
+                     static_cast<unsigned long long>(concolic.solver_cache_preloaded_hits));
+  }
   if (concolic.solver_workers > 0) {
     out += StrFormat(" workers=%llu solve_tasks=%llu shard_hits=",
                      static_cast<unsigned long long>(concolic.solver_workers),
@@ -70,6 +74,7 @@ sym::SolverStats SubtractStats(const sym::SolverStats& now, const sym::SolverSta
   d.cache_misses = now.cache_misses - base.cache_misses;
   d.cache_unsat_shortcuts = now.cache_unsat_shortcuts - base.cache_unsat_shortcuts;
   d.cache_model_reuses = now.cache_model_reuses - base.cache_model_reuses;
+  d.cache_preloaded_hits = now.cache_preloaded_hits - base.cache_preloaded_hits;
   return d;
 }
 

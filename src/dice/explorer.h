@@ -110,6 +110,10 @@ class Explorer {
   const ExplorationReport& report() const { return report_; }
   const checkpoint::CheckpointManager& checkpoints() const { return checkpoints_; }
 
+  // The long-lived solver's cross-run query cache — the warm state the
+  // persistence layer (src/persist) snapshots and reloads across restarts.
+  const std::shared_ptr<sym::QueryCache>& query_cache() const { return solver_.cache(); }
+
   // Messages exploration clones attempted to send, in order (never delivered
   // to the live network).
   struct InterceptedMessage {

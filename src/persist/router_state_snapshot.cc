@@ -1,0 +1,415 @@
+#include "src/persist/router_state_snapshot.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/bgp/attr_intern.h"
+#include "src/bgp/wire.h"
+#include "src/util/frame.h"
+#include "src/util/strings.h"
+
+namespace dice::persist {
+
+namespace {
+
+using ::dice::ByteReader;
+using ::dice::ByteWriter;
+using ::dice::FailedPreconditionError;
+using ::dice::InvalidArgumentError;
+using ::dice::StrFormat;
+using ::dice::bgp::Aggregator;
+using ::dice::bgp::AsNumber;
+using ::dice::bgp::AsPath;
+using ::dice::bgp::AsSegment;
+using ::dice::bgp::AsSegmentType;
+using ::dice::bgp::InternedAttrs;
+using ::dice::bgp::Ipv4Address;
+using ::dice::bgp::Origin;
+using ::dice::bgp::PathAttributes;
+using ::dice::bgp::Prefix;
+using ::dice::bgp::RibEntry;
+using ::dice::bgp::Route;
+using ::dice::bgp::RouterState;
+using ::dice::bgp::UnknownAttribute;
+
+// Presence bits for the optional PathAttributes fields.
+constexpr uint8_t kHasMed = 0x01;
+constexpr uint8_t kHasLocalPref = 0x02;
+constexpr uint8_t kHasAggregator = 0x04;
+constexpr uint8_t kAtomicAggregate = 0x08;
+constexpr uint8_t kKnownPresenceFlags =
+    kHasMed | kHasLocalPref | kHasAggregator | kAtomicAggregate;
+
+// RibEntry::kNoBest on the wire.
+constexpr uint32_t kNoBestWire = 0xFFFFFFFFu;
+
+// Assigns attribute-table indices in first-encounter order over the
+// deterministic serialization walk (RIB prefix order, then adj_out in map
+// order). Interning makes pointer identity == structural identity, so the
+// pointer is the dedup key.
+class AttrTable {
+ public:
+  uint32_t IndexOf(const InternedAttrs& attrs) {
+    const PathAttributes* p = attrs.ptr().get();
+    auto it = index_.find(p);
+    if (it != index_.end()) {
+      return it->second;
+    }
+    uint32_t idx = static_cast<uint32_t>(attrs_.size());
+    attrs_.push_back(attrs);
+    index_.emplace(p, idx);
+    return idx;
+  }
+
+  void Serialize(ByteWriter& w) const {
+    w.PutU32(static_cast<uint32_t>(attrs_.size()));
+    for (const InternedAttrs& handle : attrs_) {
+      const PathAttributes& a = handle.get();
+      // Stored structural hash: a second corruption tripwire beyond the
+      // frame checksum, and the key the intern table reloads under.
+      w.PutU64(dice::bgp::HashAttrs(a));
+      w.PutU8(static_cast<uint8_t>(a.origin));
+      w.PutU32(static_cast<uint32_t>(a.as_path.segments().size()));
+      for (const AsSegment& seg : a.as_path.segments()) {
+        w.PutU8(static_cast<uint8_t>(seg.type));
+        w.PutU32(static_cast<uint32_t>(seg.asns.size()));
+        for (AsNumber asn : seg.asns) {
+          w.PutU32(asn);
+        }
+      }
+      w.PutU32(a.next_hop.bits());
+      uint8_t presence = 0;
+      presence |= a.med.has_value() ? kHasMed : 0;
+      presence |= a.local_pref.has_value() ? kHasLocalPref : 0;
+      presence |= a.aggregator.has_value() ? kHasAggregator : 0;
+      presence |= a.atomic_aggregate ? kAtomicAggregate : 0;
+      w.PutU8(presence);
+      if (a.med.has_value()) {
+        w.PutU32(*a.med);
+      }
+      if (a.local_pref.has_value()) {
+        w.PutU32(*a.local_pref);
+      }
+      if (a.aggregator.has_value()) {
+        w.PutU32(a.aggregator->asn);
+        w.PutU32(a.aggregator->address.bits());
+      }
+      w.PutU32(static_cast<uint32_t>(a.communities.size()));
+      for (uint32_t c : a.communities) {
+        w.PutU32(c);
+      }
+      w.PutU32(static_cast<uint32_t>(a.unknown.size()));
+      for (const UnknownAttribute& u : a.unknown) {
+        w.PutU8(u.flags);
+        w.PutU8(u.type);
+        w.PutU16(static_cast<uint16_t>(u.value.size()));
+        w.PutBytes(Bytes(u.value.begin(), u.value.end()));
+      }
+    }
+  }
+
+ private:
+  std::vector<InternedAttrs> attrs_;
+  std::unordered_map<const PathAttributes*, uint32_t> index_;
+};
+
+Status ReadOneAttrs(ByteReader& r, PathAttributes& a) {
+  DICE_ASSIGN_OR_RETURN(uint8_t origin_raw, r.ReadU8());
+  if (origin_raw > static_cast<uint8_t>(Origin::kIncomplete)) {
+    return InvalidArgumentError(
+        StrFormat("router state snapshot: bad origin %u", origin_raw));
+  }
+  a.origin = static_cast<Origin>(origin_raw);
+  DICE_ASSIGN_OR_RETURN(uint32_t segment_count, r.ReadU32());
+  // A segment costs at least a type byte plus an ASN count.
+  if (segment_count > r.remaining() / (1 + 4)) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: segment count %u exceeds buffer capacity", segment_count));
+  }
+  std::vector<AsSegment> segments;
+  segments.reserve(segment_count);
+  for (uint32_t s = 0; s < segment_count; ++s) {
+    DICE_ASSIGN_OR_RETURN(uint8_t type_raw, r.ReadU8());
+    if (type_raw != static_cast<uint8_t>(AsSegmentType::kAsSet) &&
+        type_raw != static_cast<uint8_t>(AsSegmentType::kAsSequence)) {
+      return InvalidArgumentError(
+          StrFormat("router state snapshot: bad AS segment type %u", type_raw));
+    }
+    AsSegment seg;
+    seg.type = static_cast<AsSegmentType>(type_raw);
+    DICE_ASSIGN_OR_RETURN(uint32_t asn_count, r.ReadU32());
+    if (asn_count > r.remaining() / 4) {
+      return InvalidArgumentError(StrFormat(
+          "router state snapshot: ASN count %u exceeds buffer capacity", asn_count));
+    }
+    seg.asns.reserve(asn_count);
+    for (uint32_t i = 0; i < asn_count; ++i) {
+      DICE_ASSIGN_OR_RETURN(AsNumber asn, r.ReadU32());
+      seg.asns.push_back(asn);
+    }
+    segments.push_back(std::move(seg));
+  }
+  a.as_path = AsPath(std::move(segments));
+  DICE_ASSIGN_OR_RETURN(uint32_t next_hop, r.ReadU32());
+  a.next_hop = Ipv4Address(next_hop);
+  DICE_ASSIGN_OR_RETURN(uint8_t presence, r.ReadU8());
+  if ((presence & ~kKnownPresenceFlags) != 0) {
+    return InvalidArgumentError(
+        StrFormat("router state snapshot: unknown presence bits 0x%02x", presence));
+  }
+  if ((presence & kHasMed) != 0) {
+    DICE_ASSIGN_OR_RETURN(uint32_t med, r.ReadU32());
+    a.med = med;
+  }
+  if ((presence & kHasLocalPref) != 0) {
+    DICE_ASSIGN_OR_RETURN(uint32_t local_pref, r.ReadU32());
+    a.local_pref = local_pref;
+  }
+  a.atomic_aggregate = (presence & kAtomicAggregate) != 0;
+  if ((presence & kHasAggregator) != 0) {
+    Aggregator agg;
+    DICE_ASSIGN_OR_RETURN(agg.asn, r.ReadU32());
+    DICE_ASSIGN_OR_RETURN(uint32_t addr, r.ReadU32());
+    agg.address = Ipv4Address(addr);
+    a.aggregator = agg;
+  }
+  DICE_ASSIGN_OR_RETURN(uint32_t community_count, r.ReadU32());
+  if (community_count > r.remaining() / 4) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: community count %u exceeds buffer capacity",
+        community_count));
+  }
+  a.communities.reserve(community_count);
+  for (uint32_t i = 0; i < community_count; ++i) {
+    DICE_ASSIGN_OR_RETURN(uint32_t c, r.ReadU32());
+    a.communities.push_back(c);
+  }
+  DICE_ASSIGN_OR_RETURN(uint32_t unknown_count, r.ReadU32());
+  // flags + type + length.
+  if (unknown_count > r.remaining() / (1 + 1 + 2)) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: unknown-attr count %u exceeds buffer capacity",
+        unknown_count));
+  }
+  a.unknown.reserve(unknown_count);
+  for (uint32_t i = 0; i < unknown_count; ++i) {
+    UnknownAttribute u;
+    DICE_ASSIGN_OR_RETURN(u.flags, r.ReadU8());
+    DICE_ASSIGN_OR_RETURN(u.type, r.ReadU8());
+    DICE_ASSIGN_OR_RETURN(uint16_t length, r.ReadU16());
+    DICE_ASSIGN_OR_RETURN(Bytes value, r.ReadBytes(length));
+    u.value.assign(value.begin(), value.end());
+    a.unknown.push_back(std::move(u));
+  }
+  return Status::Ok();
+}
+
+Status ReadAttrIndex(ByteReader& r, const std::vector<InternedAttrs>& attrs,
+                     InternedAttrs& out) {
+  DICE_ASSIGN_OR_RETURN(uint32_t idx, r.ReadU32());
+  if (idx >= attrs.size()) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: attribute reference %u out of range (%zu)", idx,
+        attrs.size()));
+  }
+  out = attrs[idx];
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes SerializeRouterState(const RouterState& state, uint64_t config_fingerprint) {
+  // Pass 1: assign attribute indices over the same deterministic walk the
+  // body serializer makes, so references are first-encounter-ordered.
+  AttrTable table;
+  state.rib.Walk([&](const Prefix&, const RibEntry& entry) {
+    for (const Route& route : entry.routes) {
+      table.IndexOf(route.attrs);
+    }
+    return true;
+  });
+  for (const auto& [peer, trie] : state.adj_out) {
+    trie.Walk([&](const Prefix&, const InternedAttrs& attrs) {
+      table.IndexOf(attrs);
+      return true;
+    });
+  }
+
+  ByteWriter body;
+  body.PutU64(config_fingerprint);
+  table.Serialize(body);
+
+  // RIB: sequence counter, then entries in prefix order.
+  body.PutU64(state.rib.next_sequence());
+  body.PutU32(static_cast<uint32_t>(state.rib.PrefixCount()));
+  state.rib.Walk([&](const Prefix& prefix, const RibEntry& entry) {
+    dice::bgp::EncodePrefix(body, prefix);
+    body.PutU32(static_cast<uint32_t>(entry.routes.size()));
+    for (const Route& route : entry.routes) {
+      body.PutU32(route.peer);
+      body.PutU32(route.peer_as);
+      body.PutU32(table.IndexOf(route.attrs));
+      body.PutU64(route.sequence);
+    }
+    body.PutU32(entry.best == RibEntry::kNoBest ? kNoBestWire
+                                                : static_cast<uint32_t>(entry.best));
+    return true;
+  });
+
+  // Adj-RIB-Out, per peer in map (ascending PeerId) order.
+  body.PutU32(static_cast<uint32_t>(state.adj_out.size()));
+  for (const auto& [peer, trie] : state.adj_out) {
+    body.PutU32(peer);
+    body.PutU32(static_cast<uint32_t>(trie.size()));
+    trie.Walk([&](const Prefix& prefix, const InternedAttrs& attrs) {
+      dice::bgp::EncodePrefix(body, prefix);
+      body.PutU32(table.IndexOf(attrs));
+      return true;
+    });
+  }
+
+  body.PutU64(state.updates_processed);
+  body.PutU64(state.routes_announced_in);
+  body.PutU64(state.routes_withdrawn_in);
+  body.PutU64(state.routes_accepted);
+  body.PutU64(state.routes_filtered);
+  body.PutU64(state.routes_loop_rejected);
+
+  return FrameMessage(kRouterStateSnapshotMagic, kRouterStateSnapshotVersion, body.bytes());
+}
+
+StatusOr<RouterState> LoadRouterState(const Bytes& bytes,
+                                      std::shared_ptr<const bgp::RouterConfig> config,
+                                      uint64_t config_fingerprint) {
+  DICE_ASSIGN_OR_RETURN(
+      ByteReader r, dice::OpenFrame(bytes, kRouterStateSnapshotMagic,
+                                    kRouterStateSnapshotVersion, "router state snapshot"));
+
+  DICE_ASSIGN_OR_RETURN(uint64_t stored_fingerprint, r.ReadU64());
+  if (stored_fingerprint != config_fingerprint) {
+    return FailedPreconditionError(StrFormat(
+        "router state snapshot: config fingerprint mismatch (snapshot %016llx, live "
+        "%016llx) — state computed under another policy cannot be reused",
+        static_cast<unsigned long long>(stored_fingerprint),
+        static_cast<unsigned long long>(config_fingerprint)));
+  }
+
+  DICE_ASSIGN_OR_RETURN(uint32_t attr_count, r.ReadU32());
+  // An attribute record costs at least hash + origin + four counts/fields.
+  if (attr_count > r.remaining() / (8 + 1 + 4 + 4 + 1 + 4)) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: attribute count %u exceeds buffer capacity", attr_count));
+  }
+  std::vector<InternedAttrs> attrs;
+  attrs.reserve(attr_count);
+  for (uint32_t i = 0; i < attr_count; ++i) {
+    DICE_ASSIGN_OR_RETURN(uint64_t stored_hash, r.ReadU64());
+    PathAttributes a;
+    DICE_RETURN_IF_ERROR(ReadOneAttrs(r, a));
+    // The stored structural hash must match the re-hashed decoded value:
+    // catches any corruption the frame checksum happened to miss and any
+    // decode drift between writer and reader.
+    const uint64_t actual = dice::bgp::HashAttrs(a);
+    if (actual != stored_hash) {
+      return InvalidArgumentError(StrFormat(
+          "router state snapshot: attribute %u hash mismatch (stored %016llx, decoded "
+          "%016llx)",
+          i, static_cast<unsigned long long>(stored_hash),
+          static_cast<unsigned long long>(actual)));
+    }
+    attrs.emplace_back(std::move(a));  // re-interns in this process
+  }
+
+  RouterState state;
+  state.config = std::move(config);
+
+  DICE_ASSIGN_OR_RETURN(uint64_t next_sequence, r.ReadU64());
+  DICE_ASSIGN_OR_RETURN(uint32_t prefix_count, r.ReadU32());
+  // A RIB record costs at least a 1-byte prefix, a route count, and a best
+  // index.
+  if (prefix_count > r.remaining() / (1 + 4 + 4)) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: prefix count %u exceeds buffer capacity", prefix_count));
+  }
+  for (uint32_t p = 0; p < prefix_count; ++p) {
+    DICE_ASSIGN_OR_RETURN(Prefix prefix, dice::bgp::DecodePrefix(r));
+    RibEntry entry;
+    DICE_ASSIGN_OR_RETURN(uint32_t route_count, r.ReadU32());
+    // peer + peer_as + attr index + sequence.
+    if (route_count > r.remaining() / (4 + 4 + 4 + 8)) {
+      return InvalidArgumentError(StrFormat(
+          "router state snapshot: route count %u exceeds buffer capacity", route_count));
+    }
+    entry.routes.reserve(route_count);
+    for (uint32_t i = 0; i < route_count; ++i) {
+      Route route;
+      DICE_ASSIGN_OR_RETURN(route.peer, r.ReadU32());
+      DICE_ASSIGN_OR_RETURN(route.peer_as, r.ReadU32());
+      DICE_RETURN_IF_ERROR(ReadAttrIndex(r, attrs, route.attrs));
+      DICE_ASSIGN_OR_RETURN(route.sequence, r.ReadU64());
+      if (route.sequence >= next_sequence) {
+        return InvalidArgumentError(StrFormat(
+            "router state snapshot: route sequence %llu not below counter %llu",
+            static_cast<unsigned long long>(route.sequence),
+            static_cast<unsigned long long>(next_sequence)));
+      }
+      entry.routes.push_back(std::move(route));
+    }
+    DICE_ASSIGN_OR_RETURN(uint32_t best_wire, r.ReadU32());
+    if (best_wire == kNoBestWire) {
+      entry.best = RibEntry::kNoBest;
+    } else if (best_wire < entry.routes.size()) {
+      entry.best = best_wire;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "router state snapshot: best index %u out of range (%zu routes)", best_wire,
+          entry.routes.size()));
+    }
+    state.rib.RestoreEntry(prefix, std::move(entry));
+  }
+  state.rib.RestoreNextSequence(next_sequence);
+
+  DICE_ASSIGN_OR_RETURN(uint32_t peer_count, r.ReadU32());
+  if (peer_count > r.remaining() / (4 + 4)) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: peer count %u exceeds buffer capacity", peer_count));
+  }
+  for (uint32_t i = 0; i < peer_count; ++i) {
+    DICE_ASSIGN_OR_RETURN(uint32_t peer, r.ReadU32());
+    if (state.adj_out.find(peer) != state.adj_out.end()) {
+      return InvalidArgumentError(
+          StrFormat("router state snapshot: duplicate adj-out peer %u", peer));
+    }
+    auto& trie = state.adj_out[peer];
+    DICE_ASSIGN_OR_RETURN(uint32_t entry_count, r.ReadU32());
+    if (entry_count > r.remaining() / (1 + 4)) {
+      return InvalidArgumentError(StrFormat(
+          "router state snapshot: adj-out entry count %u exceeds buffer capacity",
+          entry_count));
+    }
+    for (uint32_t e = 0; e < entry_count; ++e) {
+      DICE_ASSIGN_OR_RETURN(Prefix prefix, dice::bgp::DecodePrefix(r));
+      InternedAttrs handle;
+      DICE_RETURN_IF_ERROR(ReadAttrIndex(r, attrs, handle));
+      trie.Insert(prefix, std::move(handle));
+    }
+  }
+
+  DICE_ASSIGN_OR_RETURN(state.updates_processed, r.ReadU64());
+  DICE_ASSIGN_OR_RETURN(state.routes_announced_in, r.ReadU64());
+  DICE_ASSIGN_OR_RETURN(state.routes_withdrawn_in, r.ReadU64());
+  DICE_ASSIGN_OR_RETURN(state.routes_accepted, r.ReadU64());
+  DICE_ASSIGN_OR_RETURN(state.routes_filtered, r.ReadU64());
+  DICE_ASSIGN_OR_RETURN(state.routes_loop_rejected, r.ReadU64());
+
+  if (!r.AtEnd()) {
+    return InvalidArgumentError(StrFormat(
+        "router state snapshot: %zu trailing bytes after counters", r.remaining()));
+  }
+
+  return state;
+}
+
+}  // namespace dice::persist

@@ -67,6 +67,8 @@ void ConcolicDriver::RunOnce(const Assignment& assignment, size_t bound) {
 void ConcolicDriver::MirrorSolverCounters() {
   stats_.solver_cache_hits = solver_->stats().cache_hits - solver_cache_hits_base_;
   stats_.solver_cache_misses = solver_->stats().cache_misses - solver_cache_misses_base_;
+  stats_.solver_cache_preloaded_hits =
+      solver_->stats().cache_preloaded_hits - solver_cache_preloaded_hits_base_;
   stats_.solver_atoms_sliced = solver_->stats().atoms_sliced - solver_atoms_sliced_base_;
   if (pool_ == nullptr) {
     // Per-shard hit counts are only surfaced when workers are enabled; skip
@@ -87,6 +89,7 @@ void ConcolicDriver::StartIncremental(const Program& program, RunObserver on_run
   incremental_active_ = true;
   solver_cache_hits_base_ = solver_->stats().cache_hits;
   solver_cache_misses_base_ = solver_->stats().cache_misses;
+  solver_cache_preloaded_hits_base_ = solver_->stats().cache_preloaded_hits;
   solver_atoms_sliced_base_ = solver_->stats().atoms_sliced;
   shard_hits_base_ = solver_->cache()->ShardHits();
   // Seed run on the originally observed input (empty assignment = seeds).

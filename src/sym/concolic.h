@@ -59,6 +59,7 @@ struct ConcolicStats {
   // reports built from ConcolicStats can surface them directly.
   uint64_t solver_cache_hits = 0;
   uint64_t solver_cache_misses = 0;
+  uint64_t solver_cache_preloaded_hits = 0;  // hits served from a loaded snapshot
   uint64_t solver_atoms_sliced = 0;
   // Parallel candidate solving: pool width (0 = serial), candidate solves
   // dispatched to the pool (speculative re-dispatches included), and the
@@ -158,6 +159,7 @@ class ConcolicDriver {
   // exploration.
   uint64_t solver_cache_hits_base_ = 0;
   uint64_t solver_cache_misses_base_ = 0;
+  uint64_t solver_cache_preloaded_hits_base_ = 0;
   uint64_t solver_atoms_sliced_base_ = 0;
   std::vector<uint64_t> shard_hits_base_;
 };

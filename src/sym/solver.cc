@@ -397,11 +397,14 @@ uint64_t QueryCache::ResetIfVarsChanged(const std::vector<VarInfo>& vars) {
   return h;
 }
 
-bool QueryCache::MatchesUnsatCore(const QueryKey& key) const {
+bool QueryCache::MatchesUnsatCore(const QueryKey& key, bool* matched_preloaded) const {
   std::shared_lock<std::shared_mutex> lock(cores_mu_);
   for (const Core& core : cores_) {
     if (core.key.size() <= key.size() &&
         std::includes(key.begin(), key.end(), core.key.begin(), core.key.end())) {
+      if (matched_preloaded != nullptr) {
+        *matched_preloaded = core.preloaded;
+      }
       return true;
     }
   }
@@ -438,6 +441,57 @@ void QueryCache::PublishCores(std::vector<Core> cores) {
       cores_.pop_front();
     }
   }
+}
+
+QueryCache::Exported QueryCache::Export() const {
+  Exported out;
+  out.vars_fingerprint = vars_fingerprint_.load(std::memory_order_acquire);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    out.entries.reserve(out.entries.size() + shard->hashed_entries.size());
+    // dice-lint: unordered-iteration-ok(collected wholesale, then sorted by key below)
+    for (const auto& [key, entry] : shard->hashed_entries) {
+      out.entries.emplace_back(key, entry);
+    }
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    std::shared_lock<std::shared_mutex> cores_lock(cores_mu_);
+    out.cores.assign(cores_.begin(), cores_.end());
+  }
+  return out;
+}
+
+void QueryCache::Import(Exported snapshot) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->hashed_entries.clear();
+  }
+  {
+    std::unique_lock<std::shared_mutex> cores_lock(cores_mu_);
+    cores_.clear();
+    for (Core& core : snapshot.cores) {
+      if (cores_.size() >= max_cores_) {
+        break;
+      }
+      core.preloaded = true;
+      cores_.push_back(std::move(core));
+    }
+  }
+  for (auto& [key, entry] : snapshot.entries) {
+    Shard& shard = ShardFor(key);
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.hashed_entries.size() >= max_entries_per_shard_) {
+      continue;  // capacity-capped import: keep what fits, stay warm
+    }
+    entry.preloaded = true;
+    shard.hashed_entries.insert_or_assign(std::move(key), std::move(entry));
+  }
+  // Publish the persisted universe fingerprint last: the first
+  // ResetIfVarsChanged after a warm start keeps these entries iff the live
+  // variable universe matches the one the snapshot was computed under.
+  vars_fingerprint_.store(snapshot.vars_fingerprint, std::memory_order_release);
 }
 
 std::vector<uint64_t> QueryCache::ShardHits() const {
@@ -1100,12 +1154,14 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
     // Entry copy. The promotion/Store below happens outside the visitor, so
     // the shard lock is never held recursively.
     bool served = false;
+    bool served_preloaded = false;
     const bool found = cache_->Lookup(key, [&](const QueryCache::Entry& entry) {
       if (entry.kind == SolveKind::kUnsat) {
         ++stats_.cache_hits;
         ++stats_.unsat;
         result.kind = SolveKind::kUnsat;
         served = true;
+        served_preloaded = entry.preloaded;
         return;
       }
       // SAT and budget-exhausted verdicts are served only when the anchoring
@@ -1118,29 +1174,40 @@ SolveResult Solver::Solve(const std::vector<ExprPtr>& constraints,
           ++stats_.unknown;
           result.kind = SolveKind::kUnknown;
           served = true;
+          served_preloaded = entry.preloaded;
           return;
         }
         if (serve_sat(entry)) {
           ++stats_.cache_hits;
           served = true;
+          served_preloaded = entry.preloaded;
         }
       }
     });
     if (served) {
+      if (served_preloaded) {
+        ++stats_.cache_preloaded_hits;
+      }
       return result;
     }
     if (!found) {
       // Any superset of a proven-UNSAT constraint set is UNSAT.
-      if (cache_->MatchesUnsatCore(key)) {
+      bool core_preloaded = false;
+      if (cache_->MatchesUnsatCore(key, &core_preloaded)) {
         ++stats_.cache_hits;
         ++stats_.cache_unsat_shortcuts;
         ++stats_.unsat;
+        if (core_preloaded) {
+          ++stats_.cache_preloaded_hits;
+        }
         result.kind = SolveKind::kUnsat;
         // Promote to an exact entry so repeats of this query skip the
-        // linear core scan.
+        // linear core scan; the entry inherits the core's snapshot
+        // provenance so later hits keep counting as warm.
         QueryCache::Entry promoted;
         promoted.kind = SolveKind::kUnsat;
         promoted.constraints = *query;
+        promoted.preloaded = core_preloaded;
         cache_->Store(std::move(key), std::move(promoted));
         return result;
       }

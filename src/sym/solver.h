@@ -105,6 +105,10 @@ struct SolverStats {
   uint64_t cache_misses = 0;          // cache enabled but a full solve ran
   uint64_t cache_unsat_shortcuts = 0; // served via the UNSAT-superset rule
   uint64_t cache_model_reuses = 0;    // served by re-validating a cached model
+  // Cache hits whose entry/core was restored from a persisted snapshot
+  // (src/persist) rather than learned in this process — the warm-restart
+  // payoff counter the kill/restart gate asserts on.
+  uint64_t cache_preloaded_hits = 0;
 };
 
 // Sorted, deduplicated interned-expression ids — the canonical form of a
@@ -139,6 +143,9 @@ class QueryCache {
     Assignment hint;
     // Keeps the constraint expressions alive so interned ids stay stable.
     std::vector<ExprPtr> constraints;
+    // True iff this entry was restored from a persisted snapshot instead of
+    // learned in this process (feeds SolverStats::cache_preloaded_hits).
+    bool preloaded = false;
   };
 
   // A proven-UNSAT constraint-id set; any superset query is UNSAT. `owners`
@@ -146,6 +153,7 @@ class QueryCache {
   struct Core {
     QueryKey key;
     std::vector<ExprPtr> owners;
+    bool preloaded = false;
   };
 
   QueryCache(size_t max_entries, size_t max_cores, size_t shards = kDefaultShards);
@@ -174,8 +182,10 @@ class QueryCache {
     return true;
   }
 
-  // True iff `key` (sorted) is a superset of some proven-UNSAT core.
-  bool MatchesUnsatCore(const QueryKey& key) const;
+  // True iff `key` (sorted) is a superset of some proven-UNSAT core. When
+  // `matched_preloaded` is non-null it reports whether the matching core came
+  // from a persisted snapshot (provenance for the warm-hit counter).
+  bool MatchesUnsatCore(const QueryKey& key, bool* matched_preloaded = nullptr) const;
 
   void Store(QueryKey key, Entry entry);
 
@@ -187,6 +197,24 @@ class QueryCache {
   size_t shard_count() const { return shards_.size(); }
   // Lifetime per-shard lookup hits (Lookup calls that found an entry).
   std::vector<uint64_t> ShardHits() const;
+
+  // Snapshot support (src/persist): a deterministic copy of the cache's
+  // contents. Entries come back sorted by key (shard layout never leaks into
+  // the serialized form); cores in publication order.
+  struct Exported {
+    uint64_t vars_fingerprint = 0;
+    std::vector<std::pair<QueryKey, Entry>> entries;
+    std::vector<Core> cores;
+  };
+  Exported Export() const;
+
+  // Replaces the cache's contents with a snapshot whose expressions have
+  // been re-interned in this process (keys already recomputed from the new
+  // ids). Every restored entry/core is marked `preloaded` so hits served
+  // from them are attributable to the warm start. The snapshot's variable
+  // fingerprint is installed too: the first ResetIfVarsChanged keeps the
+  // warmth iff the live universe matches the one persisted.
+  void Import(Exported snapshot);
 
   static constexpr size_t kDefaultShards = 8;
 

@@ -1,0 +1,51 @@
+#include "src/util/frame.h"
+
+#include "src/util/strings.h"
+
+namespace dice {
+
+uint32_t BodyChecksum(const uint8_t* data, size_t size) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+Bytes FrameMessage(uint32_t magic, uint16_t version, const Bytes& body) {
+  ByteWriter w;
+  w.PutU32(magic);
+  w.PutU16(version);
+  w.PutU32(BodyChecksum(body.data(), body.size()));
+  w.PutBytes(body);
+  return w.Take();
+}
+
+StatusOr<ByteReader> OpenFrame(const Bytes& bytes, uint32_t expected_magic,
+                               uint16_t expected_version, const char* what) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return InvalidArgumentError(
+        StrFormat("%s: buffer shorter than frame header (%zu bytes)", what, bytes.size()));
+  }
+  ByteReader r(bytes);
+  uint32_t magic = r.ReadU32().value();
+  if (magic != expected_magic) {
+    return InvalidArgumentError(StrFormat("%s: bad magic 0x%08x", what, magic));
+  }
+  uint16_t version = r.ReadU16().value();
+  if (version != expected_version) {
+    return InvalidArgumentError(StrFormat("%s: unsupported wire version %u (want %u)", what,
+                                          version, expected_version));
+  }
+  uint32_t checksum = r.ReadU32().value();
+  uint32_t actual = BodyChecksum(bytes.data() + kFrameHeaderSize,
+                                 bytes.size() - kFrameHeaderSize);
+  if (checksum != actual) {
+    return InvalidArgumentError(
+        StrFormat("%s: checksum mismatch (frame 0x%08x, body 0x%08x)", what, checksum, actual));
+  }
+  return r;
+}
+
+}  // namespace dice

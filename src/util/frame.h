@@ -1,0 +1,39 @@
+// Framed byte container shared by the federated wire format (PR 4) and the
+// on-disk snapshot format: u32 magic | u16 version | u32 FNV-1a checksum of
+// the body | body. The frame makes every serialized artifact
+// self-identifying (magic), refusable (version), and end-to-end checked
+// (checksum), so truncation, version skew, and bit flips all surface as a
+// Status error from OpenFrame instead of a plausible-but-wrong parse.
+
+#ifndef SRC_UTIL_FRAME_H_
+#define SRC_UTIL_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace dice {
+
+// Frame layout: u32 magic | u16 version | u32 checksum(body) | body.
+constexpr size_t kFrameHeaderSize = 4 + 2 + 4;
+
+// FNV-1a over the body: cheap end-to-end corruption detection, so a flipped
+// bit anywhere in a frame surfaces as a Status error instead of a plausible
+// but wrong value (or a crash further down the parser).
+uint32_t BodyChecksum(const uint8_t* data, size_t size);
+
+// Frames `body`: magic, version, FNV-1a checksum of the body, the body.
+Bytes FrameMessage(uint32_t magic, uint16_t version, const Bytes& body);
+
+// Validates magic, version, and checksum, and returns a reader positioned at
+// the body. `what` names the message kind in error text.
+[[nodiscard]] StatusOr<ByteReader> OpenFrame(const Bytes& bytes,
+                                             uint32_t expected_magic,
+                                             uint16_t expected_version,
+                                             const char* what);
+
+}  // namespace dice
+
+#endif  // SRC_UTIL_FRAME_H_

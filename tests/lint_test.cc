@@ -59,6 +59,18 @@ TEST(LintTokens, FlagsWallClockOutsideAllowlist) {
   EXPECT_TRUE(Lint("src/util/logging.cc", source).clean());
 }
 
+TEST(LintTokens, WallClockPersistAllowlistIsEnvOnly) {
+  // The persistence Env may read the clock (quarantine file timestamps);
+  // every other persist file must route time through Env::NowMicros so
+  // fault-injection tests fully control it.
+  const std::string source = "#include <time.h>\nvoid f() { clock_gettime(0, nullptr); }\n";
+  EXPECT_TRUE(Lint("src/persist/env.cc", source).clean());
+  EXPECT_EQ(Sites(Lint("src/persist/snapshot_store.cc", source)),
+            (std::vector<std::string>{"src/persist/snapshot_store.cc:2:wall-clock"}));
+  EXPECT_EQ(Sites(Lint("src/persist/env.h", source)),
+            (std::vector<std::string>{"src/persist/env.h:2:wall-clock"}));
+}
+
 TEST(LintTokens, IgnoresTokensInCommentsAndStrings) {
   LintReport r = Lint("src/foo.cc",
                       "// std::mt19937 would be bad here\n"

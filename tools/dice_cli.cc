@@ -11,7 +11,7 @@
 //            [--anycast=192.175.48.0/24,...] [--peer=<neighbor address>]
 //            [--inject=203.0.113.0/24:64500,...]
 //            [--remote_config=upstream.conf,...] [--remote_batch_size=N]
-//            [--solver_workers=N]
+//            [--solver_workers=N] [--state_dir=DIR] [--snapshot_every=N]
 //
 // The configuration must contain exactly one router block; the trace (or the
 // synthetic table) is loaded as routes from the *first* configured neighbor
@@ -27,6 +27,12 @@
 // that session receives the exploratory routes). Remote domains answer over
 // the batched, wire-serialized ExplorationService narrow interface;
 // --remote_batch_size caps exploratory updates per RPC (default 64, min 1).
+//
+// Durable state: --state_dir=DIR persists the solver query cache (every
+// --snapshot_every exploration runs, default 64) and the loaded router state
+// as crash-safe generation files, and reloads them on start — a killed
+// process warm-restarts with its learned UNSAT cores. Corrupt or torn
+// snapshots are detected, quarantined, and degrade to a cold start.
 
 #include <cstdio>
 #include <fstream>
@@ -38,7 +44,11 @@
 
 #include "bench/common.h"
 #include "src/dice/distributed.h"
+#include "src/persist/query_cache_snapshot.h"
+#include "src/persist/router_state_snapshot.h"
+#include "src/persist/snapshot_store.h"
 #include "src/trace/trace.h"
+#include "src/util/frame.h"
 
 namespace dice {
 namespace {
@@ -59,7 +69,7 @@ void PrintUsage(std::FILE* out) {
                "                [--runs=N] [--seed=N] [--seed-prefix=P] [--seed-asn=A]\n"
                "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n"
                "                [--remote_config=F,...] [--remote_batch_size=N]\n"
-               "                [--solver_workers=N]\n");
+               "                [--solver_workers=N] [--state_dir=DIR] [--snapshot_every=N]\n");
 }
 
 // Rejects anything bench::Flags would silently ignore or misread: unknown
@@ -73,9 +83,11 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
       "config",  "trace",       "prefixes", "runs",    "seed",
       "peer",    "seed-prefix", "seed-asn", "anycast", "inject",
       "remote_config", "remote_batch_size", "solver_workers",
+      "state_dir", "snapshot_every",
   };
   static const std::set<std::string> kUintFlags = {
-      "prefixes", "runs", "seed", "seed-asn", "remote_batch_size", "solver_workers"};
+      "prefixes", "runs", "seed", "seed-asn", "remote_batch_size", "solver_workers",
+      "snapshot_every"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -108,6 +120,14 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
     if (key == "solver_workers" && *ParseUint64(value) == 0) {
       std::fprintf(stderr, "error: flag '--solver_workers' must be at least 1 "
                            "(omit the flag for serial solving)\n");
+      return 2;
+    }
+    if (key == "state_dir" && value.empty()) {
+      std::fprintf(stderr, "error: flag '--state_dir' requires a non-empty directory\n");
+      return 2;
+    }
+    if (key == "snapshot_every" && *ParseUint64(value) == 0) {
+      std::fprintf(stderr, "error: flag '--snapshot_every' must be at least 1\n");
       return 2;
     }
   }
@@ -193,6 +213,8 @@ int Run(int argc, char** argv) {
   const uint64_t seed = flags.GetUint("seed", 1);
   const uint64_t remote_batch_size = flags.GetUint("remote_batch_size", 64);
   const uint64_t solver_workers = flags.GetUint("solver_workers", 0);  // 0 = serial
+  const std::string state_dir = flags.GetString("state_dir", "");
+  const uint64_t snapshot_every = flags.GetUint("snapshot_every", 64);
 
   if (config_path.empty()) {
     PrintUsage(stderr);
@@ -243,58 +265,119 @@ int Run(int argc, char** argv) {
   table_view.address = table_neighbor->address;
   table_view.established = true;
 
-  bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
-  size_t loaded = 0;
+  // What the table would be built from, hashed into the snapshot fingerprint:
+  // a router-state snapshot only loads back under the exact config, table
+  // source, and injections that produced it, so a warm restart can never
+  // silently explore a different cold-start state.
+  const std::string inject_spec = flags.GetString("inject", "");
+  std::string trace_text_str;
   if (!trace_path.empty()) {
     auto trace_text = ReadFile(trace_path);
     if (!trace_text.ok()) {
       std::fprintf(stderr, "error: %s\n", trace_text.status().ToString().c_str());
       return 1;
     }
-    auto trace = trace::ParseTrace(*trace_text);
-    if (!trace.ok()) {
-      std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
-      return 1;
-    }
-    for (const trace::TraceEvent& ev : trace->events) {
-      bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, ev.update, discard);
-      loaded += ev.update.nlri.size();
-    }
-    std::printf("loaded trace %s: %zu events, %zu announced prefixes\n", trace_path.c_str(),
-                trace->events.size(), loaded);
-  } else {
-    trace::TraceGeneratorOptions gen_options;
-    gen_options.seed = seed;
-    gen_options.prefix_count = prefixes;
-    trace::TraceGenerator generator(gen_options);
-    for (const trace::TraceEvent& ev : generator.FullDump().events) {
-      bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, ev.update, discard);
-      loaded += ev.update.nlri.size();
-    }
-    std::printf("loaded synthetic table: %zu prefixes (use --trace= for real data)\n", loaded);
+    trace_text_str = std::move(trace_text).value();
   }
-  // Extra routes planted into the table, e.g. --inject=203.0.113.0/24:64500
-  // (prefix:origin-AS). Useful to model space the operator knows exists.
-  for (const std::string& spec : Split(flags.GetString("inject", ""), ',')) {
-    if (spec.empty()) {
-      continue;
+  uint64_t state_fingerprint = 0;
+  {
+    std::string fp_src = *config_text + '\n';
+    fp_src += trace_path.empty()
+                  ? StrFormat("synthetic:%llu:%llu", static_cast<unsigned long long>(seed),
+                              static_cast<unsigned long long>(prefixes))
+                  : trace_text_str;
+    fp_src += '\n';
+    fp_src += inject_spec;
+    state_fingerprint =
+        BodyChecksum(reinterpret_cast<const uint8_t*>(fp_src.data()), fp_src.size());
+  }
+
+  persist::PosixEnv persist_env;
+  std::optional<persist::SnapshotStore> router_store;
+  std::optional<persist::SnapshotStore> cache_store;
+  if (!state_dir.empty()) {
+    router_store.emplace(persist_env, state_dir, "router_state");
+    cache_store.emplace(persist_env, state_dir, "query_cache");
+  }
+
+  bool state_loaded = false;
+  if (router_store.has_value()) {
+    auto generation = router_store->LoadLatest([&](const Bytes& bytes) -> Status {
+      auto restored = persist::LoadRouterState(bytes, state.config, state_fingerprint);
+      if (!restored.ok()) {
+        return restored.status();
+      }
+      state = std::move(restored).value();
+      return Status();
+    });
+    if (generation.ok()) {
+      state_loaded = true;
+      std::printf("warm restart: router state generation %llu loaded from %s\n",
+                  static_cast<unsigned long long>(*generation), state_dir.c_str());
+    } else {
+      std::printf("cold start: %s\n", generation.status().message().c_str());
     }
-    auto parts = Split(spec, ':');
-    auto prefix = bgp::Prefix::Parse(parts[0]);
-    auto origin = parts.size() > 1 ? ParseUint64(parts[1]) : std::optional<uint64_t>(64500);
-    if (!prefix.has_value() || !origin.has_value()) {
-      std::fprintf(stderr, "error: bad --inject entry '%s'\n", spec.c_str());
-      return 1;
+  }
+
+  bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+  if (!state_loaded) {
+    size_t loaded = 0;
+    if (!trace_path.empty()) {
+      auto trace = trace::ParseTrace(trace_text_str);
+      if (!trace.ok()) {
+        std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
+        return 1;
+      }
+      for (const trace::TraceEvent& ev : trace->events) {
+        bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, ev.update, discard);
+        loaded += ev.update.nlri.size();
+      }
+      std::printf("loaded trace %s: %zu events, %zu announced prefixes\n", trace_path.c_str(),
+                  trace->events.size(), loaded);
+    } else {
+      trace::TraceGeneratorOptions gen_options;
+      gen_options.seed = seed;
+      gen_options.prefix_count = prefixes;
+      trace::TraceGenerator generator(gen_options);
+      for (const trace::TraceEvent& ev : generator.FullDump().events) {
+        bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, ev.update, discard);
+        loaded += ev.update.nlri.size();
+      }
+      std::printf("loaded synthetic table: %zu prefixes (use --trace= for real data)\n", loaded);
     }
-    bgp::UpdateMessage u;
-    u.attrs.origin = bgp::Origin::kIgp;
-    u.attrs.as_path =
-        bgp::AsPath::Sequence({table_neighbor->remote_as, static_cast<bgp::AsNumber>(*origin)});
-    u.attrs.next_hop = table_neighbor->address;
-    u.nlri.push_back(*prefix);
-    bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, u, discard);
-    std::printf("injected %s (origin AS %llu)\n", prefix->ToString().c_str(),
-                static_cast<unsigned long long>(*origin));
+    // Extra routes planted into the table, e.g. --inject=203.0.113.0/24:64500
+    // (prefix:origin-AS). Useful to model space the operator knows exists.
+    for (const std::string& spec : Split(inject_spec, ',')) {
+      if (spec.empty()) {
+        continue;
+      }
+      auto parts = Split(spec, ':');
+      auto prefix = bgp::Prefix::Parse(parts[0]);
+      auto origin = parts.size() > 1 ? ParseUint64(parts[1]) : std::optional<uint64_t>(64500);
+      if (!prefix.has_value() || !origin.has_value()) {
+        std::fprintf(stderr, "error: bad --inject entry '%s'\n", spec.c_str());
+        return 1;
+      }
+      bgp::UpdateMessage u;
+      u.attrs.origin = bgp::Origin::kIgp;
+      u.attrs.as_path =
+          bgp::AsPath::Sequence({table_neighbor->remote_as, static_cast<bgp::AsNumber>(*origin)});
+      u.attrs.next_hop = table_neighbor->address;
+      u.nlri.push_back(*prefix);
+      bgp::ProcessUpdate(state, {table_view}, table_view, *table_neighbor, u, discard);
+      std::printf("injected %s (origin AS %llu)\n", prefix->ToString().c_str(),
+                  static_cast<unsigned long long>(*origin));
+    }
+    if (router_store.has_value()) {
+      auto saved = router_store->Save(persist::SerializeRouterState(state, state_fingerprint));
+      if (saved.ok()) {
+        std::printf("router state snapshot: generation %llu written to %s\n",
+                    static_cast<unsigned long long>(*saved), state_dir.c_str());
+      } else {
+        std::fprintf(stderr, "warning: router state snapshot failed: %s\n",
+                     saved.status().ToString().c_str());
+      }
+    }
   }
 
   std::printf("RIB: %zu prefixes\n", state.rib.PrefixCount());
@@ -344,6 +427,20 @@ int Run(int argc, char** argv) {
     explorer.AddRemoteService(std::move(*service));
   }
 
+  // Warm the long-lived solver cache from the latest loadable snapshot;
+  // corrupt generations quarantine and the previous one is tried.
+  if (cache_store.has_value()) {
+    auto generation = cache_store->LoadLatest([&](const Bytes& bytes) -> Status {
+      return persist::LoadQueryCache(bytes, *explorer.local().query_cache());
+    });
+    if (generation.ok()) {
+      std::printf("warm restart: query cache generation %llu loaded from %s\n",
+                  static_cast<unsigned long long>(*generation), state_dir.c_str());
+    } else {
+      std::printf("cold solver cache: %s\n", generation.status().message().c_str());
+    }
+  }
+
   explorer.TakeCheckpoint(state, {table_view, explore_view}, 0);
 
   bgp::UpdateMessage seed_update;
@@ -361,8 +458,44 @@ int Run(int argc, char** argv) {
               explore_neighbor->address.ToString().c_str(), explore_neighbor->remote_as,
               seed_update.nlri[0].ToString().c_str(), static_cast<unsigned long long>(runs));
   bench::Stopwatch timer;
-  explorer.ExploreSeed(seed_update, explore_view.id);
+  if (state_dir.empty()) {
+    explorer.ExploreSeed(seed_update, explore_view.id);
+  } else {
+    // Same exploration as ExploreSeed (StartExploration + Step to exhaustion +
+    // ConfirmRemotely), with a crash-safe query-cache snapshot every
+    // --snapshot_every runs so a killed process warm-restarts.
+    auto save_cache = [&]() {
+      auto saved = cache_store->Save(persist::SerializeQueryCache(*explorer.local().query_cache()));
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: query cache snapshot failed: %s\n",
+                     saved.status().ToString().c_str());
+      }
+    };
+    explorer.local().StartExploration(seed_update, explore_view.id);
+    uint64_t steps = 0;
+    while (explorer.local().Step()) {
+      if (++steps % snapshot_every == 0) {
+        save_cache();
+      }
+    }
+    save_cache();
+    explorer.ConfirmRemotely();
+  }
   std::printf("done in %.2fs: %s\n", timer.Seconds(), explorer.local_report().Summary().c_str());
+
+  // A stable digest over the detection list, for crash-recovery gates that
+  // diff an interrupted-then-warm-restarted run against an uninterrupted one.
+  {
+    std::string digest_src;
+    for (const Detection& d : explorer.local_report().detections) {
+      digest_src += d.ToString();
+      digest_src += '\n';
+    }
+    std::printf("detections_digest=%08x count=%zu\n",
+                BodyChecksum(reinterpret_cast<const uint8_t*>(digest_src.data()),
+                             digest_src.size()),
+                explorer.local_report().detections.size());
+  }
 
   // What crossing the federation boundary cost, when remote domains are
   // registered: RPC counts and the wire bytes that actually moved.
