@@ -1,0 +1,104 @@
+// F1h — sharded deterministic simulation: throughput and bit-identity.
+//
+// Runs the ScaleRing topology (ring-of-fanouts; see bench/topology.h) through
+// its full lifecycle — establishment, origination, convergence, settle — on
+// the serial net::EventLoop, then on net::ShardedEventLoop with shards =
+// {2,4,8} at equal simulated-time budgets. Reports events/second for every
+// configuration, and holds the sharded runs to the determinism contract: the
+// executed-event count and the serialized router-state digest must be
+// bit-identical to serial for every shard count. Exits non-zero on any
+// divergence — the release job's `"identical": false` gate catches the JSON
+// field too.
+//
+// Flags: --ring=N (hubs, <=12), --fanout=N (leaves per hub),
+// --prefixes_per_leaf=N, --settle_seconds=N (extra simulated settle),
+// --reps=N (wall-clock reps per config, best-of).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/topology.h"
+
+namespace dice::bench {
+namespace {
+
+struct RunOutcome {
+  uint64_t events = 0;
+  uint32_t digest = 0;
+  double best_seconds = 0;  // best-of-reps wall time
+};
+
+RunOutcome RunOnce(const ScaleRingOptions& options, uint64_t settle_seconds, uint64_t reps) {
+  RunOutcome outcome;
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    ScaleRing topo(options);
+    topo.Settle(settle_seconds * net::kSecond);
+    double seconds = watch.Seconds();
+    outcome.events = topo.events_executed();
+    outcome.digest = topo.StateDigest();
+    if (rep == 0 || seconds < outcome.best_seconds) {
+      outcome.best_seconds = seconds;
+    }
+  }
+  return outcome;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ScaleRingOptions options;
+  options.ring = flags.GetUint("ring", 8);
+  options.fanout = flags.GetUint("fanout", 16);
+  options.prefixes_per_leaf = flags.GetUint("prefixes_per_leaf", 4);
+  const uint64_t settle_seconds = flags.GetUint("settle_seconds", 5);
+  const uint64_t reps = std::max<uint64_t>(flags.GetUint("reps", 3), 1);
+
+  std::printf("F1h: sharded simulation — ScaleRing ring=%zu fanout=%zu prefixes/leaf=%zu\n\n",
+              options.ring, options.fanout, options.prefixes_per_leaf);
+
+  ScaleRingOptions serial_options = options;
+  serial_options.sim_shards = 0;
+  RunOutcome serial = RunOnce(serial_options, settle_seconds, reps);
+  const double serial_eps = static_cast<double>(serial.events) / serial.best_seconds;
+
+  Table table({"config", "events", "wall s (best)", "events/s", "speedup", "identical"});
+  table.AddRow({"serial", StrFormat("%llu", static_cast<unsigned long long>(serial.events)),
+                StrFormat("%.3f", serial.best_seconds), StrFormat("%.0f", serial_eps), "1.00",
+                "-"});
+
+  JsonLine json("sharded_sim");
+  json.Add("ring", static_cast<uint64_t>(options.ring))
+      .Add("fanout", static_cast<uint64_t>(options.fanout))
+      .Add("events", serial.events)
+      .Add("events_per_sec", serial_eps);
+
+  bool all_identical = true;
+  for (uint64_t shards : {uint64_t{2}, uint64_t{4}, uint64_t{8}}) {
+    ScaleRingOptions sharded_options = options;
+    sharded_options.sim_shards = shards;
+    RunOutcome sharded = RunOnce(sharded_options, settle_seconds, reps);
+    bool identical = sharded.events == serial.events && sharded.digest == serial.digest;
+    all_identical = all_identical && identical;
+    double eps = static_cast<double>(sharded.events) / sharded.best_seconds;
+    table.AddRow({StrFormat("shards=%llu", static_cast<unsigned long long>(shards)),
+                  StrFormat("%llu", static_cast<unsigned long long>(sharded.events)),
+                  StrFormat("%.3f", sharded.best_seconds), StrFormat("%.0f", eps),
+                  StrFormat("%.2f", eps / serial_eps), identical ? "yes" : "DIVERGED"});
+    json.Add(StrFormat("events_per_sec_s%llu", static_cast<unsigned long long>(shards)), eps);
+  }
+  table.Print();
+  std::printf("\n");
+
+  json.Add("shards", uint64_t{8}).Add("f1h_identical", all_identical);
+  json.Print();
+  if (!all_identical) {
+    std::printf("F1h FAILED: sharded execution diverged from the serial baseline\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dice::bench
+
+int main(int argc, char** argv) { return dice::bench::Run(argc, argv); }

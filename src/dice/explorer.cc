@@ -88,6 +88,12 @@ void Explorer::TakeCheckpoint(const bgp::Router& router, net::SimTime now) {
   TakeCheckpoint(router.CheckpointState(), router.PeerViews(), now);
 }
 
+void Explorer::TakeCheckpoint(const bgp::Router& router, const net::ShardedEventLoop& loop) {
+  DICE_CHECK(!loop.in_window())
+      << "checkpoint taken mid-window: shard threads may be mutating router state";
+  TakeCheckpoint(router, loop.now());
+}
+
 void Explorer::TakeCheckpoint(const bgp::RouterState& state, std::vector<bgp::PeerView> peers,
                               net::SimTime now) {
   checkpoints_.Take(state, std::move(peers), now);

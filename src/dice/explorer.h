@@ -93,6 +93,11 @@ class Explorer {
   // Snapshots `router`'s state as the exploration base (the paper's fork()).
   void TakeCheckpoint(const bgp::Router& router, net::SimTime now);
 
+  // Sharded-simulation variant: checkpoints must be taken at a window
+  // barrier, when no shard thread is mutating router state. Uses the loop's
+  // (min-shard) clock as the checkpoint time.
+  void TakeCheckpoint(const bgp::Router& router, const net::ShardedEventLoop& loop);
+
   // Direct-state variant for tests/benches that drive RouterState manually.
   void TakeCheckpoint(const bgp::RouterState& state, std::vector<bgp::PeerView> peers,
                       net::SimTime now);

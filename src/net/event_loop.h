@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/util/logging.h"
@@ -20,6 +22,9 @@ namespace dice::net {
 
 // Simulated time in microseconds since the start of the run.
 using SimTime = uint64_t;
+
+// Simulator node identity (protocol endpoints registered with a Network).
+using NodeId = uint32_t;
 
 constexpr SimTime kMicrosecond = 1;
 constexpr SimTime kMillisecond = 1000;
@@ -77,7 +82,12 @@ class EventLoop {
     if (queue_.empty()) {
       return false;
     }
-    Event ev = queue_.top();
+    // Move the event out before popping: a copy here would deep-copy the
+    // std::function and whatever payload it captured (e.g. a full UPDATE's
+    // Bytes) on every dispatch. The moved-from top keeps its (when, seq)
+    // ordering key — moving the callback does not disturb the heap — so the
+    // pop that follows stays well-defined.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     DICE_CHECK_GE(ev.when, now_);
     now_ = ev.when;
@@ -86,9 +96,19 @@ class EventLoop {
   }
 
   void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
 
   bool empty() const { return queue_.empty(); }
   size_t pending() const { return queue_.size(); }
+
+  // Timestamp of the earliest pending event; nullopt when the queue is
+  // drained. The sharded loop's window computation reads this at barriers.
+  std::optional<SimTime> NextEventTime() const {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    return queue_.top().when;
+  }
 
  private:
   struct Event {

@@ -1,0 +1,182 @@
+#include "src/net/sharded_event_loop.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dice::net {
+
+ShardedEventLoop::ShardedEventLoop(Options options) : external_pool_(options.pool) {
+  DICE_CHECK_GE(options.shards, 1u) << "a sharded loop needs at least one shard";
+  shards_.reserve(options.shards);
+  for (uint32_t s = 0; s < options.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options.shards > 1 && external_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<util::WorkerPool>(options.shards);
+  }
+}
+
+void ShardedEventLoop::AssignNode(NodeId id, uint32_t shard) {
+  DICE_CHECK(!partition_frozen_.load(std::memory_order_relaxed))
+      << "AssignNode(" << id << ") after the partition was read — assign every "
+      << "node before sessions or links capture shard loop handles";
+  DICE_CHECK_LT(shard, shard_count());
+  explicit_assignment_[id] = shard;
+}
+
+uint32_t ShardedEventLoop::ShardOf(NodeId id) const {
+  partition_frozen_.store(true, std::memory_order_relaxed);
+  auto it = explicit_assignment_.find(id);
+  if (it != explicit_assignment_.end()) {
+    return it->second;
+  }
+  return id % shard_count();
+}
+
+EventLoop& ShardedEventLoop::shard(uint32_t s) {
+  DICE_CHECK_LT(s, shard_count());
+  return shards_[s]->loop;
+}
+
+const EventLoop& ShardedEventLoop::shard(uint32_t s) const {
+  DICE_CHECK_LT(s, shard_count());
+  return shards_[s]->loop;
+}
+
+void ShardedEventLoop::NarrowLookahead(SimTime delay) {
+  DICE_CHECK_GT(delay, 0u)
+      << "cross-shard links need a positive propagation delay: the lookahead "
+      << "window is bounded by the minimum cross-shard delay";
+  lookahead_ = std::min(lookahead_, delay);
+}
+
+void ShardedEventLoop::CrossShardAt(uint32_t from_shard, uint32_t to_shard, SimTime when,
+                                    EventLoop::Callback fn) {
+  DICE_CHECK_LT(from_shard, shard_count());
+  DICE_CHECK_LT(to_shard, shard_count());
+  DICE_CHECK(from_shard != to_shard) << "intra-shard sends go straight to the shard loop";
+  Shard& src = *shards_[from_shard];
+  src.outbox.push_back(CrossMsg{when, from_shard, src.next_out_seq++, to_shard, std::move(fn)});
+}
+
+SimTime ShardedEventLoop::now() const {
+  SimTime t = shards_[0]->loop.now();
+  for (const auto& s : shards_) {
+    t = std::min(t, s->loop.now());
+  }
+  return t;
+}
+
+size_t ShardedEventLoop::pending() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    n += s->loop.pending() + s->outbox.size();
+  }
+  return n;
+}
+
+void ShardedEventLoop::FlushOutboxes() {
+  merge_scratch_.clear();
+  for (auto& s : shards_) {
+    for (CrossMsg& m : s->outbox) {
+      merge_scratch_.push_back(std::move(m));
+    }
+    s->outbox.clear();
+  }
+  // (when, source shard, sequence): a pure function of the simulation, so
+  // the merged insertion order — and with it every same-time tie-break in
+  // the destination queue — replays bit-identically. Keys are unique
+  // (per-shard sequences), so plain sort is stable enough.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const CrossMsg& a, const CrossMsg& b) {
+              if (a.when != b.when) {
+                return a.when < b.when;
+              }
+              if (a.from_shard != b.from_shard) {
+                return a.from_shard < b.from_shard;
+              }
+              return a.seq < b.seq;
+            });
+  cross_messages_ += merge_scratch_.size();
+  for (CrossMsg& m : merge_scratch_) {
+    shards_[m.to_shard]->loop.At(m.when, std::move(m.fn));
+  }
+  merge_scratch_.clear();
+}
+
+size_t ShardedEventLoop::RunWindows(SimTime deadline, bool* stopped) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  *stopped = false;
+  size_t executed = 0;
+  // Sends issued between runs (link bring-up, trace scheduling) sit in
+  // outboxes; deliver them before looking for the first window.
+  FlushOutboxes();
+  for (;;) {
+    // Earliest pending event across every shard bounds the next window.
+    bool any = false;
+    SimTime t_min = 0;
+    for (const auto& s : shards_) {
+      std::optional<SimTime> t = s->loop.NextEventTime();
+      if (t.has_value() && (!any || *t < t_min)) {
+        any = true;
+        t_min = *t;
+      }
+    }
+    if (!any || t_min > deadline) {
+      return executed;
+    }
+    SimTime window_last = deadline;
+    if (lookahead_ != kUnboundedLookahead) {
+      // Saturating t_min + lookahead - 1: events executing in
+      // [t_min, window_last] can only send cross-shard at >= t_min +
+      // lookahead > window_last, so every delivery is merged before the
+      // destination's clock reaches it.
+      SimTime horizon = t_min + (lookahead_ - 1);
+      if (horizon < t_min) {
+        horizon = kUnboundedLookahead;
+      }
+      window_last = std::min(deadline, horizon);
+    }
+    ++windows_;
+    in_window_.store(true, std::memory_order_relaxed);
+    util::WorkerPool::RunBatch(pool(), shards_.size(), [this, window_last](size_t i) {
+      Shard& s = *shards_[i];
+      s.window_executed = s.loop.RunUntil(window_last);
+    });
+    in_window_.store(false, std::memory_order_relaxed);
+    bool stop_seen = stop_requested_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) {
+      executed += s->window_executed;
+      stop_seen = stop_seen || s->loop.stopped();
+    }
+    // In-flight messages are delivered even on a stop: like the serial
+    // loop's Stop(), pending events stay queued, none are lost.
+    FlushOutboxes();
+    if (stop_seen) {
+      *stopped = true;
+      return executed;
+    }
+  }
+}
+
+size_t ShardedEventLoop::Run() {
+  bool stopped = false;
+  return RunWindows(kUnboundedLookahead, &stopped);
+}
+
+size_t ShardedEventLoop::RunUntil(SimTime deadline) {
+  bool stopped = false;
+  size_t executed = RunWindows(deadline, &stopped);
+  if (!stopped) {
+    // Serial RunUntil semantics: the clock reaches the deadline even when
+    // the queues drained earlier. Nothing executes here — RunWindows already
+    // ran every event with time <= deadline.
+    for (auto& s : shards_) {
+      s->loop.RunUntil(deadline);
+    }
+  }
+  return executed;
+}
+
+}  // namespace dice::net

@@ -1,0 +1,188 @@
+// ShardedEventLoop: multi-core discrete-event simulation with the serial
+// loop's determinism contract.
+//
+// The network is partitioned into shards, each owning one EventLoop and the
+// nodes assigned to it. Simulated time advances in conservative-lookahead
+// windows (classic parallel discrete-event simulation): every cross-shard
+// link has a positive propagation delay, so an event executing at time t can
+// only affect another shard at t + min_cross_shard_delay or later. Each
+// window therefore runs every shard's (time, insertion-order) queue up to
+//
+//   window_last = min(deadline, earliest_pending_event + lookahead - 1)
+//
+// in parallel on a util::WorkerPool, with no locking on simulation state:
+// a node's callbacks run only on its own shard's thread, and the only
+// cross-shard interaction is message passing. Cross-shard sends are buffered
+// in a per-source-shard outbox (single writer: the shard's thread) and
+// exchanged at the window barrier, merged into the destination shard's queue
+// in (delivery time, source shard, source sequence) order. That merge key is
+// a pure function of the simulation — never of thread scheduling — so a run
+// is bit-identical for every shard count and pool size, and shards=1 (all
+// nodes local, no cross-shard traffic, windows unbounded) degenerates to
+// exactly the serial EventLoop's behavior.
+//
+// Identity with the serial loop: within a shard, events keep the serial
+// (time, insertion-order) semantics. Across shards, same-time deliveries to
+// one node are merged in (source shard, sequence) order rather than global
+// insertion order; per-channel FIFO is always preserved, so executions are
+// bit-identical whenever such same-destination ties commute — which BGP's
+// deterministic decision process gives every workload in this repo. The
+// tests/sharded_sim_test.cc wall and bench F1h enforce it end to end
+// (events executed, serialized router state, detections digest).
+//
+// Threading contract: Run/RunUntil/RunFor are driven by one coordinator
+// thread. Node callbacks run on shard threads during a window; everything
+// else (AssignNode, Connect-time sends, checkpointing, state inspection)
+// must happen between windows. The barrier's Drain gives the coordinator a
+// happens-before edge over every shard's state.
+
+#ifndef SRC_NET_SHARDED_EVENT_LOOP_H_
+#define SRC_NET_SHARDED_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/util/worker_pool.h"
+
+namespace dice::net {
+
+class ShardedEventLoop {
+ public:
+  struct Options {
+    // Number of shards (>= 1). 1 runs everything on the coordinator thread.
+    uint32_t shards = 1;
+    // Optional external pool for window execution. Null (the default) makes
+    // the loop own a pool of `shards` threads when shards > 1. An external
+    // pool must have no other submitters while a window runs.
+    util::WorkerPool* pool = nullptr;
+  };
+
+  // Lookahead before any cross-shard link exists: windows are unbounded.
+  static constexpr SimTime kUnboundedLookahead = ~SimTime{0};
+
+  explicit ShardedEventLoop(Options options);
+
+  ShardedEventLoop(const ShardedEventLoop&) = delete;
+  ShardedEventLoop& operator=(const ShardedEventLoop&) = delete;
+
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+
+  // --- Partitioning --------------------------------------------------------
+  //
+  // Explicit assignment wins; unassigned nodes fall to the deterministic
+  // default partitioner, id % shards. The partition freezes at the first
+  // ShardOf lookup (session construction, link wiring): assigning after a
+  // node's loop handle may already be captured is a programming error.
+
+  void AssignNode(NodeId id, uint32_t shard);
+  uint32_t ShardOf(NodeId id) const;
+
+  EventLoop& shard(uint32_t s);
+  const EventLoop& shard(uint32_t s) const;
+  EventLoop& loop_of(NodeId id) { return shard(ShardOf(id)); }
+
+  // --- Conservative lookahead ----------------------------------------------
+
+  // Narrows the lookahead to min(current, delay) — called by Network for
+  // every cross-shard link. Cross-shard delays must be positive: a zero-delay
+  // cross-shard link would make bounded windows impossible.
+  void NarrowLookahead(SimTime delay);
+  SimTime lookahead() const { return lookahead_; }
+
+  // --- Cross-shard delivery ------------------------------------------------
+
+  // Schedules `fn` at absolute time `when` on `to_shard`, from `from_shard`'s
+  // window thread (or from the coordinator between windows). Buffered in the
+  // source shard's outbox and merged at the next barrier.
+  void CrossShardAt(uint32_t from_shard, uint32_t to_shard, SimTime when,
+                    EventLoop::Callback fn);
+
+  // --- Execution (coordinator thread only) ---------------------------------
+
+  // The common clock: shards agree on now() at every barrier; between runs
+  // this is the minimum over shards (they differ only after a Stop()).
+  SimTime now() const;
+
+  // Runs windows until every queue and outbox drains or a stop is observed.
+  // Returns events executed. Unlike the serial loop, now() can end past the
+  // last executed event (at the final window's bound).
+  size_t Run();
+
+  // Runs events with time <= `deadline`; advances every shard's clock to
+  // `deadline` even if the queues drain earlier. Returns events executed.
+  size_t RunUntil(SimTime deadline);
+  size_t RunFor(SimTime duration) { return RunUntil(now() + duration); }
+
+  // Halts the run at the next window barrier. A node can equivalently call
+  // Stop() on its own shard's EventLoop from inside a callback; either way
+  // every shard still finishes the current window, so the stop point is a
+  // deterministic function of the simulation, not of thread timing.
+  void Stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+  bool empty() const { return pending() == 0; }
+  size_t pending() const;  // queued events plus unflushed cross-shard sends
+
+  // True while shard threads are executing a window — state inspection and
+  // checkpointing are only sound when this is false (coordinator idiom).
+  bool in_window() const { return in_window_.load(std::memory_order_relaxed); }
+
+  // --- Introspection (tests, benches) --------------------------------------
+
+  uint64_t windows_executed() const { return windows_; }
+  uint64_t cross_shard_messages() const { return cross_messages_; }
+
+ private:
+  struct CrossMsg {
+    SimTime when;
+    uint32_t from_shard;
+    uint64_t seq;  // per-source-shard send sequence
+    uint32_t to_shard;
+    EventLoop::Callback fn;
+  };
+
+  // Per-shard state. The loop and outbox are touched by exactly one thread
+  // during a window (the shard's worker) and by the coordinator at barriers;
+  // the pool's Drain orders the two.
+  struct Shard {
+    EventLoop loop;
+    std::vector<CrossMsg> outbox;
+    uint64_t next_out_seq = 0;
+    size_t window_executed = 0;
+  };
+
+  // Moves every outbox message into its destination shard's queue in
+  // (when, source shard, sequence) order — the deterministic merge.
+  void FlushOutboxes();
+
+  // Shared core of Run/RunUntil: windows up to `deadline` (inclusive).
+  // Returns events executed; sets *stopped when a stop cut the run short.
+  size_t RunWindows(SimTime deadline, bool* stopped);
+
+  util::WorkerPool* pool() { return external_pool_ != nullptr ? external_pool_ : owned_pool_.get(); }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<NodeId, uint32_t> explicit_assignment_;
+  // Atomic because ShardOf runs on shard threads mid-window (every in-window
+  // send resolves its destination); the assignment map itself is safe to read
+  // concurrently — AssignNode is coordinator-only and rejected once frozen.
+  mutable std::atomic<bool> partition_frozen_{false};
+  SimTime lookahead_ = kUnboundedLookahead;
+
+  util::WorkerPool* external_pool_ = nullptr;
+  std::unique_ptr<util::WorkerPool> owned_pool_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> in_window_{false};
+
+  std::vector<CrossMsg> merge_scratch_;
+  uint64_t windows_ = 0;
+  uint64_t cross_messages_ = 0;
+};
+
+}  // namespace dice::net
+
+#endif  // SRC_NET_SHARDED_EVENT_LOOP_H_

@@ -65,6 +65,12 @@ class BgpFeedNode : public net::Node {
 void ScheduleTrace(net::EventLoop* loop, BgpFeedNode* feed, const Trace& trace,
                    net::SimTime start);
 
+// Same, resolving the loop through the network: trace events must execute on
+// the feed's own shard in a sharded simulation (serial networks resolve to
+// the one loop, so this overload is always the safe choice).
+void ScheduleTrace(net::Network* network, BgpFeedNode* feed, const Trace& trace,
+                   net::SimTime start);
+
 }  // namespace dice::trace
 
 #endif  // SRC_TRACE_FEED_H_

@@ -41,6 +41,20 @@ void WorkerPool::Drain() {
   all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void WorkerPool::RunBatch(WorkerPool* pool, size_t count,
+                          const std::function<void(size_t)>& task) {
+  if (pool == nullptr || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    pool->Submit([&task, i] { task(i); });
+  }
+  pool->Drain();
+}
+
 uint64_t WorkerPool::tasks_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return executed_;

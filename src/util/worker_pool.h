@@ -48,6 +48,14 @@ class WorkerPool {
   // Lifetime totals (test/stats hooks; exact after Drain).
   uint64_t tasks_executed() const;
 
+  // Runs task(0..count-1) and waits for all of them — the window barrier of
+  // the sharded event loop. With a null pool (or a single task) the tasks run
+  // inline on the caller, in index order; otherwise they run on `pool`, which
+  // must have no other submitters until RunBatch returns (Drain is the
+  // barrier, and it waits on every outstanding task in the pool).
+  static void RunBatch(WorkerPool* pool, size_t count,
+                       const std::function<void(size_t)>& task);
+
  private:
   void WorkerMain();
 

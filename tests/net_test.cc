@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "src/net/event_loop.h"
 #include "src/net/network.h"
 
@@ -69,6 +73,83 @@ TEST(EventLoopTest, StopHaltsRun) {
   loop.Run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, StopFromInsideCallbackUnderRunUntil) {
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.At(10, [&] {
+    fired.push_back(1);
+    loop.Stop();
+  });
+  loop.At(20, [&] { fired.push_back(2); });
+  loop.RunUntil(100);
+  // The stop freezes the clock at the stopping event; the later event stays
+  // queued and the deadline is NOT applied to now().
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(loop.now(), 10u);
+  EXPECT_EQ(loop.pending(), 1u);
+  // A fresh RunUntil clears the stop flag and resumes.
+  loop.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 100u);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesNowPastDrainedQueue) {
+  EventLoop loop;
+  int fired = 0;
+  loop.At(10, [&] { ++fired; });
+  // The queue drains at t=10, but the clock must still reach the deadline.
+  loop.RunUntil(300);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 300u);
+  EXPECT_TRUE(loop.empty());
+  // And again from an already-drained queue.
+  loop.RunUntil(400);
+  EXPECT_EQ(loop.now(), 400u);
+}
+
+TEST(EventLoopTest, SameTimeFifoAcrossAtAfterInterleavings) {
+  EventLoop loop;
+  std::vector<int> order;
+  // Four routes to the same timestamp: absolute, relative, and two scheduled
+  // from inside an earlier callback. Insertion order must be execution order.
+  loop.At(5, [&] { order.push_back(0); });
+  loop.After(5, [&] { order.push_back(1); });  // now()==0, so also t=5
+  loop.At(0, [&] {
+    loop.At(5, [&] { order.push_back(2); });
+    loop.After(5, [&] { order.push_back(3); });  // now()==0 inside the callback
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.now(), 5u);
+}
+
+// Counts copies of the callable's captured state — the regression guard for
+// Step() deep-copying each event (std::function and payload) off the heap
+// top instead of moving it out.
+struct CopyCountingCallable {
+  explicit CopyCountingCallable(std::shared_ptr<int> counter)
+      : copies(std::move(counter)) {}
+  CopyCountingCallable(const CopyCountingCallable& other) : copies(other.copies) {
+    ++*copies;
+  }
+  CopyCountingCallable(CopyCountingCallable&&) noexcept = default;
+  void operator()() const {}
+
+  std::shared_ptr<int> copies;
+};
+
+TEST(EventLoopTest, DispatchMovesEventsInsteadOfCopying) {
+  auto copies = std::make_shared<int>(0);
+  EventLoop loop;
+  for (int i = 0; i < 16; ++i) {
+    loop.At(static_cast<SimTime>(i), EventLoop::Callback(CopyCountingCallable(copies)));
+  }
+  const int after_scheduling = *copies;
+  loop.Run();
+  // Dispatch must move the event out of the queue — zero additional copies.
+  EXPECT_EQ(*copies, after_scheduling);
 }
 
 TEST(EventLoopTest, StepExecutesOne) {

@@ -1,0 +1,342 @@
+// The sharded-simulation wall: unit tests for net::ShardedEventLoop's
+// partitioning, lookahead windows, and deterministic cross-shard merge, plus
+// the bit-identity wall — serial vs shards={1,2,8} must agree on events
+// executed, serialized router state, and exploration detections for Fig2,
+// a 256-session provider fanout, and the ScaleRing scale topology.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/topology.h"
+#include "src/bgp/router.h"
+#include "src/dice/checkers.h"
+#include "src/dice/explorer.h"
+#include "src/net/network.h"
+#include "src/net/sharded_event_loop.h"
+#include "src/trace/feed.h"
+#include "src/util/frame.h"
+
+namespace dice {
+namespace {
+
+using net::EventLoop;
+using net::NodeId;
+using net::ShardedEventLoop;
+using net::SimTime;
+
+ShardedEventLoop::Options ShardOptions(uint32_t shards) {
+  ShardedEventLoop::Options options;
+  options.shards = shards;
+  return options;
+}
+
+// --- ShardedEventLoop units -------------------------------------------------
+
+TEST(ShardedEventLoopTest, ShardsOneMatchesSerialOrdering) {
+  std::vector<int> serial_order;
+  EventLoop serial;
+  serial.At(30, [&] { serial_order.push_back(3); });
+  serial.At(10, [&] { serial_order.push_back(1); });
+  serial.At(10, [&] { serial_order.push_back(2); });
+  size_t serial_executed = serial.RunUntil(100);
+
+  std::vector<int> sharded_order;
+  ShardedEventLoop sharded(ShardOptions(1));
+  sharded.loop_of(7).At(30, [&] { sharded_order.push_back(3); });
+  sharded.loop_of(7).At(10, [&] { sharded_order.push_back(1); });
+  sharded.loop_of(7).At(10, [&] { sharded_order.push_back(2); });
+  size_t sharded_executed = sharded.RunUntil(100);
+
+  EXPECT_EQ(serial_order, sharded_order);
+  EXPECT_EQ(serial_executed, sharded_executed);
+  EXPECT_EQ(serial.now(), sharded.now());
+}
+
+TEST(ShardedEventLoopTest, DefaultPartitionerIsIdModShards) {
+  ShardedEventLoop sharded(ShardOptions(4));
+  EXPECT_EQ(sharded.ShardOf(0), 0u);
+  EXPECT_EQ(sharded.ShardOf(5), 1u);
+  EXPECT_EQ(sharded.ShardOf(7), 3u);
+  EXPECT_EQ(sharded.ShardOf(8), 0u);
+}
+
+TEST(ShardedEventLoopTest, ExplicitAssignmentWinsOverDefault) {
+  ShardedEventLoop sharded(ShardOptions(4));
+  sharded.AssignNode(5, 2);
+  EXPECT_EQ(sharded.ShardOf(5), 2u);
+  EXPECT_EQ(sharded.ShardOf(6), 2u);  // default partitioner for the rest
+}
+
+TEST(ShardedEventLoopTest, NarrowLookaheadTakesMinimum) {
+  ShardedEventLoop sharded(ShardOptions(2));
+  EXPECT_EQ(sharded.lookahead(), ShardedEventLoop::kUnboundedLookahead);
+  sharded.NarrowLookahead(5000);
+  sharded.NarrowLookahead(7000);
+  sharded.NarrowLookahead(3000);
+  EXPECT_EQ(sharded.lookahead(), 3000u);
+}
+
+TEST(ShardedEventLoopTest, CrossShardMergeOrdersBySourceShardThenSequence) {
+  ShardedEventLoop sharded(ShardOptions(3));
+  // All three land on shard 0 at t=10; insertion order (shard 2 first) must
+  // not matter — the merge sorts by (when, source shard, sequence).
+  std::vector<int> order;
+  sharded.CrossShardAt(2, 0, 10, [&] { order.push_back(3); });
+  sharded.CrossShardAt(1, 0, 10, [&] { order.push_back(1); });
+  sharded.CrossShardAt(1, 0, 10, [&] { order.push_back(2); });
+  sharded.RunUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sharded.cross_shard_messages(), 3u);
+}
+
+TEST(ShardedEventLoopTest, StopInsideCallbackHaltsAtWindowBarrier) {
+  ShardedEventLoop sharded(ShardOptions(2));
+  sharded.NarrowLookahead(10);  // bounded windows so the stop can take effect
+  bool late_ran = false;
+  sharded.shard(0).At(5, [&] { sharded.Stop(); });
+  sharded.shard(1).At(100, [&] { late_ran = true; });
+  sharded.RunUntil(200);
+  EXPECT_FALSE(late_ran);
+  EXPECT_GT(sharded.pending(), 0u);
+  // A fresh run picks the remaining event up.
+  sharded.RunUntil(200);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(ShardedEventLoopTest, RunUntilAdvancesAllShardClocksToDeadline) {
+  ShardedEventLoop sharded(ShardOptions(3));
+  sharded.RunUntil(500);
+  EXPECT_EQ(sharded.now(), 500u);
+  for (uint32_t s = 0; s < sharded.shard_count(); ++s) {
+    EXPECT_EQ(sharded.shard(s).now(), 500u);
+  }
+}
+
+TEST(ShardedEventLoopTest, CrossShardChainDrainsUnderRun) {
+  // A ping-pong chain across shards: Run() must keep flushing outboxes until
+  // everything (queues and in-flight cross messages) drains.
+  ShardedEventLoop sharded(ShardOptions(2));
+  sharded.NarrowLookahead(5);
+  int hops = 0;
+  std::function<void(uint32_t, SimTime)> hop = [&](uint32_t shard, SimTime when) {
+    ++hops;
+    if (hops >= 8) {
+      return;
+    }
+    uint32_t next = 1 - shard;
+    sharded.CrossShardAt(shard, next, when + 5, [&hop, next, when] { hop(next, when + 5); });
+  };
+  sharded.CrossShardAt(0, 1, 5, [&hop] { hop(1, 5); });
+  size_t executed = sharded.Run();
+  EXPECT_EQ(hops, 8);
+  EXPECT_EQ(executed, 8u);
+  EXPECT_TRUE(sharded.empty());
+  EXPECT_GE(sharded.windows_executed(), 8u);
+}
+
+TEST(ShardedEventLoopTest, WindowsRespectLookahead) {
+  ShardedEventLoop sharded(ShardOptions(2));
+  sharded.NarrowLookahead(10);
+  // Three events 25 apart: each needs its own window (plus barriers between).
+  for (SimTime t : {10u, 35u, 60u}) {
+    sharded.shard(0).At(t, [] {});
+  }
+  sharded.RunUntil(100);
+  EXPECT_EQ(sharded.windows_executed(), 3u);
+}
+
+// --- Bit-identity wall -------------------------------------------------------
+
+struct SimResult {
+  uint64_t events = 0;
+  uint32_t state_digest = 0;
+  uint32_t detections_digest = 0;
+  size_t detections = 0;
+};
+
+uint32_t DetectionsDigest(const std::vector<Detection>& detections) {
+  std::string all;
+  for (const Detection& d : detections) {
+    all += d.ToString();
+    all += '\n';
+  }
+  return BodyChecksum(reinterpret_cast<const uint8_t*>(all.data()), all.size());
+}
+
+// Runs the full Fig2 lifecycle — establish, load table, settle, explore the
+// customer seed — and digests everything order-sensitive.
+SimResult RunFig2(size_t sim_shards) {
+  bench::Fig2Options options;
+  options.prefixes = 2000;
+  options.sim_shards = sim_shards;
+  bench::Fig2 topo(options);
+  topo.LoadTable();
+  topo.Settle();
+
+  ExplorerOptions explore;
+  explore.concolic.max_runs = 40;
+  Explorer explorer(explore);
+  explorer.AddChecker(std::make_unique<HijackChecker>());
+  if (topo.sharded() != nullptr) {
+    explorer.TakeCheckpoint(topo.provider(), *topo.sharded());
+  } else {
+    explorer.TakeCheckpoint(topo.provider(), topo.loop().now());
+  }
+  explorer.ExploreSeed(topo.CustomerSeedUpdate(), bench::Fig2::kCustomerNode);
+
+  SimResult result;
+  result.events = topo.events_executed();
+  result.state_digest = topo.StateDigest();
+  result.detections = explorer.report().detections.size();
+  result.detections_digest = DetectionsDigest(explorer.report().detections);
+  return result;
+}
+
+TEST(ShardedIdentityTest, Fig2MatchesSerialForEveryShardCount) {
+  SimResult serial = RunFig2(0);
+  EXPECT_GT(serial.events, 0u);
+  EXPECT_GT(serial.detections, 0u) << "Fig2's erroneous filter must be detectable";
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    SimResult sharded = RunFig2(shards);
+    EXPECT_EQ(sharded.events, serial.events) << "shards=" << shards;
+    EXPECT_EQ(sharded.state_digest, serial.state_digest) << "shards=" << shards;
+    EXPECT_EQ(sharded.detections, serial.detections) << "shards=" << shards;
+    EXPECT_EQ(sharded.detections_digest, serial.detections_digest) << "shards=" << shards;
+  }
+}
+
+// The 256-session provider: one router peering with 256 feeds that all send
+// a distinct-prefix UPDATE at the same microsecond — the stress case for the
+// cross-shard merge, since every delivery lands on the provider's queue at
+// the same time. Feeds are assigned to shards in contiguous id blocks so the
+// merge's (source shard, sequence) order equals the serial insertion order.
+SimResult RunProviderFanout(size_t feeds, size_t sim_shards) {
+  EventLoop loop;
+  std::unique_ptr<ShardedEventLoop> sharded;
+  std::unique_ptr<net::Network> net;
+  if (sim_shards > 0) {
+    sharded = std::make_unique<ShardedEventLoop>(
+        ShardOptions(static_cast<uint32_t>(sim_shards)));
+    sharded->AssignNode(1, 0);
+    for (size_t k = 0; k < feeds; ++k) {
+      sharded->AssignNode(static_cast<NodeId>(2 + k),
+                          static_cast<uint32_t>(k * sim_shards / feeds));
+    }
+    net = std::make_unique<net::Network>(sharded.get());
+  } else {
+    net = std::make_unique<net::Network>(&loop);
+  }
+
+  bgp::RouterConfig config;
+  config.name = "provider";
+  config.local_as = 3;
+  config.router_id = bgp::Ipv4Address((10u << 24) | 1u);
+  for (size_t k = 0; k < feeds; ++k) {
+    bgp::NeighborConfig neighbor;
+    neighbor.address = bgp::Ipv4Address((10u << 24) | (1u << 16) | static_cast<uint32_t>(k));
+    neighbor.remote_as = static_cast<bgp::AsNumber>(1000 + k);
+    config.neighbors.push_back(neighbor);
+  }
+  bgp::Router provider(1, std::move(config), net.get());
+  net->AddNode(&provider);
+
+  std::vector<std::unique_ptr<trace::BgpFeedNode>> feed_nodes;
+  for (size_t k = 0; k < feeds; ++k) {
+    bgp::Ipv4Address address((10u << 24) | (1u << 16) | static_cast<uint32_t>(k));
+    auto feed = std::make_unique<trace::BgpFeedNode>(
+        static_cast<NodeId>(2 + k), "feed" + std::to_string(k),
+        static_cast<bgp::AsNumber>(1000 + k), address, net.get());
+    feed->SetPeer(1);
+    net->AddNode(feed.get());
+    provider.RegisterPeerNode(address, static_cast<NodeId>(2 + k));
+    feed_nodes.push_back(std::move(feed));
+  }
+
+  provider.Start();
+  for (size_t k = 0; k < feeds; ++k) {
+    net->Connect(1, static_cast<NodeId>(2 + k), net::kMillisecond);
+  }
+  auto run_for = [&](SimTime duration) {
+    return sharded != nullptr ? sharded->RunFor(duration) : loop.RunFor(duration);
+  };
+  uint64_t events = run_for(5 * net::kSecond);
+  for (size_t k = 0; k < feeds; ++k) {
+    EXPECT_TRUE(provider.Established(static_cast<NodeId>(2 + k))) << "feed " << k;
+  }
+
+  // Every feed announces its own /24 at the same instant.
+  SimTime t = (sharded != nullptr ? sharded->now() : loop.now()) + net::kSecond;
+  for (size_t k = 0; k < feeds; ++k) {
+    bgp::UpdateMessage update;
+    update.attrs.origin = bgp::Origin::kIgp;
+    update.attrs.as_path = bgp::AsPath::Sequence({static_cast<bgp::AsNumber>(1000 + k)});
+    update.attrs.next_hop =
+        bgp::Ipv4Address((10u << 24) | (1u << 16) | static_cast<uint32_t>(k));
+    update.nlri.push_back(bgp::Prefix::Make(
+        bgp::Ipv4Address((172u << 24) | (16u << 16) | (static_cast<uint32_t>(k) << 8)), 24));
+    trace::BgpFeedNode* feed = feed_nodes[k].get();
+    net->loop_for(feed->id())->At(t, [feed, update] { feed->SendUpdate(update); });
+  }
+  events += run_for(5 * net::kSecond);
+
+  SimResult result;
+  result.events = events;
+  result.state_digest = bench::RouterStateDigest({&provider});
+  return result;
+}
+
+TEST(ShardedIdentityTest, ProviderFanout256MatchesSerialForEveryShardCount) {
+  SimResult serial = RunProviderFanout(256, 0);
+  EXPECT_GT(serial.events, 0u);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    SimResult sharded = RunProviderFanout(256, shards);
+    EXPECT_EQ(sharded.events, serial.events) << "shards=" << shards;
+    EXPECT_EQ(sharded.state_digest, serial.state_digest) << "shards=" << shards;
+  }
+}
+
+SimResult RunScaleRing(size_t sim_shards) {
+  bench::ScaleRingOptions options;
+  options.ring = 8;
+  options.fanout = 2;
+  options.prefixes_per_leaf = 1;
+  options.sim_shards = sim_shards;
+  bench::ScaleRing topo(options);
+  topo.Settle();
+  SimResult result;
+  result.events = topo.events_executed();
+  result.state_digest = topo.StateDigest();
+  return result;
+}
+
+TEST(ShardedIdentityTest, ScaleRingMatchesSerialForEveryShardCount) {
+  SimResult serial = RunScaleRing(0);
+  EXPECT_GT(serial.events, 0u);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    SimResult sharded = RunScaleRing(shards);
+    EXPECT_EQ(sharded.events, serial.events) << "shards=" << shards;
+    EXPECT_EQ(sharded.state_digest, serial.state_digest) << "shards=" << shards;
+  }
+}
+
+// ScaleRing must actually converge: every hub should know every leaf prefix.
+TEST(ScaleRingTest, ConvergesToFullVisibility) {
+  bench::ScaleRingOptions options;
+  options.ring = 4;
+  options.fanout = 2;
+  options.prefixes_per_leaf = 1;
+  bench::ScaleRing topo(options);
+  topo.Settle(10 * net::kSecond);
+  const size_t total_prefixes = options.ring * options.fanout * options.prefixes_per_leaf;
+  for (size_t i = 0; i < topo.ring(); ++i) {
+    bgp::Router* hub = topo.router(topo.HubNode(i));
+    EXPECT_EQ(hub->CheckpointState().rib.PrefixCount(), total_prefixes)
+        << "hub " << i << " is missing prefixes";
+  }
+}
+
+}  // namespace
+}  // namespace dice

@@ -11,7 +11,8 @@
 //            [--anycast=192.175.48.0/24,...] [--peer=<neighbor address>]
 //            [--inject=203.0.113.0/24:64500,...]
 //            [--remote_config=upstream.conf,...] [--remote_batch_size=N]
-//            [--solver_workers=N] [--state_dir=DIR] [--snapshot_every=N]
+//            [--solver_workers=N] [--sim_shards=N]
+//            [--state_dir=DIR] [--snapshot_every=N]
 //
 // The configuration must contain exactly one router block; the trace (or the
 // synthetic table) is loaded as routes from the *first* configured neighbor
@@ -28,12 +29,21 @@
 // the batched, wire-serialized ExplorationService narrow interface;
 // --remote_batch_size caps exploratory updates per RPC (default 64, min 1).
 //
+// Sharded simulation: --sim_shards=N (min 1) loads the table by running the
+// router and a feed node impersonating the table neighbor live on an N-shard
+// deterministic event loop (net::ShardedEventLoop) instead of applying the
+// updates directly — the session handshake, keepalive timers, and trace
+// replay all execute through the sharded scheduler, and exploration runs on
+// the live router's checkpoint. Incompatible with --state_dir (the live load
+// has no warm-restart path).
+//
 // Durable state: --state_dir=DIR persists the solver query cache (every
 // --snapshot_every exploration runs, default 64) and the loaded router state
 // as crash-safe generation files, and reloads them on start — a killed
 // process warm-restarts with its learned UNSAT cores. Corrupt or torn
 // snapshots are detected, quarantined, and degrade to a cold start.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -43,7 +53,10 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/bgp/router.h"
 #include "src/dice/distributed.h"
+#include "src/net/sharded_event_loop.h"
+#include "src/trace/feed.h"
 #include "src/persist/query_cache_snapshot.h"
 #include "src/persist/router_state_snapshot.h"
 #include "src/persist/snapshot_store.h"
@@ -69,7 +82,8 @@ void PrintUsage(std::FILE* out) {
                "                [--runs=N] [--seed=N] [--seed-prefix=P] [--seed-asn=A]\n"
                "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n"
                "                [--remote_config=F,...] [--remote_batch_size=N]\n"
-               "                [--solver_workers=N] [--state_dir=DIR] [--snapshot_every=N]\n");
+               "                [--solver_workers=N] [--sim_shards=N]\n"
+               "                [--state_dir=DIR] [--snapshot_every=N]\n");
 }
 
 // Rejects anything bench::Flags would silently ignore or misread: unknown
@@ -83,11 +97,13 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
       "config",  "trace",       "prefixes", "runs",    "seed",
       "peer",    "seed-prefix", "seed-asn", "anycast", "inject",
       "remote_config", "remote_batch_size", "solver_workers",
-      "state_dir", "snapshot_every",
+      "sim_shards", "state_dir", "snapshot_every",
   };
   static const std::set<std::string> kUintFlags = {
       "prefixes", "runs", "seed", "seed-asn", "remote_batch_size", "solver_workers",
-      "snapshot_every"};
+      "sim_shards", "snapshot_every"};
+  bool has_sim_shards = false;
+  bool has_state_dir = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -122,14 +138,30 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
                            "(omit the flag for serial solving)\n");
       return 2;
     }
-    if (key == "state_dir" && value.empty()) {
-      std::fprintf(stderr, "error: flag '--state_dir' requires a non-empty directory\n");
-      return 2;
+    if (key == "sim_shards") {
+      has_sim_shards = true;
+      if (*ParseUint64(value) == 0) {
+        std::fprintf(stderr, "error: flag '--sim_shards' must be at least 1 "
+                             "(omit the flag to load the table directly)\n");
+        return 2;
+      }
+    }
+    if (key == "state_dir") {
+      has_state_dir = true;
+      if (value.empty()) {
+        std::fprintf(stderr, "error: flag '--state_dir' requires a non-empty directory\n");
+        return 2;
+      }
     }
     if (key == "snapshot_every" && *ParseUint64(value) == 0) {
       std::fprintf(stderr, "error: flag '--snapshot_every' must be at least 1\n");
       return 2;
     }
+  }
+  if (has_sim_shards && has_state_dir) {
+    std::fprintf(stderr, "error: --sim_shards is incompatible with --state_dir "
+                         "(the live simulation has no warm-restart path)\n");
+    return 2;
   }
   return 0;
 }
@@ -213,6 +245,7 @@ int Run(int argc, char** argv) {
   const uint64_t seed = flags.GetUint("seed", 1);
   const uint64_t remote_batch_size = flags.GetUint("remote_batch_size", 64);
   const uint64_t solver_workers = flags.GetUint("solver_workers", 0);  // 0 = serial
+  const uint64_t sim_shards = flags.GetUint("sim_shards", 0);  // 0 = direct table load
   const std::string state_dir = flags.GetString("state_dir", "");
   const uint64_t snapshot_every = flags.GetUint("snapshot_every", 64);
 
@@ -322,7 +355,70 @@ int Run(int argc, char** argv) {
   bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
   if (!state_loaded) {
     size_t loaded = 0;
-    if (!trace_path.empty()) {
+    if (sim_shards > 0) {
+      // Live sharded load: the router under test and a feed impersonating the
+      // table neighbor run as real simulator nodes on a ShardedEventLoop —
+      // the handshake, keepalive timers, and the table replay all execute
+      // through the sharded scheduler, and exploration below runs on the live
+      // router's checkpoint.
+      trace::Trace dump;
+      if (!trace_path.empty()) {
+        auto trace = trace::ParseTrace(trace_text_str);
+        if (!trace.ok()) {
+          std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
+          return 1;
+        }
+        dump = std::move(trace).value();
+      } else {
+        trace::TraceGeneratorOptions gen_options;
+        gen_options.seed = seed;
+        gen_options.prefix_count = prefixes;
+        dump = trace::TraceGenerator(gen_options).FullDump();
+      }
+      net::SimTime trace_span = 0;
+      for (const trace::TraceEvent& ev : dump.events) {
+        trace_span = std::max(trace_span, ev.at);
+        loaded += ev.update.nlri.size();
+      }
+
+      constexpr net::NodeId kRouterNode = 1;
+      constexpr net::NodeId kFeedNode = 2;
+      net::ShardedEventLoop::Options sharded_options;
+      sharded_options.shards = static_cast<uint32_t>(sim_shards);
+      net::ShardedEventLoop sharded(sharded_options);
+      sharded.AssignNode(kRouterNode, 0);
+      // With more than one shard the feed gets its own, so the replay crosses
+      // the shard boundary and exercises the windowed merge.
+      sharded.AssignNode(kFeedNode, sim_shards > 1 ? 1 : 0);
+      net::Network net(&sharded);
+      bgp::Router router(kRouterNode, config, &net);
+      trace::BgpFeedNode feed(kFeedNode, "table-feed", table_neighbor->remote_as,
+                              table_neighbor->address, &net);
+      net.AddNode(&router);
+      net.AddNode(&feed);
+      router.RegisterPeerNode(table_neighbor->address, kFeedNode);
+      feed.SetPeer(kRouterNode);
+      router.Start();
+      net.Connect(kRouterNode, kFeedNode, net::kMillisecond);
+      uint64_t events = sharded.RunFor(5 * net::kSecond);
+      if (!router.Established(kFeedNode)) {
+        std::fprintf(stderr, "error: simulated session with %s did not establish\n",
+                     table_neighbor->address.ToString().c_str());
+        return 1;
+      }
+      trace::ScheduleTrace(&net, &feed, dump, sharded.now());
+      events += sharded.RunFor(trace_span + 20 * net::kSecond);
+      state = router.CheckpointState();
+      table_view.id = kFeedNode;  // live routes carry the feed's node id
+      std::printf("live simulation: %llu shard(s), %llu events, %llu windows, "
+                  "%llu cross-shard messages\n",
+                  static_cast<unsigned long long>(sim_shards),
+                  static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(sharded.windows_executed()),
+                  static_cast<unsigned long long>(sharded.cross_shard_messages()));
+      std::printf("loaded table through the simulator: %zu events, %zu announced prefixes\n",
+                  dump.events.size(), loaded);
+    } else if (!trace_path.empty()) {
       auto trace = trace::ParseTrace(trace_text_str);
       if (!trace.ok()) {
         std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
