@@ -1,0 +1,72 @@
+#include "src/transport/address.h"
+
+#include "src/util/strings.h"
+
+namespace dice::transport {
+
+StatusOr<Address> Address::Parse(const std::string& text) {
+  Address address;
+  if (text.rfind("tcp:", 0) == 0) {
+    address.kind = Kind::kTcp;
+    const std::string rest = text.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      return InvalidArgumentError("address '" + text + "': want tcp:host:port");
+    }
+    address.host = rest.substr(0, colon);
+    const auto port = ParseUint64(rest.substr(colon + 1));
+    if (!port.has_value() || *port > 65535) {
+      return InvalidArgumentError("address '" + text + "': bad port");
+    }
+    address.port = static_cast<uint16_t>(*port);
+    return address;
+  }
+  if (text.rfind("unix:", 0) == 0) {
+    address.kind = Kind::kUnix;
+    address.path = text.substr(5);
+    if (address.path.empty()) {
+      return InvalidArgumentError("address '" + text + "': want unix:/path");
+    }
+    // sockaddr_un paths are short; reject here so bind() cannot truncate.
+    if (address.path.size() >= 100) {
+      return InvalidArgumentError("address '" + text + "': unix path too long");
+    }
+    return address;
+  }
+  if (text.rfind("shm:", 0) == 0) {
+    address.kind = Kind::kShm;
+    address.path = text.substr(4);
+    if (address.path.size() < 2 || address.path[0] != '/') {
+      return InvalidArgumentError("address '" + text + "': want shm:/name");
+    }
+    if (address.path.find('/', 1) != std::string::npos) {
+      return InvalidArgumentError("address '" + text +
+                                  "': shm name must contain no '/' after the first");
+    }
+    if (address.path.size() >= 250) {
+      return InvalidArgumentError("address '" + text + "': shm name too long");
+    }
+    return address;
+  }
+  return InvalidArgumentError("address '" + text +
+                              "': unknown scheme (want tcp:, unix:, or shm:)");
+}
+
+std::string Address::ToString() const {
+  switch (kind) {
+    case Kind::kTcp:
+      return StrFormat("tcp:%s:%u", host.c_str(), static_cast<unsigned>(port));
+    case Kind::kUnix:
+      return "unix:" + path;
+    case Kind::kShm:
+      return "shm:" + path;
+  }
+  return "<bad address>";
+}
+
+bool LooksLikeAddress(const std::string& entry) {
+  return entry.rfind("tcp:", 0) == 0 || entry.rfind("unix:", 0) == 0 ||
+         entry.rfind("shm:", 0) == 0;
+}
+
+}  // namespace dice::transport

@@ -1,0 +1,43 @@
+// Transport endpoint addresses: `tcp:host:port`, `unix:/path`, `shm:/name`.
+//
+// One textual form covers every transport the federation speaks, so flags
+// like `--serve=` and the socket entries of `--remote_config=` parse through
+// a single validated grammar. Parse rejects malformed addresses with a
+// Status instead of guessing — a mistyped flag must exit 2, not dial noise.
+
+#ifndef SRC_TRANSPORT_ADDRESS_H_
+#define SRC_TRANSPORT_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace dice::transport {
+
+using ::dice::Status;
+using ::dice::StatusOr;
+
+struct Address {
+  enum class Kind : uint8_t { kTcp, kUnix, kShm };
+
+  Kind kind = Kind::kTcp;
+  std::string host;   // kTcp: hostname or dotted quad
+  uint16_t port = 0;  // kTcp: 0 means "kernel-assigned" for listeners
+  std::string path;   // kUnix: filesystem path; kShm: shm name (leading '/')
+
+  // Accepts `tcp:HOST:PORT`, `unix:/abs/or/rel/path`, `shm:/name`.
+  [[nodiscard]] static StatusOr<Address> Parse(const std::string& text);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+// True when `entry` looks like a transport address rather than a file path —
+// the discriminator --remote_config uses to mix config files and sockets.
+bool LooksLikeAddress(const std::string& entry);
+
+}  // namespace dice::transport
+
+#endif  // SRC_TRANSPORT_ADDRESS_H_

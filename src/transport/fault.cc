@@ -1,0 +1,74 @@
+#include "src/transport/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dice::transport {
+
+FaultInjectingTransport::FaultInjectingTransport(FrameStream stream, FaultSpec spec)
+    : stream_(std::move(stream)), spec_(spec) {}
+
+Status FaultInjectingTransport::SendFrame(const Bytes& frame) {
+  if (fault_fired_) {
+    return FailedPreconditionError("send after an injected fault killed the stream");
+  }
+  const size_t index = frames_sent_++;
+
+  if (index == spec_.drop_frame) {
+    fault_fired_ = true;
+    stream_.Close();
+    return InternalError("injected fault: connection dropped before send");
+  }
+
+  // Assemble the wire image (length prefix + payload) so faults can hit any
+  // byte, prefix included.
+  Bytes wire(4 + frame.size());
+  wire[0] = static_cast<uint8_t>(frame.size() >> 24);
+  wire[1] = static_cast<uint8_t>(frame.size() >> 16);
+  wire[2] = static_cast<uint8_t>(frame.size() >> 8);
+  wire[3] = static_cast<uint8_t>(frame.size());
+  std::copy(frame.begin(), frame.end(), wire.begin() + 4);
+
+  if (index == spec_.flip_frame && spec_.flip_bit / 8 < wire.size()) {
+    wire[spec_.flip_bit / 8] ^= static_cast<uint8_t>(1u << (spec_.flip_bit % 8));
+  }
+
+  if (index == spec_.torn_frame) {
+    fault_fired_ = true;
+    const size_t keep = std::min(spec_.torn_prefix_bytes, wire.size());
+    Status sent = stream_.SendRaw(wire.data(), keep);
+    // Half-close right away so the server observes EOF mid-frame promptly
+    // instead of waiting out a read timeout.
+    stream_.CloseWrite();
+    if (!sent.ok()) {
+      return sent;
+    }
+    return Status::Ok();  // the *send* succeeded; the damage shows up later
+  }
+
+  if (spec_.chunk_bytes > 0) {
+    for (size_t at = 0; at < wire.size(); at += spec_.chunk_bytes) {
+      const size_t n = std::min(spec_.chunk_bytes, wire.size() - at);
+      DICE_RETURN_IF_ERROR(stream_.SendRaw(wire.data() + at, n));
+    }
+    return Status::Ok();
+  }
+  return stream_.SendRaw(wire.data(), wire.size());
+}
+
+StatusOr<Bytes> FaultInjectingTransport::RecvFrame(int timeout_ms) {
+  return stream_.RecvFrame(timeout_ms);
+}
+
+void FaultInjectingTransport::Close() { stream_.Close(); }
+
+RpcChannel::Dialer FaultyDialer(FaultSpec spec) {
+  return [spec](const Address& address,
+                int timeout_ms) -> StatusOr<std::unique_ptr<ClientTransport>> {
+    DICE_ASSIGN_OR_RETURN(FrameStream stream, FrameStream::Dial(address, timeout_ms));
+    return std::unique_ptr<ClientTransport>(
+        std::make_unique<FaultInjectingTransport>(std::move(stream), spec));
+  };
+}
+
+}  // namespace dice::transport

@@ -1,0 +1,76 @@
+// FaultInjectingTransport — a ClientTransport that deliberately damages the
+// byte stream under the RPC channel, for robustness tests.
+//
+// Mirrors the persist::FaultPlan idiom: tests Arm() a fault, run the normal
+// client path, and assert the outcome is a clean Status (and on the server
+// side a closed connection), never a crash, hang, or — worst of all — a
+// wrong verdict. The faults operate on the *wire* bytes (length prefix
+// included), below every checksum, because that is what a broken network
+// actually corrupts:
+//
+//  * short writes: each frame goes out in tiny raw chunks, exercising the
+//    reactor's partial-read reassembly (not an error — a stress);
+//  * torn write: frame N stops after K bytes and the write side half-closes,
+//    so the server sees EOF mid-frame;
+//  * bit flip: bit B of frame N's wire bytes is inverted — caught by the
+//    envelope checksum (payload bytes) or the length-prefix sanity checks;
+//  * disconnect: the connection drops instead of sending frame N.
+
+#ifndef SRC_TRANSPORT_FAULT_H_
+#define SRC_TRANSPORT_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "src/transport/client.h"
+#include "src/transport/stream.h"
+
+namespace dice::transport {
+
+struct FaultSpec {
+  static constexpr size_t kNever = std::numeric_limits<size_t>::max();
+
+  // Send every frame in raw chunks of this many bytes (0 = whole frames).
+  size_t chunk_bytes = 0;
+
+  // Truncate the `torn_frame`-th outbound frame (0-based, counting wire
+  // frames) to `torn_prefix_bytes` of its wire bytes, then half-close.
+  size_t torn_frame = kNever;
+  size_t torn_prefix_bytes = 0;
+
+  // Invert bit `flip_bit` (counting from the frame's first wire byte, LSB
+  // first) of the `flip_frame`-th outbound frame.
+  size_t flip_frame = kNever;
+  size_t flip_bit = 0;
+
+  // Drop the connection instead of sending the `drop_frame`-th frame.
+  size_t drop_frame = kNever;
+};
+
+class FaultInjectingTransport : public ClientTransport {
+ public:
+  FaultInjectingTransport(FrameStream stream, FaultSpec spec);
+
+  [[nodiscard]] Status SendFrame(const Bytes& frame) override;
+  [[nodiscard]] StatusOr<Bytes> RecvFrame(int timeout_ms) override;
+  void Close() override;
+
+  size_t frames_sent() const { return frames_sent_; }
+  bool fault_fired() const { return fault_fired_; }
+
+ private:
+  FrameStream stream_;
+  FaultSpec spec_;
+  size_t frames_sent_ = 0;
+  bool fault_fired_ = false;
+};
+
+// An RpcChannel dialer that wraps every new socket connection in a
+// FaultInjectingTransport with `spec`. Each dial gets a fresh fault counter,
+// so "tear frame 2" applies per connection, not per channel lifetime.
+RpcChannel::Dialer FaultyDialer(FaultSpec spec);
+
+}  // namespace dice::transport
+
+#endif  // SRC_TRANSPORT_FAULT_H_

@@ -1,0 +1,94 @@
+// Same-host shared-memory transport: a pair of SPSC byte rings in one
+// POSIX shm region, with futex wakeups instead of socket syscalls.
+//
+// The ring carries exactly the same framed RPC envelope as the sockets —
+// `u32 length | payload` records — so everything above the byte pipe
+// (multiplexing, correlation, epochs, checksums) is shared with the TCP and
+// Unix-domain paths; only the bytes' journey differs. Two rings, one per
+// direction, each with a single producer and a single consumer:
+//
+//   client --ring[0]--> server      server --ring[1]--> client
+//
+// Progress signalling is futex-based: the producer bumps `data_seq` and
+// wakes the consumer after publishing; the consumer bumps `space_seq` and
+// wakes the producer after draining. Waits carry timeouts, so a dead peer
+// surfaces as DeadlineExceeded rather than a hang, and an explicit shutdown
+// flag in the header turns into FailedPrecondition ("closed by peer") —
+// mirroring exactly what the socket paths report.
+
+#ifndef SRC_TRANSPORT_SHM_RING_H_
+#define SRC_TRANSPORT_SHM_RING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/transport/address.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace dice::transport {
+
+using ::dice::Bytes;
+
+// Bytes per direction. A full 4096-update batch serializes well under 1 MiB,
+// so 4 MiB keeps several batches in flight without a wrap stall.
+constexpr size_t kShmRingCapacity = 4u << 20;
+
+struct ShmLayout;  // the mapped region (defined in shm_ring.cc)
+
+// One endpoint of the shm pipe. The server Create()s the region (unlinking
+// any stale one — crash recovery); the client Open()s it, retrying until the
+// server has it mapped. Movable via unique_ptr only.
+class ShmRingTransport {
+ public:
+  enum class Role : uint8_t { kServer, kClient };
+
+  ~ShmRingTransport();
+  ShmRingTransport(const ShmRingTransport&) = delete;
+  ShmRingTransport& operator=(const ShmRingTransport&) = delete;
+
+  // Server side: creates (re-creates) the shm region for `address` (shm:/name).
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShmRingTransport>> Create(
+      const Address& address);
+
+  // Client side: maps an existing region, retrying up to `timeout_ms` for the
+  // server to create it.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShmRingTransport>> Open(
+      const Address& address, int timeout_ms);
+
+  // Writes one `u32 length | payload` record into the outbound ring, waiting
+  // up to `timeout_ms` for space. DeadlineExceeded when the peer never
+  // drains; FailedPrecondition after shutdown.
+  [[nodiscard]] Status SendFrame(const Bytes& payload, int timeout_ms);
+
+  // Reads one complete record from the inbound ring. DeadlineExceeded on
+  // timeout, FailedPrecondition when the peer shut the pipe down,
+  // InvalidArgument on a corrupt length word.
+  [[nodiscard]] StatusOr<Bytes> RecvFrame(int timeout_ms);
+
+  // Marks the pipe closed and wakes both sides. Idempotent.
+  void Shutdown();
+
+  [[nodiscard]] bool shut_down() const;
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  ShmRingTransport(Role role, std::string shm_name, ShmLayout* layout);
+
+  Role role_;
+  std::string shm_name_;
+  ShmLayout* layout_ = nullptr;  // mmap'ed; munmap in the destructor
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_received_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace dice::transport
+
+#endif  // SRC_TRANSPORT_SHM_RING_H_

@@ -1,0 +1,182 @@
+#include "src/transport/wire.h"
+
+#include "src/util/frame.h"
+#include "src/util/strings.h"
+
+namespace dice::transport {
+namespace {
+
+using ::dice::ByteReader;
+using ::dice::ByteWriter;
+using ::dice::FrameMessage;
+using ::dice::OpenFrame;
+
+// Caps mirroring the stream's frame limit: a parsed count or length can never
+// commit the parser to allocating more than one frame could carry.
+constexpr size_t kMaxPayloadBytes = 16u << 20;
+constexpr size_t kMaxErrorBytes = 4096;
+constexpr size_t kMaxHelloDomains = 4096;
+constexpr size_t kMaxDomainNameBytes = 256;
+
+Status TrailingBytes(const char* what, size_t n) {
+  return InvalidArgumentError(
+      StrFormat("%s carries %zu trailing bytes after the last field", what, n));
+}
+
+StatusOr<Bytes> ReadSizedBytes(ByteReader& reader, size_t cap, const char* what) {
+  DICE_ASSIGN_OR_RETURN(uint32_t length, reader.ReadU32());
+  if (length > cap) {
+    return InvalidArgumentError(
+        StrFormat("%s of %u bytes exceeds the %zu-byte limit", what,
+                  static_cast<unsigned>(length), cap));
+  }
+  return reader.ReadBytes(length);
+}
+
+StatusOr<std::string> ReadSizedString(ByteReader& reader, size_t cap, const char* what) {
+  DICE_ASSIGN_OR_RETURN(uint16_t length, reader.ReadU16());
+  if (length > cap) {
+    return InvalidArgumentError(
+        StrFormat("%s of %u bytes exceeds the %zu-byte limit", what,
+                  static_cast<unsigned>(length), cap));
+  }
+  DICE_ASSIGN_OR_RETURN(Bytes raw, reader.ReadBytes(length));
+  return std::string(raw.begin(), raw.end());
+}
+
+}  // namespace
+
+StatusOr<RpcOp> ParseRpcOp(uint8_t raw) {
+  switch (raw) {
+    case static_cast<uint8_t>(RpcOp::kHello):
+      return RpcOp::kHello;
+    case static_cast<uint8_t>(RpcOp::kTakeCheckpoint):
+      return RpcOp::kTakeCheckpoint;
+    case static_cast<uint8_t>(RpcOp::kExecuteBatch):
+      return RpcOp::kExecuteBatch;
+    default:
+      return InvalidArgumentError(
+          StrFormat("unknown rpc op %u", static_cast<unsigned>(raw)));
+  }
+}
+
+Bytes RpcRequest::Serialize() const {
+  ByteWriter body;
+  body.PutU64(correlation_id);
+  body.PutU32(domain_id);
+  body.PutU8(static_cast<uint8_t>(op));
+  body.PutU32(static_cast<uint32_t>(payload.size()));
+  body.PutBytes(payload);
+  return FrameMessage(kRpcRequestMagic, kRpcWireVersion, body.bytes());
+}
+
+StatusOr<RpcRequest> RpcRequest::Parse(const Bytes& bytes) {
+  DICE_ASSIGN_OR_RETURN(ByteReader reader,
+                        OpenFrame(bytes, kRpcRequestMagic, kRpcWireVersion, "rpc request"));
+  RpcRequest request;
+  DICE_ASSIGN_OR_RETURN(request.correlation_id, reader.ReadU64());
+  DICE_ASSIGN_OR_RETURN(request.domain_id, reader.ReadU32());
+  DICE_ASSIGN_OR_RETURN(uint8_t raw_op, reader.ReadU8());
+  DICE_ASSIGN_OR_RETURN(request.op, ParseRpcOp(raw_op));
+  DICE_ASSIGN_OR_RETURN(request.payload,
+                        ReadSizedBytes(reader, kMaxPayloadBytes, "rpc request payload"));
+  if (!reader.AtEnd()) {
+    return TrailingBytes("rpc request", reader.remaining());
+  }
+  return request;
+}
+
+Bytes RpcReply::Serialize() const {
+  ByteWriter body;
+  body.PutU64(correlation_id);
+  body.PutU32(domain_id);
+  body.PutU8(static_cast<uint8_t>(op));
+  body.PutU8(static_cast<uint8_t>(status_code));
+  body.PutU16(static_cast<uint16_t>(error.size()));
+  body.PutString(error);
+  body.PutU32(static_cast<uint32_t>(payload.size()));
+  body.PutBytes(payload);
+  return FrameMessage(kRpcReplyMagic, kRpcWireVersion, body.bytes());
+}
+
+StatusOr<RpcReply> RpcReply::Parse(const Bytes& bytes) {
+  DICE_ASSIGN_OR_RETURN(ByteReader reader,
+                        OpenFrame(bytes, kRpcReplyMagic, kRpcWireVersion, "rpc reply"));
+  RpcReply reply;
+  DICE_ASSIGN_OR_RETURN(reply.correlation_id, reader.ReadU64());
+  DICE_ASSIGN_OR_RETURN(reply.domain_id, reader.ReadU32());
+  DICE_ASSIGN_OR_RETURN(uint8_t raw_op, reader.ReadU8());
+  DICE_ASSIGN_OR_RETURN(reply.op, ParseRpcOp(raw_op));
+  DICE_ASSIGN_OR_RETURN(uint8_t raw_code, reader.ReadU8());
+  if (raw_code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return InvalidArgumentError(
+        StrFormat("unknown status code %u in rpc reply", static_cast<unsigned>(raw_code)));
+  }
+  reply.status_code = static_cast<StatusCode>(raw_code);
+  DICE_ASSIGN_OR_RETURN(reply.error,
+                        ReadSizedString(reader, kMaxErrorBytes, "rpc reply error"));
+  DICE_ASSIGN_OR_RETURN(reply.payload,
+                        ReadSizedBytes(reader, kMaxPayloadBytes, "rpc reply payload"));
+  if (!reader.AtEnd()) {
+    return TrailingBytes("rpc reply", reader.remaining());
+  }
+  return reply;
+}
+
+Status RpcReply::ToStatus() const {
+  if (status_code == StatusCode::kOk) {
+    return Status::Ok();
+  }
+  return Status(status_code, error);
+}
+
+RpcReply RpcReply::FromStatus(const RpcRequest& request, const Status& status) {
+  RpcReply reply;
+  reply.correlation_id = request.correlation_id;
+  reply.domain_id = request.domain_id;
+  reply.op = request.op;
+  reply.status_code = status.code();
+  std::string message = status.message();
+  if (message.size() > kMaxErrorBytes) {
+    message.resize(kMaxErrorBytes);
+  }
+  reply.error = std::move(message);
+  return reply;
+}
+
+Bytes HelloReply::Serialize() const {
+  ByteWriter body;
+  body.PutU32(static_cast<uint32_t>(domains.size()));
+  for (const HelloDomain& domain : domains) {
+    body.PutU32(domain.id);
+    body.PutU16(static_cast<uint16_t>(domain.name.size()));
+    body.PutString(domain.name);
+    body.PutU64(domain.epoch);
+  }
+  return body.Take();
+}
+
+StatusOr<HelloReply> HelloReply::Parse(const Bytes& bytes) {
+  ByteReader reader(bytes);
+  DICE_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count > kMaxHelloDomains) {
+    return InvalidArgumentError(StrFormat("hello announces %u domains (limit %zu)",
+                                          static_cast<unsigned>(count), kMaxHelloDomains));
+  }
+  HelloReply hello;
+  hello.domains.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HelloDomain domain;
+    DICE_ASSIGN_OR_RETURN(domain.id, reader.ReadU32());
+    DICE_ASSIGN_OR_RETURN(domain.name,
+                          ReadSizedString(reader, kMaxDomainNameBytes, "hello domain name"));
+    DICE_ASSIGN_OR_RETURN(domain.epoch, reader.ReadU64());
+    hello.domains.push_back(std::move(domain));
+  }
+  if (!reader.AtEnd()) {
+    return TrailingBytes("hello reply", reader.remaining());
+  }
+  return hello;
+}
+
+}  // namespace dice::transport

@@ -71,6 +71,24 @@ TEST(LintTokens, WallClockPersistAllowlistIsEnvOnly) {
             (std::vector<std::string>{"src/persist/env.h:2:wall-clock"}));
 }
 
+TEST(LintTokens, WallClockTransportAllowlistIsByFileNotDirectory) {
+  // The transport layer touches real time by nature (socket deadlines,
+  // reconnect backoff, futex waits, latency counters), but only the four
+  // reviewed .cc files — new transport files must either stay clock-free or
+  // be added to the allowlist in review. Headers stay clock-free entirely.
+  const std::string source = "#include <time.h>\nvoid f() { clock_gettime(0, nullptr); }\n";
+  EXPECT_TRUE(Lint("src/transport/stream.cc", source).clean());
+  EXPECT_TRUE(Lint("src/transport/shm_ring.cc", source).clean());
+  EXPECT_TRUE(Lint("src/transport/server.cc", source).clean());
+  EXPECT_TRUE(Lint("src/transport/client.cc", source).clean());
+  EXPECT_EQ(Sites(Lint("src/transport/stream.h", source)),
+            (std::vector<std::string>{"src/transport/stream.h:2:wall-clock"}));
+  EXPECT_EQ(Sites(Lint("src/transport/wire.cc", source)),
+            (std::vector<std::string>{"src/transport/wire.cc:2:wall-clock"}));
+  EXPECT_EQ(Sites(Lint("src/transport/reactor.cc", source)),
+            (std::vector<std::string>{"src/transport/reactor.cc:2:wall-clock"}));
+}
+
 TEST(LintTokens, IgnoresTokensInCommentsAndStrings) {
   LintReport r = Lint("src/foo.cc",
                       "// std::mt19937 would be bad here\n"
@@ -274,6 +292,23 @@ TEST(LintRepo, ShardedNetFilesIntroduceNoFindings) {
     EXPECT_FALSE(s.reason.empty())
         << s.file << ":" << s.line << " suppression without a reason";
   }
+}
+
+TEST(LintRepo, TransportFilesIntroduceNoFindings) {
+  // The transport subsystem crosses the process boundary, which makes it the
+  // easiest place to smuggle in nondeterminism (ad-hoc clocks, unordered
+  // correlation maps). Pin the directory to zero findings: its sanctioned
+  // clock use lives only in the four .cc files named in the allowlist, and
+  // everything else must come up clean without suppressions.
+  LintOptions options;
+  options.root = DICE_REPO_ROOT;
+  options.paths = {"src/transport"};
+  auto report = RunLint(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  EXPECT_GE(report->files_scanned, 14u);  // 7 modules, header + impl each
+  EXPECT_TRUE(report->suppressed.empty())
+      << "transport code must not need unordered-iteration suppressions";
 }
 
 TEST(LintRepo, RealTreeIsClean) {

@@ -1,0 +1,229 @@
+// Fault injection under the RPC channel: short writes, torn writes, bit
+// flips, and mid-batch disconnects must surface as clean Statuses (or be
+// healed by the channel's reconnect) — never a crash, a hang, or a wrong
+// verdict. The server must drop damaged connections and keep serving.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/transport/client.h"
+#include "src/transport/fault.h"
+#include "src/transport/server.h"
+#include "tests/transport_test_util.h"
+
+namespace dice::transport {
+namespace {
+
+// One FakeService domain behind a loopback TCP endpoint.
+struct FaultHarness {
+  FaultHarness() {
+    server = std::make_unique<ExplorationServer>();
+    auto owned = std::make_unique<FakeService>("upstream");
+    fake = owned.get();
+    server->AddDomain(std::move(owned));
+    EXPECT_TRUE(server->AddEndpoint(LoopbackAddress()).ok());
+    EXPECT_TRUE(server->Start().ok());
+    bound = *server->BoundAddress(0);
+  }
+
+  // A channel whose every connection is wrapped in a FaultInjectingTransport.
+  std::shared_ptr<RpcChannel> Channel(FaultSpec spec, int call_timeout_ms = 10000) {
+    RpcChannel::Options options;
+    options.connect_timeout_ms = 2000;
+    options.call_timeout_ms = call_timeout_ms;
+    options.reconnect_attempts = 3;
+    options.reconnect_backoff_ms = 2;
+    options.dialer = FaultyDialer(spec);
+    return std::make_shared<RpcChannel>(bound, options);
+  }
+
+  // The reply a clean (fault-free) channel produces for the same batch —
+  // the reference verdict every faulty run must reproduce exactly. The fake
+  // stamps would_propagate with the answering epoch, which advances once per
+  // stub, so the shape is identical across stubs.
+  ExploratoryBatchReply CleanReference() {
+    auto channel = Channel(FaultSpec{});
+    SocketExplorationService stub(channel, 1, "upstream");
+    EXPECT_GT(stub.TakeCheckpoint(3), 0u);
+    StatusOr<ExploratoryBatchReply> reply =
+        stub.ExecuteBatch(TestBatch(stub.public_epoch(), {"203.0.113.0/24", "192.0.2.0/24"}));
+    EXPECT_TRUE(reply.ok()) << reply.status();
+    ExploratoryBatchReply normalized = reply.ok() ? *reply : ExploratoryBatchReply{};
+    Normalize(normalized);
+    return normalized;
+  }
+
+  // The fake encodes the server-side epoch into would_propagate and the stub
+  // remaps checkpoint_epoch into its public space; zero both so replies from
+  // different checkpoints (fresh stubs, retried connections) compare equal.
+  static void Normalize(ExploratoryBatchReply& reply) {
+    reply.checkpoint_epoch = 0;
+    for (NarrowReply& narrow : reply.replies) {
+      narrow.would_propagate = 0;
+    }
+  }
+
+  std::unique_ptr<ExplorationServer> server;
+  FakeService* fake = nullptr;
+  Address bound;
+};
+
+// Wire frame numbering per connection: 0 = Hello, 1 = first call (the
+// checkpoint below), 2 = the batch.
+constexpr size_t kBatchFrame = 2;
+
+TEST(FaultTest, SingleByteChunkedWritesRoundTrip) {
+  FaultHarness harness;
+  ExploratoryBatchReply reference = harness.CleanReference();
+
+  FaultSpec spec;
+  spec.chunk_bytes = 1;  // every frame arrives one byte at a time
+  auto channel = harness.Channel(spec);
+  SocketExplorationService stub(channel, 1, "upstream");
+  ASSERT_GT(stub.TakeCheckpoint(3), 0u);
+  StatusOr<ExploratoryBatchReply> reply = stub.ExecuteBatch(
+      TestBatch(stub.public_epoch(), {"203.0.113.0/24", "192.0.2.0/24"}));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  FaultHarness::Normalize(*reply);
+  EXPECT_EQ(*reply, reference);
+  EXPECT_EQ(channel->reconnects(), 0u) << "chunking is a stress, not a fault";
+}
+
+TEST(FaultTest, TornBatchWriteIsHealedByReconnect) {
+  FaultHarness harness;
+  ExploratoryBatchReply reference = harness.CleanReference();
+
+  // Tear the batch frame at several prefix lengths: inside the stream's
+  // length prefix, on its boundary, and mid-payload.
+  for (size_t torn_prefix : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{17}}) {
+    SCOPED_TRACE(torn_prefix);
+    FaultSpec spec;
+    spec.torn_frame = kBatchFrame;
+    spec.torn_prefix_bytes = torn_prefix;
+    auto channel = harness.Channel(spec);
+    SocketExplorationService stub(channel, 1, "upstream");
+    ASSERT_GT(stub.TakeCheckpoint(3), 0u);
+    // The torn write kills the first connection mid-frame; the retry rides a
+    // fresh connection where the batch is wire frame 1 — below the fault.
+    StatusOr<ExploratoryBatchReply> reply = stub.ExecuteBatch(
+        TestBatch(stub.public_epoch(), {"203.0.113.0/24", "192.0.2.0/24"}));
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    FaultHarness::Normalize(*reply);
+    EXPECT_EQ(*reply, reference) << "a torn write changed the verdict";
+    EXPECT_EQ(channel->reconnects(), 1u);
+  }
+}
+
+TEST(FaultTest, BitFlipsAreCaughtBelowEveryChecksum) {
+  FaultHarness harness;
+  ExploratoryBatchReply reference = harness.CleanReference();
+
+  // Bit 7 lands in the stream's length prefix (MSB byte — the frame claims
+  // to be gigantic and the server closes); bits past 32 land in the framed
+  // envelope, where the checksum catches them and the server drops the
+  // connection without answering.
+  for (size_t flip_bit : {size_t{7}, size_t{33}, size_t{200}}) {
+    SCOPED_TRACE(flip_bit);
+    FaultSpec spec;
+    spec.flip_frame = kBatchFrame;
+    spec.flip_bit = flip_bit;
+    auto channel = harness.Channel(spec);
+    SocketExplorationService stub(channel, 1, "upstream");
+    ASSERT_GT(stub.TakeCheckpoint(3), 0u);
+    StatusOr<ExploratoryBatchReply> reply = stub.ExecuteBatch(
+        TestBatch(stub.public_epoch(), {"203.0.113.0/24", "192.0.2.0/24"}));
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    FaultHarness::Normalize(*reply);
+    EXPECT_EQ(*reply, reference) << "a flipped bit changed the verdict";
+    EXPECT_EQ(channel->reconnects(), 1u);
+  }
+}
+
+TEST(FaultTest, DisconnectInsteadOfBatchReconnectsAndRetries) {
+  FaultHarness harness;
+  ExploratoryBatchReply reference = harness.CleanReference();
+
+  FaultSpec spec;
+  spec.drop_frame = kBatchFrame;
+  auto channel = harness.Channel(spec);
+  SocketExplorationService stub(channel, 1, "upstream");
+  ASSERT_GT(stub.TakeCheckpoint(3), 0u);
+  const uint64_t batches_before = harness.fake->batches();
+  StatusOr<ExploratoryBatchReply> reply = stub.ExecuteBatch(
+      TestBatch(stub.public_epoch(), {"203.0.113.0/24", "192.0.2.0/24"}));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  FaultHarness::Normalize(*reply);
+  EXPECT_EQ(*reply, reference);
+  EXPECT_EQ(channel->reconnects(), 1u);
+  // The dropped request never reached the service: exactly one batch ran.
+  EXPECT_EQ(harness.fake->batches(), batches_before + 1);
+}
+
+TEST(FaultTest, TornHelloFailsCleanlyAndServerSurvives) {
+  FaultHarness harness;
+
+  // Every connection's Hello is torn: the channel can never come up. That
+  // must be a clean Status after the backoff schedule, not a hang or crash.
+  FaultSpec spec;
+  spec.torn_frame = 0;
+  spec.torn_prefix_bytes = 2;
+  auto channel = harness.Channel(spec, /*call_timeout_ms=*/2000);
+  Status connected = channel->Connect();
+  ASSERT_FALSE(connected.ok());
+  Status reconnected = channel->Reconnect();
+  ASSERT_FALSE(reconnected.ok());
+
+  // The damaged dials did not wedge the server: a clean channel still works.
+  auto clean = harness.Channel(FaultSpec{});
+  SocketExplorationService stub(clean, 1, "upstream");
+  EXPECT_GT(stub.TakeCheckpoint(1), 0u);
+}
+
+TEST(FaultTest, FaultsNeverProduceAWrongVerdictAcrossAMatrix) {
+  // A sweep across fault kinds and positions. Every run either produces the
+  // reference verdict (the channel healed it) or a clean error Status; any
+  // crash or hang fails the test by construction.
+  FaultHarness harness;
+  ExploratoryBatchReply reference = harness.CleanReference();
+
+  std::vector<FaultSpec> specs;
+  for (size_t frame = 0; frame <= kBatchFrame; ++frame) {
+    FaultSpec torn;
+    torn.torn_frame = frame;
+    torn.torn_prefix_bytes = 1;
+    specs.push_back(torn);
+    FaultSpec drop;
+    drop.drop_frame = frame;
+    specs.push_back(drop);
+    FaultSpec flip;
+    flip.flip_frame = frame;
+    flip.flip_bit = 40;
+    specs.push_back(flip);
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(i);
+    auto channel = harness.Channel(specs[i], /*call_timeout_ms=*/2000);
+    SocketExplorationService stub(channel, 1, "upstream");
+    const uint64_t epoch = stub.TakeCheckpoint(3);
+    if (epoch == 0) {
+      continue;  // checkpoint path reported cleanly; nothing to verify
+    }
+    StatusOr<ExploratoryBatchReply> reply = stub.ExecuteBatch(
+        TestBatch(epoch, {"203.0.113.0/24", "192.0.2.0/24"}));
+    if (!reply.ok()) {
+      continue;  // clean error is an acceptable outcome
+    }
+    FaultHarness::Normalize(*reply);
+    EXPECT_EQ(*reply, reference) << "fault " << i << " changed the verdict";
+  }
+  // And after all that abuse the server still answers a pristine client.
+  auto clean = harness.Channel(FaultSpec{});
+  SocketExplorationService stub(clean, 1, "upstream");
+  EXPECT_GT(stub.TakeCheckpoint(9), 0u);
+}
+
+}  // namespace
+}  // namespace dice::transport

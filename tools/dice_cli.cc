@@ -13,6 +13,7 @@
 //            [--remote_config=upstream.conf,...] [--remote_batch_size=N]
 //            [--solver_workers=N] [--sim_shards=N]
 //            [--state_dir=DIR] [--snapshot_every=N]
+//            [--serve=tcp:HOST:PORT,...] [--serve_peer_as=AS] [--serve_workers=N]
 //
 // The configuration must contain exactly one router block; the trace (or the
 // synthetic table) is loaded as routes from the *first* configured neighbor
@@ -23,11 +24,26 @@
 // candidates on an N-thread worker pool; results are bit-identical to the
 // default serial engine, only faster. Omit the flag for serial solving.
 //
-// Federation: each --remote_config file describes a neighbor domain's router
-// (one block; it should configure a neighbor whose AS is this router's AS —
-// that session receives the exploratory routes). Remote domains answer over
-// the batched, wire-serialized ExplorationService narrow interface;
+// Federation: each --remote_config entry is either a neighbor domain's
+// router config file (one block; it should configure a neighbor whose AS is
+// this router's AS — that session receives the exploratory routes, answered
+// in-process over the wire-serialized narrow interface) or the address of a
+// remote dice_cli --serve process — `tcp:host:port`, `unix:/path`, or
+// `shm:/name` — in which case every domain that server announces joins the
+// federation over a real socket or shared-memory transport.
 // --remote_batch_size caps exploratory updates per RPC (default 64, min 1).
+//
+// Serve mode: --serve=ADDR[,ADDR...] turns dice_cli into the other side of
+// that federation — it builds one remote domain from --config (same
+// construction as an in-process --remote_config entry: synthetic table from
+// --seed/--prefixes, exploratory session on the neighbor whose AS is
+// --serve_peer_as, defaulting to the first neighbor's AS) and serves it on
+// every listed endpoint until killed. --serve_workers=N answers requests on
+// an N-thread pool (different domains in parallel); --state_dir warm-restarts
+// the domain's table from its snapshot so a SIGKILLed server rejoins the
+// federation without rebuilding state. Each resolved endpoint is printed as a
+// `serving <domain> on <address>` line (tcp:...:0 shows the kernel-assigned
+// port). Incompatible with --remote_config and --sim_shards.
 //
 // Sharded simulation: --sim_shards=N (min 1) loads the table by running the
 // router and a feed node impersonating the table neighbor live on an N-shard
@@ -42,6 +58,8 @@
 // as crash-safe generation files, and reloads them on start — a killed
 // process warm-restarts with its learned UNSAT cores. Corrupt or torn
 // snapshots are detected, quarantined, and degrade to a cold start.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -61,6 +79,9 @@
 #include "src/persist/router_state_snapshot.h"
 #include "src/persist/snapshot_store.h"
 #include "src/trace/trace.h"
+#include "src/transport/address.h"
+#include "src/transport/client.h"
+#include "src/transport/server.h"
 #include "src/util/frame.h"
 
 namespace dice {
@@ -83,7 +104,11 @@ void PrintUsage(std::FILE* out) {
                "                [--anycast=P,...] [--peer=ADDR] [--inject=P:AS,...]\n"
                "                [--remote_config=F,...] [--remote_batch_size=N]\n"
                "                [--solver_workers=N] [--sim_shards=N]\n"
-               "                [--state_dir=DIR] [--snapshot_every=N]\n");
+               "                [--state_dir=DIR] [--snapshot_every=N]\n"
+               "                [--serve=tcp:HOST:PORT|unix:/path|shm:/name,...]\n"
+               "                [--serve_peer_as=AS] [--serve_workers=N]\n"
+               "remote_config entries may be config files or server addresses\n"
+               "(tcp:host:port, unix:/path, shm:/name).\n");
 }
 
 // Rejects anything bench::Flags would silently ignore or misread: unknown
@@ -98,12 +123,15 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
       "peer",    "seed-prefix", "seed-asn", "anycast", "inject",
       "remote_config", "remote_batch_size", "solver_workers",
       "sim_shards", "state_dir", "snapshot_every",
+      "serve", "serve_peer_as", "serve_workers",
   };
   static const std::set<std::string> kUintFlags = {
       "prefixes", "runs", "seed", "seed-asn", "remote_batch_size", "solver_workers",
-      "sim_shards", "snapshot_every"};
+      "sim_shards", "snapshot_every", "serve_peer_as", "serve_workers"};
   bool has_sim_shards = false;
   bool has_state_dir = false;
+  bool has_serve = false;
+  bool has_remote_config = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -157,32 +185,100 @@ int ValidateArgs(int argc, char** argv, bool* help_requested) {
       std::fprintf(stderr, "error: flag '--snapshot_every' must be at least 1\n");
       return 2;
     }
+    if (key == "serve") {
+      has_serve = true;
+      bool any = false;
+      for (const std::string& entry : Split(value, ',')) {
+        if (entry.empty()) {
+          continue;
+        }
+        any = true;
+        auto address = transport::Address::Parse(entry);
+        if (!address.ok()) {
+          std::fprintf(stderr, "error: bad --serve endpoint '%s': %s\n", entry.c_str(),
+                       address.status().message().c_str());
+          return 2;
+        }
+      }
+      if (!any) {
+        std::fprintf(stderr, "error: flag '--serve' needs at least one endpoint "
+                             "(tcp:HOST:PORT, unix:/path, or shm:/name)\n");
+        return 2;
+      }
+    }
+    if (key == "remote_config") {
+      has_remote_config = true;
+      // Socket entries (tcp:/unix:/shm:) must parse as addresses; anything
+      // else is treated as a config file path and validated when opened.
+      for (const std::string& entry : Split(value, ',')) {
+        if (entry.empty() || !transport::LooksLikeAddress(entry)) {
+          continue;
+        }
+        auto address = transport::Address::Parse(entry);
+        if (!address.ok()) {
+          std::fprintf(stderr, "error: bad --remote_config address '%s': %s\n",
+                       entry.c_str(), address.status().message().c_str());
+          return 2;
+        }
+      }
+    }
   }
   if (has_sim_shards && has_state_dir) {
     std::fprintf(stderr, "error: --sim_shards is incompatible with --state_dir "
                          "(the live simulation has no warm-restart path)\n");
     return 2;
   }
+  if (has_serve && has_remote_config) {
+    std::fprintf(stderr, "error: --serve is incompatible with --remote_config "
+                         "(a server hosts its own domain; it does not dial others)\n");
+    return 2;
+  }
+  if (has_serve && has_sim_shards) {
+    std::fprintf(stderr, "error: --serve is incompatible with --sim_shards "
+                         "(served domains load their table synthetically)\n");
+    return 2;
+  }
   return 0;
 }
+
+// One federated remote domain built from a router config file: name, loaded
+// state, session views, and the PeerId the exploratory routes arrive on.
+struct RemoteDomainParts {
+  std::string domain;
+  bgp::RouterState state;
+  std::vector<bgp::PeerView> views;
+  bgp::PeerId from_peer = 0;
+  bool warm_loaded = false;  // state came from a snapshot, not a table build
+};
 
 // Builds one federated remote domain from a config file: its table is loaded
 // synthetically (same generator as the local router), and the session the
 // exploratory routes arrive on is the first configured neighbor whose AS
-// matches the exploring router's — the remote's own import policy for that
-// session decides what it would adopt.
-StatusOr<std::unique_ptr<WireExplorationService>> MakeRemoteDomain(
-    const std::string& path, bgp::AsNumber provider_as, uint64_t seed, uint64_t prefixes) {
+// matches `provider_as` (the exploring router's AS; 0 = the first neighbor)
+// — the remote's own import policy for that session decides what it would
+// adopt. With `store`, the loaded state round-trips through the snapshot
+// store: a warm restart (after a SIGKILL, say) reloads the table instead of
+// rebuilding it, fingerprint-checked against the exact config and generator
+// inputs that produced it.
+StatusOr<RemoteDomainParts> BuildRemoteDomainParts(const std::string& path,
+                                                   bgp::AsNumber provider_as, uint64_t seed,
+                                                   uint64_t prefixes,
+                                                   persist::SnapshotStore* store) {
   DICE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   DICE_ASSIGN_OR_RETURN(bgp::RouterConfig config, bgp::ParseSingleRouterConfig(text));
   if (config.neighbors.empty()) {
     return InvalidArgumentError(path + ": remote router needs at least one neighbor");
   }
   const bgp::NeighborConfig* provider_neighbor = nullptr;
-  for (const bgp::NeighborConfig& neighbor : config.neighbors) {
-    if (neighbor.remote_as == provider_as) {
-      provider_neighbor = &neighbor;
-      break;
+  if (provider_as == 0) {
+    provider_neighbor = &config.neighbors.front();
+    provider_as = provider_neighbor->remote_as;
+  } else {
+    for (const bgp::NeighborConfig& neighbor : config.neighbors) {
+      if (neighbor.remote_as == provider_as) {
+        provider_neighbor = &neighbor;
+        break;
+      }
     }
   }
   if (provider_neighbor == nullptr) {
@@ -191,26 +287,57 @@ StatusOr<std::unique_ptr<WireExplorationService>> MakeRemoteDomain(
                   static_cast<unsigned>(provider_as)));
   }
 
-  std::string domain = config.name.empty() ? path : config.name;
+  RemoteDomainParts parts;
+  parts.domain = config.name.empty() ? path : config.name;
   bgp::Ipv4Address provider_address = provider_neighbor->address;
-  bgp::RouterState state;
   bgp::NeighborConfig table_neighbor = config.neighbors.front();
-  state.config = std::make_shared<const bgp::RouterConfig>(std::move(config));
+  parts.state.config = std::make_shared<const bgp::RouterConfig>(std::move(config));
 
-  // The remote's table: the same synthetic full dump the local router loads,
-  // learned from its first neighbor.
   bgp::PeerView table_view;
   table_view.id = 100;
   table_view.remote_as = table_neighbor.remote_as;
   table_view.address = table_neighbor.address;
   table_view.established = true;
-  bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
-  trace::TraceGeneratorOptions gen_options;
-  gen_options.seed = seed;
-  gen_options.prefix_count = prefixes;
-  trace::TraceGenerator generator(gen_options);
-  for (const trace::TraceEvent& ev : generator.FullDump().events) {
-    bgp::ProcessUpdate(state, {table_view}, table_view, table_neighbor, ev.update, discard);
+
+  // Everything the table is derived from, hashed so a snapshot only reloads
+  // under the exact inputs that produced it.
+  const std::string fp_src =
+      text + StrFormat("\nsynthetic:%llu:%llu:%u", static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(prefixes),
+                       static_cast<unsigned>(provider_as));
+  const uint64_t fingerprint =
+      BodyChecksum(reinterpret_cast<const uint8_t*>(fp_src.data()), fp_src.size());
+
+  if (store != nullptr) {
+    auto generation = store->LoadLatest([&](const Bytes& bytes) -> Status {
+      auto restored = persist::LoadRouterState(bytes, parts.state.config, fingerprint);
+      if (!restored.ok()) {
+        return restored.status();
+      }
+      parts.state = std::move(restored).value();
+      return Status();
+    });
+    parts.warm_loaded = generation.ok();
+  }
+  if (!parts.warm_loaded) {
+    // The remote's table: the same synthetic full dump the local router
+    // loads, learned from its first neighbor.
+    bgp::UpdateSink discard = [](bgp::PeerId, const bgp::UpdateMessage&) {};
+    trace::TraceGeneratorOptions gen_options;
+    gen_options.seed = seed;
+    gen_options.prefix_count = prefixes;
+    trace::TraceGenerator generator(gen_options);
+    for (const trace::TraceEvent& ev : generator.FullDump().events) {
+      bgp::ProcessUpdate(parts.state, {table_view}, table_view, table_neighbor, ev.update,
+                         discard);
+    }
+    if (store != nullptr) {
+      auto saved = store->Save(persist::SerializeRouterState(parts.state, fingerprint));
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: remote state snapshot failed: %s\n",
+                     saved.status().ToString().c_str());
+      }
+    }
   }
 
   // The session the exploring router's messages arrive on.
@@ -220,10 +347,101 @@ StatusOr<std::unique_ptr<WireExplorationService>> MakeRemoteDomain(
   provider_view.address = provider_address;
   provider_view.established = true;
 
+  parts.views = {table_view, provider_view};
+  parts.from_peer = provider_view.id;
+  return parts;
+}
+
+// The in-process federation peer: the built domain behind the byte-level
+// round-trip decorator (every batch crosses real serialized buffers).
+StatusOr<std::unique_ptr<WireExplorationService>> MakeRemoteDomain(
+    const std::string& path, bgp::AsNumber provider_as, uint64_t seed, uint64_t prefixes) {
+  DICE_ASSIGN_OR_RETURN(RemoteDomainParts parts,
+                        BuildRemoteDomainParts(path, provider_as, seed, prefixes, nullptr));
   return std::make_unique<WireExplorationService>(
-      std::make_unique<InProcessExplorationService>(
-          domain, std::move(state), std::vector<bgp::PeerView>{table_view, provider_view},
-          provider_view.id));
+      std::make_unique<InProcessExplorationService>(parts.domain, std::move(parts.state),
+                                                    std::move(parts.views), parts.from_peer));
+}
+
+// --serve mode: build the domain from --config and host it on every listed
+// endpoint until the process is killed. The real-transport twin of an
+// in-process --remote_config entry — same construction, same verdicts.
+int RunServe(bench::Flags& flags, const std::string& serve_spec) {
+  const std::string config_path = flags.GetString("config", "");
+  if (config_path.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t prefixes = flags.GetUint("prefixes", 10000);
+  const uint64_t serve_peer_as = flags.GetUint("serve_peer_as", 0);
+  const uint64_t serve_workers = flags.GetUint("serve_workers", 0);
+  const std::string state_dir = flags.GetString("state_dir", "");
+
+  persist::PosixEnv persist_env;
+  std::optional<persist::SnapshotStore> store;
+  if (!state_dir.empty()) {
+    store.emplace(persist_env, state_dir, "remote_state");
+  }
+  auto parts = BuildRemoteDomainParts(config_path, static_cast<bgp::AsNumber>(serve_peer_as),
+                                      seed, prefixes, store.has_value() ? &*store : nullptr);
+  if (!parts.ok()) {
+    std::fprintf(stderr, "serve error: %s\n", parts.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: domain %s, %zu prefixes\n",
+              parts->warm_loaded ? "warm restart" : "cold start", parts->domain.c_str(),
+              parts->state.rib.PrefixCount());
+
+  transport::ExplorationServer::Options server_options;
+  server_options.workers = serve_workers;
+  transport::ExplorationServer server(server_options);
+  const std::string domain_name = parts->domain;
+  server.AddDomain(std::make_unique<InProcessExplorationService>(
+      parts->domain, std::move(parts->state), std::move(parts->views), parts->from_peer));
+
+  size_t endpoints = 0;
+  for (const std::string& entry : Split(serve_spec, ',')) {
+    if (entry.empty()) {
+      continue;
+    }
+    auto address = transport::Address::Parse(entry);  // validated in ValidateArgs
+    if (!address.ok()) {
+      std::fprintf(stderr, "serve error: %s\n", address.status().ToString().c_str());
+      return 2;
+    }
+    if (Status added = server.AddEndpoint(*address); !added.ok()) {
+      std::fprintf(stderr, "serve error: %s: %s\n", entry.c_str(),
+                   added.ToString().c_str());
+      return 1;
+    }
+    ++endpoints;
+  }
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "serve error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < endpoints; ++i) {
+    auto bound = server.BoundAddress(i);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "serve error: %s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    // Scripts scrape this line for the kernel-assigned port of tcp:...:0.
+    std::printf("serving %s on %s\n", domain_name.c_str(), bound->ToString().c_str());
+  }
+  if (serve_workers > 0) {
+    std::printf("request workers: %llu\n", static_cast<unsigned long long>(serve_workers));
+  }
+  std::fflush(stdout);
+
+  // Serve until killed. SIGTERM/SIGKILL is the intended shutdown: the
+  // federation e2e harness kills servers mid-run on purpose, and the client
+  // side reconnects and re-validates epochs when a replacement comes up.
+  while (server.running()) {
+    pause();
+  }
+  return 0;
 }
 
 int Run(int argc, char** argv) {
@@ -238,6 +456,10 @@ int Run(int argc, char** argv) {
   }
 
   bench::Flags flags(argc, argv);
+  const std::string serve_spec = flags.GetString("serve", "");
+  if (!serve_spec.empty()) {
+    return RunServe(flags, serve_spec);
+  }
   const std::string config_path = flags.GetString("config", "");
   const std::string trace_path = flags.GetString("trace", "");
   const uint64_t prefixes = flags.GetUint("prefixes", 10000);
@@ -504,14 +726,36 @@ int Run(int argc, char** argv) {
   }
   explorer.AddChecker(std::move(checker));
 
-  // Federated remote domains, each behind the wire-serialized narrow
-  // interface (counters below report what crossing the boundary cost).
+  // Federated remote domains. A config-file entry builds the domain in
+  // process behind the wire-serialized narrow interface; a socket entry
+  // (tcp:/unix:/shm:) dials a dice_cli --serve process and adds a stub for
+  // every domain it announces — same interface, real process boundary.
   std::vector<const WireExplorationService*> wires;
-  for (const std::string& remote_path : Split(flags.GetString("remote_config", ""), ',')) {
-    if (remote_path.empty()) {
+  for (const std::string& remote_entry : Split(flags.GetString("remote_config", ""), ',')) {
+    if (remote_entry.empty()) {
       continue;
     }
-    auto service = MakeRemoteDomain(remote_path, config.local_as, seed, prefixes);
+    if (transport::LooksLikeAddress(remote_entry)) {
+      auto address = transport::Address::Parse(remote_entry);  // validated already
+      if (!address.ok()) {
+        std::fprintf(stderr, "remote error: %s\n", address.status().ToString().c_str());
+        return 2;
+      }
+      auto stubs = transport::ConnectRemoteDomains(*address);
+      if (!stubs.ok()) {
+        std::fprintf(stderr, "remote error: %s: %s\n", remote_entry.c_str(),
+                     stubs.status().ToString().c_str());
+        return 1;
+      }
+      for (std::unique_ptr<ExplorationService>& stub : *stubs) {
+        std::printf("federated remote domain: %s via %s (batch size %llu)\n",
+                    stub->domain_name().c_str(), address->ToString().c_str(),
+                    static_cast<unsigned long long>(remote_batch_size));
+        explorer.AddRemoteService(std::move(stub));
+      }
+      continue;
+    }
+    auto service = MakeRemoteDomain(remote_entry, config.local_as, seed, prefixes);
     if (!service.ok()) {
       std::fprintf(stderr, "remote error: %s\n", service.status().ToString().c_str());
       return 1;
@@ -616,6 +860,7 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(rpc.counters.clones_avoided),
                 static_cast<unsigned long long>(rpc.counters.clones_materialized),
                 static_cast<unsigned long long>(rpc.counters.screen_cache_hits));
+    std::string sw_digest_src;
     for (const SystemWideDetection& sw : explorer.system_wide()) {
       std::string domains;
       for (const std::string& d : sw.adopting_domains) {
@@ -624,7 +869,18 @@ int Run(int argc, char** argv) {
       std::printf("SYSTEM-WIDE %s — adopted by:%s (spread %llu)\n",
                   sw.local.ToString().c_str(), domains.c_str(),
                   static_cast<unsigned long long>(sw.total_spread));
+      sw_digest_src += sw.local.ToString() + domains +
+                       StrFormat(" spread=%llu\n",
+                                 static_cast<unsigned long long>(sw.total_spread));
     }
+    // The federation-level twin of detections_digest: covers which remote
+    // domains adopted what. The e2e gates diff this across transports
+    // (in-process vs tcp vs unix vs shm) and across a server SIGKILL +
+    // warm restart — any divergence means a transport changed a verdict.
+    std::printf("system_wide_digest=%08x count=%zu\n",
+                BodyChecksum(reinterpret_cast<const uint8_t*>(sw_digest_src.data()),
+                             sw_digest_src.size()),
+                explorer.system_wide().size());
   }
   std::printf("\n");
 
