@@ -90,4 +90,76 @@ std::string AsPath::ToString() const {
   return out;
 }
 
+std::optional<AsPath> AsPath::Parse(std::string_view text) {
+  // One manual scan: a digit run is an ASN appended to the open AS_SEQUENCE;
+  // '{a,b}' closes the sequence and appends an AS_SET segment.
+  std::vector<AsSegment> segments;
+  std::vector<AsNumber> sequence;
+  auto flush_sequence = [&] {
+    if (!sequence.empty()) {
+      segments.push_back(AsSegment{AsSegmentType::kAsSequence, std::move(sequence)});
+      sequence.clear();
+    }
+  };
+  auto parse_asn = [&](size_t& i) -> std::optional<AsNumber> {
+    uint64_t value = 0;
+    size_t digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+      if (value > 0xffff) {
+        return std::nullopt;
+      }
+      ++i;
+      ++digits;
+    }
+    if (digits == 0 || value == 0) {
+      return std::nullopt;
+    }
+    return static_cast<AsNumber>(value);
+  };
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      ++i;
+      AsSegment set;
+      set.type = AsSegmentType::kAsSet;
+      for (;;) {
+        auto asn = parse_asn(i);
+        if (!asn.has_value()) {
+          return std::nullopt;
+        }
+        set.asns.push_back(*asn);
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i >= text.size() || text[i] != '}') {
+        return std::nullopt;
+      }
+      ++i;
+      flush_sequence();
+      segments.push_back(std::move(set));
+      continue;
+    }
+    auto asn = parse_asn(i);
+    if (!asn.has_value()) {
+      return std::nullopt;
+    }
+    // The ASN must end at whitespace or end of input; "64500x" is junk.
+    if (i < text.size() && text[i] != ' ' && text[i] != '\t') {
+      return std::nullopt;
+    }
+    sequence.push_back(*asn);
+  }
+  flush_sequence();
+  return AsPath(std::move(segments));
+}
+
 }  // namespace dice::bgp

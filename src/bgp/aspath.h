@@ -9,7 +9,9 @@
 #define SRC_BGP_ASPATH_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dice::bgp {
@@ -61,6 +63,13 @@ class AsPath {
 
   // "64500 64501 {64502,64503}" rendering.
   std::string ToString() const;
+
+  // Inverse of ToString: whitespace-separated ASNs form AS_SEQUENCE segments,
+  // "{a,b,c}" tokens form AS_SET segments. ASNs must be 1..65535. Returns
+  // nullopt on any malformed token (junk, empty set, out-of-range ASN).
+  // Note adjacent AS_SEQUENCE segments render without a boundary, so
+  // Parse(ToString(p)) canonicalizes them into one segment.
+  static std::optional<AsPath> Parse(std::string_view text);
 
   friend bool operator==(const AsPath&, const AsPath&) = default;
 

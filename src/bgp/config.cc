@@ -513,6 +513,21 @@ class Parser {
         DICE_RETURN_IF_ERROR(ExpectPunct(";"));
         continue;
       }
+      if (PeekWord("relationship")) {
+        ++pos_;
+        if (PeekWord("customer")) {
+          n.relationship = PeerRelationship::kCustomer;
+        } else if (PeekWord("peer")) {
+          n.relationship = PeerRelationship::kPeer;
+        } else if (PeekWord("provider")) {
+          n.relationship = PeerRelationship::kProvider;
+        } else {
+          return Error("expected customer/peer/provider after 'relationship'");
+        }
+        ++pos_;
+        DICE_RETURN_IF_ERROR(ExpectPunct(";"));
+        continue;
+      }
       bool is_import = PeekWord("import");
       bool is_export = PeekWord("export");
       if (is_import || is_export) {
@@ -548,6 +563,20 @@ class Parser {
 };
 
 }  // namespace
+
+const char* ToString(PeerRelationship relationship) {
+  switch (relationship) {
+    case PeerRelationship::kCustomer:
+      return "customer";
+    case PeerRelationship::kPeer:
+      return "peer";
+    case PeerRelationship::kProvider:
+      return "provider";
+    case PeerRelationship::kUnknown:
+      break;
+  }
+  return "unknown";
+}
 
 StatusOr<std::vector<RouterConfig>> ParseConfig(const std::string& text) {
   Lexer lexer(text);

@@ -26,6 +26,7 @@
 //               | "remove" "community" NUM ":" NUM | "set" "next-hop" IP
 //   nstmt       := "as" NUM ";" | "import" "filter" WORD ";" | "export" "filter" WORD ";"
 //               | "import" ("accept"|"reject") ";" | "export" ("accept"|"reject") ";"
+//               | "relationship" ("customer"|"peer"|"provider") ";"
 
 #ifndef SRC_BGP_CONFIG_H_
 #define SRC_BGP_CONFIG_H_
@@ -38,6 +39,19 @@
 
 namespace dice::bgp {
 
+// Commercial relationship with a neighbor, in Gao-Rexford terms. Annotating
+// neighbors arms the valley-free route-leak checker (src/dice/checkers.h):
+// routes learned from a provider or peer must only be exported to customers.
+// kUnknown (the default) leaves the session out of valley-free analysis.
+enum class PeerRelationship : uint8_t {
+  kUnknown = 0,
+  kCustomer,
+  kPeer,
+  kProvider,
+};
+
+const char* ToString(PeerRelationship relationship);
+
 struct NeighborConfig {
   Ipv4Address address;
   AsNumber remote_as = 0;
@@ -46,6 +60,7 @@ struct NeighborConfig {
   std::string export_filter;
   bool import_default_accept = true;
   bool export_default_accept = true;
+  PeerRelationship relationship = PeerRelationship::kUnknown;
 };
 
 struct RouterConfig {

@@ -88,6 +88,8 @@ size_t RandomFuzzExplorer::Explore(const bgp::UpdateMessage& seed_update, bgp::P
     info.run_index = run_counter_;
     info.outcome = &outcome;
     info.clone_after = &clone;
+    info.from = from_view;
+    info.peers = &cp.peers;
     size_t before = detections_.size();
     for (auto& checker : checkers_) {
       checker->OnRun(info, &detections_);

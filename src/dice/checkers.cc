@@ -101,6 +101,91 @@ void HijackChecker::OnRun(const RunInfo& info, std::vector<Detection>* out) {
   }
 }
 
+void RouteLeakChecker::OnCheckpoint(const bgp::RouterState& checkpoint) {
+  config_ = checkpoint.config;
+  armed_ = false;
+  for (const bgp::NeighborConfig& neighbor : config_->neighbors) {
+    if (neighbor.relationship != bgp::PeerRelationship::kUnknown) {
+      armed_ = true;
+      break;
+    }
+  }
+}
+
+bgp::PeerRelationship RouteLeakChecker::RelationshipOf(const bgp::PeerView& view) const {
+  const bgp::NeighborConfig* neighbor = config_->FindNeighbor(view.address);
+  return neighbor != nullptr ? neighbor->relationship : bgp::PeerRelationship::kUnknown;
+}
+
+void RouteLeakChecker::OnRun(const RunInfo& info, std::vector<Detection>* out) {
+  const ExplorationOutcome& outcome = *info.outcome;
+  // Only *accepted* announcements can leak: the point is to find inputs that
+  // pass the (mis)configured policies, same as the hijack checker.
+  if (!armed_ || info.from == nullptr || !outcome.installed) {
+    return;
+  }
+  const bgp::PeerRelationship from_rel = RelationshipOf(*info.from);
+  if (from_rel == bgp::PeerRelationship::kUnknown) {
+    return;
+  }
+  auto flag = [&](const std::string& description) {
+    Detection d;
+    d.checker = name();
+    d.description = description;
+    d.prefix = outcome.prefix;
+    d.old_origin = info.from->remote_as;
+    d.new_origin = outcome.new_origin_as.value_or(0);
+    d.input = outcome.input;
+    d.run_index = info.run_index;
+    out->push_back(std::move(d));
+  };
+
+  // Import-side valley: a customer or peer announces a path that transits an
+  // AS this router knows as a provider or peer — the announcing neighbor
+  // re-exported a route it should only have sent to its own customers.
+  if (from_rel == bgp::PeerRelationship::kCustomer ||
+      from_rel == bgp::PeerRelationship::kPeer) {
+    for (const bgp::NeighborConfig& neighbor : config_->neighbors) {
+      const bool transit_rel = neighbor.relationship == bgp::PeerRelationship::kProvider ||
+                               neighbor.relationship == bgp::PeerRelationship::kPeer;
+      if (!transit_rel || neighbor.remote_as == info.from->remote_as) {
+        continue;
+      }
+      if (outcome.input.attrs.as_path.Contains(neighbor.remote_as)) {
+        flag(StrFormat("%s-announced path transits %s AS %u (valley)",
+                       bgp::ToString(from_rel), bgp::ToString(neighbor.relationship),
+                       neighbor.remote_as));
+        break;
+      }
+    }
+  }
+
+  // Export-side valley: an input learned from a provider or peer became best
+  // and the post-run Adj-RIB-Out advertises it to another provider or peer —
+  // this router's own export policy is the leak.
+  if ((from_rel == bgp::PeerRelationship::kProvider ||
+       from_rel == bgp::PeerRelationship::kPeer) &&
+      outcome.became_best && info.peers != nullptr && info.clone_after != nullptr) {
+    for (const bgp::PeerView& peer : *info.peers) {
+      if (peer.id == info.from->id || !peer.established) {
+        continue;
+      }
+      const bgp::PeerRelationship out_rel = RelationshipOf(peer);
+      if (out_rel != bgp::PeerRelationship::kProvider &&
+          out_rel != bgp::PeerRelationship::kPeer) {
+        continue;
+      }
+      auto adj = info.clone_after->adj_out.find(peer.id);
+      if (adj != info.clone_after->adj_out.end() &&
+          adj->second.Find(outcome.prefix) != nullptr) {
+        flag(StrFormat("%s-learned route exported to %s AS %u (valley)",
+                       bgp::ToString(from_rel), bgp::ToString(out_rel), peer.remote_as));
+        break;
+      }
+    }
+  }
+}
+
 void LocalNetworksIntactChecker::OnCheckpoint(const bgp::RouterState& checkpoint) {
   networks_ = checkpoint.config->networks;
 }

@@ -42,6 +42,8 @@ struct RunInfo {
   uint64_t run_index = 0;
   const ExplorationOutcome* outcome = nullptr;
   const bgp::RouterState* clone_after = nullptr;  // post-run clone state
+  const bgp::PeerView* from = nullptr;            // session the input arrived on
+  const std::vector<bgp::PeerView>* peers = nullptr;  // all checkpoint sessions
 };
 
 class Checker {
@@ -85,6 +87,38 @@ class HijackChecker : public Checker {
   bgp::AsNumber local_as_ = 0;
   std::vector<bgp::Prefix> anycast_;
   uint64_t suppressed_anycast_ = 0;
+};
+
+// Valley-free (Gao-Rexford) route-leak checker, driven by the per-neighbor
+// `relationship` annotations in bgp::Config. The economic invariant: a route
+// learned from a provider or peer may only be exported to customers —
+// exporting it to another provider or peer makes this AS carry transit
+// traffic it is not paid for (a "valley"). Two violations are flagged per
+// exploration run:
+//
+//  - import-side: a customer or peer session announces an accepted path that
+//    transits an AS this router knows as a provider or peer — the announcing
+//    neighbor itself leaked (the 2019 Verizon/Cloudflare incident shape);
+//  - export-side: an input learned from a provider or peer installs, becomes
+//    best, and the post-run Adj-RIB-Out advertises the prefix to another
+//    provider or peer — this router's own export policy leaks.
+//
+// Sessions without a relationship annotation stay out of the analysis, so
+// the checker is inert on unannotated configurations.
+class RouteLeakChecker : public Checker {
+ public:
+  std::string name() const override { return "route-leak"; }
+  void OnCheckpoint(const bgp::RouterState& checkpoint) override;
+  void OnRun(const RunInfo& info, std::vector<Detection>* out) override;
+
+  // True if the checkpoint config annotates at least one neighbor.
+  bool armed() const { return armed_; }
+
+ private:
+  bgp::PeerRelationship RelationshipOf(const bgp::PeerView& view) const;
+
+  std::shared_ptr<const bgp::RouterConfig> config_;
+  bool armed_ = false;
 };
 
 // Invariant checker: exploration clones must never shrink the RIB below the

@@ -170,6 +170,8 @@ sym::Program Explorer::MakeProgram(bgp::UpdateMessage seed, bgp::PeerId from) {
     info.run_index = run_counter_;
     info.outcome = &outcome;
     info.clone_after = &handle.read();
+    info.from = from_view;
+    info.peers = &cp.peers;
     size_t before = report_.detections.size();
     for (auto& checker : checkers_) {
       checker->OnRun(info, &report_.detections);

@@ -39,6 +39,15 @@ class ByteWriter {
     PutU32(static_cast<uint32_t>(v >> 32));
     PutU32(static_cast<uint32_t>(v));
   }
+  // LEB128-style varint: 7 value bits per byte, high bit = continuation.
+  // Small values (delta timestamps, counts, table indices) cost one byte.
+  void PutVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
   void PutBytes(const uint8_t* data, size_t n) { buf_.insert(buf_.end(), data, data + n); }
   void PutBytes(const Bytes& data) { PutBytes(data.data(), data.size()); }
   void PutString(const std::string& s) {
@@ -108,6 +117,27 @@ class ByteReader {
     uint64_t hi = ReadU32().value();
     uint64_t lo = ReadU32().value();
     return (hi << 32) | lo;
+  }
+  // Decodes a PutVarU64 value. Rejects truncation and non-canonical
+  // encodings longer than 10 bytes (a 64-bit value never needs more).
+  [[nodiscard]] StatusOr<uint64_t> ReadVarU64() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) {
+        return Truncated("varint");
+      }
+      uint8_t byte = data_[pos_++];
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        // The final byte of a 10-byte varint has only one usable value bit.
+        if (shift == 63 && byte > 1) {
+          return OutOfRangeError("varint overflows 64 bits at offset " +
+                                 std::to_string(pos_ - 1));
+        }
+        return v;
+      }
+    }
+    return OutOfRangeError("varint longer than 10 bytes at offset " + std::to_string(pos_));
   }
   [[nodiscard]] StatusOr<Bytes> ReadBytes(size_t n) {
     if (remaining() < n) {

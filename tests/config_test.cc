@@ -209,6 +209,9 @@ INSTANTIATE_TEST_SUITE_P(
         BadConfigCase{"unknown_action",
                       "router r { as 1; id 1.1.1.1; filter f { term t { then levitate; } } }",
                       "unknown action"},
+        BadConfigCase{"bad_relationship",
+                      "router r { as 1; id 1.1.1.1; neighbor 2.2.2.2 { as 2; relationship frenemy; } }",
+                      "customer/peer/provider"},
         BadConfigCase{"garbage_toplevel", "flux capacitor", "expected 'router'"},
         BadConfigCase{"stray_char", "router r @ { as 1; }", "unexpected character"}),
     [](const ::testing::TestParamInfo<BadConfigCase>& param_info) { return std::string(param_info.param.name); });
@@ -216,6 +219,32 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ConfigTest, SingleRouterHelperRejectsMultiple) {
   auto parsed = ParseSingleRouterConfig("router a { as 1; id 1.1.1.1; } router b { as 2; id 2.2.2.2; }");
   EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ConfigTest, ParsesNeighborRelationships) {
+  auto parsed = ParseSingleRouterConfig(R"(
+router r {
+  as 3; id 10.0.0.3;
+  neighbor 10.0.0.1 { as 1; relationship customer; }
+  neighbor 10.0.0.5 { as 5; relationship peer; }
+  neighbor 10.0.0.9 { as 9; relationship provider; }
+  neighbor 10.0.0.7 { as 7; }
+}
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->neighbors.size(), 4u);
+  EXPECT_EQ(parsed->neighbors[0].relationship, PeerRelationship::kCustomer);
+  EXPECT_EQ(parsed->neighbors[1].relationship, PeerRelationship::kPeer);
+  EXPECT_EQ(parsed->neighbors[2].relationship, PeerRelationship::kProvider);
+  // Unannotated sessions stay kUnknown, keeping the route-leak checker inert.
+  EXPECT_EQ(parsed->neighbors[3].relationship, PeerRelationship::kUnknown);
+}
+
+TEST(ConfigTest, PeerRelationshipToString) {
+  EXPECT_STREQ(ToString(PeerRelationship::kCustomer), "customer");
+  EXPECT_STREQ(ToString(PeerRelationship::kPeer), "peer");
+  EXPECT_STREQ(ToString(PeerRelationship::kProvider), "provider");
+  EXPECT_STREQ(ToString(PeerRelationship::kUnknown), "unknown");
 }
 
 TEST(ConfigTest, FindNeighbor) {

@@ -348,6 +348,164 @@ TEST(HijackCheckerTest, AnycastWhitelistSuppresses) {
   EXPECT_EQ(checker.suppressed_anycast(), 1u);
 }
 
+// --- RouteLeakChecker -------------------------------------------------------------
+
+// The provider fixture with Gao-Rexford annotations: the customer session is
+// marked customer, the rest-of-Internet feed becomes our provider, and a
+// settlement-free peer (AS 5) joins so export-side valleys have a target.
+struct AnnotatedFixture : ProviderFixture {
+  AnnotatedFixture() {
+    auto config = std::make_shared<bgp::RouterConfig>(*state.config);
+    config->neighbors[0].relationship = bgp::PeerRelationship::kCustomer;
+    config->neighbors[1].relationship = bgp::PeerRelationship::kProvider;
+    bgp::NeighborConfig peer;
+    peer.address = *bgp::Ipv4Address::Parse("10.0.0.5");
+    peer.remote_as = 5;
+    peer.relationship = bgp::PeerRelationship::kPeer;
+    config->neighbors.push_back(peer);
+    state.config = config;
+    peer_view.id = 5;
+    peer_view.remote_as = 5;
+    peer_view.address = *bgp::Ipv4Address::Parse("10.0.0.5");
+    peer_view.established = true;
+  }
+
+  std::vector<bgp::PeerView> AllPeers() const {
+    return {customer_view, internet_view, peer_view};
+  }
+
+  bgp::PeerView peer_view;
+};
+
+TEST(RouteLeakCheckerTest, ArmsOnlyOnAnnotatedConfigs) {
+  ProviderFixture plain;
+  RouteLeakChecker checker;
+  checker.OnCheckpoint(plain.state);
+  EXPECT_FALSE(checker.armed());
+
+  AnnotatedFixture annotated;
+  checker.OnCheckpoint(annotated.state);
+  EXPECT_TRUE(checker.armed());
+}
+
+TEST(RouteLeakCheckerTest, ImportSideValleyFires) {
+  // The customer announces a path that transits AS 9 — an AS this router
+  // pays for transit. The customer is re-exporting a provider route.
+  AnnotatedFixture fixture;
+  RouteLeakChecker checker;
+  checker.OnCheckpoint(fixture.state);
+
+  ExplorationOutcome outcome;
+  outcome.input = SeedUpdate("203.0.113.0/24", {1, 9, 100});
+  outcome.prefix = P("203.0.113.0/24");
+  outcome.installed = true;
+  bgp::RouterState after = fixture.state;
+  std::vector<bgp::PeerView> peers = fixture.AllPeers();
+  RunInfo info{0, &outcome, &after, &fixture.customer_view, &peers};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].checker, "route-leak");
+  EXPECT_NE(detections[0].description.find("provider AS 9"), std::string::npos);
+  EXPECT_NE(detections[0].description.find("valley"), std::string::npos);
+  EXPECT_EQ(detections[0].prefix, outcome.prefix);
+}
+
+TEST(RouteLeakCheckerTest, CleanCustomerPathIsNotALeak) {
+  // {1, 100} touches no provider or peer AS: the customer is announcing its
+  // own cone, which is exactly what customers are for.
+  AnnotatedFixture fixture;
+  RouteLeakChecker checker;
+  checker.OnCheckpoint(fixture.state);
+
+  ExplorationOutcome outcome;
+  outcome.input = SeedUpdate("10.1.7.0/24", {1, 100});
+  outcome.prefix = P("10.1.7.0/24");
+  outcome.installed = true;
+  bgp::RouterState after = fixture.state;
+  std::vector<bgp::PeerView> peers = fixture.AllPeers();
+  RunInfo info{0, &outcome, &after, &fixture.customer_view, &peers};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(RouteLeakCheckerTest, ExportSideValleyFires) {
+  // A provider-learned route becomes best and shows up in the Adj-RIB-Out
+  // toward the settlement-free peer: our own export policy is the leak.
+  AnnotatedFixture fixture;
+  RouteLeakChecker checker;
+  checker.OnCheckpoint(fixture.state);
+
+  ExplorationOutcome outcome;
+  outcome.input = SeedUpdate("203.0.113.0/24", {9, 64501});
+  outcome.prefix = P("203.0.113.0/24");
+  outcome.installed = true;
+  outcome.became_best = true;
+  bgp::RouterState after = fixture.state;
+  after.adj_out[fixture.peer_view.id].Insert(outcome.prefix,
+                                             bgp::InternedAttrs(outcome.input.attrs));
+  std::vector<bgp::PeerView> peers = fixture.AllPeers();
+  RunInfo info{0, &outcome, &after, &fixture.internet_view, &peers};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_NE(detections[0].description.find("provider-learned"), std::string::npos);
+  EXPECT_NE(detections[0].description.find("peer AS 5"), std::string::npos);
+}
+
+TEST(RouteLeakCheckerTest, ExportTowardCustomerIsAllowed) {
+  // Same provider-learned best route, but the Adj-RIB-Out only advertises it
+  // to the customer — the economically sound direction.
+  AnnotatedFixture fixture;
+  RouteLeakChecker checker;
+  checker.OnCheckpoint(fixture.state);
+
+  ExplorationOutcome outcome;
+  outcome.input = SeedUpdate("203.0.113.0/24", {9, 64501});
+  outcome.prefix = P("203.0.113.0/24");
+  outcome.installed = true;
+  outcome.became_best = true;
+  bgp::RouterState after = fixture.state;
+  after.adj_out[fixture.customer_view.id].Insert(outcome.prefix,
+                                                 bgp::InternedAttrs(outcome.input.attrs));
+  std::vector<bgp::PeerView> peers = fixture.AllPeers();
+  RunInfo info{0, &outcome, &after, &fixture.internet_view, &peers};
+  std::vector<Detection> detections;
+  checker.OnRun(info, &detections);
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(RouteLeakCheckerTest, RejectedInputsAndUnannotatedSessionsStayQuiet) {
+  AnnotatedFixture fixture;
+  RouteLeakChecker checker;
+  checker.OnCheckpoint(fixture.state);
+
+  // The filter rejected the valley-shaped input: nothing installed, no leak.
+  ExplorationOutcome outcome;
+  outcome.input = SeedUpdate("203.0.113.0/24", {1, 9, 100});
+  outcome.prefix = P("203.0.113.0/24");
+  outcome.installed = false;
+  bgp::RouterState after = fixture.state;
+  std::vector<bgp::PeerView> peers = fixture.AllPeers();
+  RunInfo rejected{0, &outcome, &after, &fixture.customer_view, &peers};
+  std::vector<Detection> detections;
+  checker.OnRun(rejected, &detections);
+  EXPECT_TRUE(detections.empty());
+
+  // Accepted, but from a session the config does not annotate: the checker
+  // has no relationship to reason about and must stay quiet.
+  outcome.installed = true;
+  bgp::PeerView stranger;
+  stranger.id = 77;
+  stranger.remote_as = 77;
+  stranger.address = *bgp::Ipv4Address::Parse("10.0.0.77");
+  stranger.established = true;
+  RunInfo unannotated{0, &outcome, &after, &stranger, &peers};
+  checker.OnRun(unannotated, &detections);
+  EXPECT_TRUE(detections.empty());
+}
+
 // --- Explorer end-to-end: the §4.2 experiment ------------------------------------
 
 TEST(ExplorerTest, DetectsRouteLeakThroughErroneousFilter) {

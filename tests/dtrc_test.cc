@@ -1,0 +1,257 @@
+// Tests for the .dtrc binary trace format (src/trace/dtrc.h): exact
+// round-trips against the text format, attr-set interning, and the same
+// adversarial discipline as persist_snapshot_test — truncation at every
+// length, every single-bit flip, version skew, magic confusion, trailing
+// garbage, and bad attribute references must all surface as a Status, never
+// a crash or a silently wrong Trace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/trace/dtrc.h"
+#include "src/trace/trace.h"
+#include "src/util/frame.h"
+
+namespace dice::trace {
+namespace {
+
+bgp::Prefix P(const char* s) { return *bgp::Prefix::Parse(s); }
+
+TraceGeneratorOptions SmallOptions(uint64_t seed = 1) {
+  TraceGeneratorOptions options;
+  options.seed = seed;
+  options.prefix_count = 400;
+  options.as_count = 50;
+  options.update_duration = 30 * net::kSecond;
+  options.updates_per_second = 2.0;
+  return options;
+}
+
+Trace CorpusTrace(uint64_t seed = 1) {
+  TraceGenerator gen(SmallOptions(seed));
+  Trace trace = gen.FullDump();
+  Trace updates = gen.UpdateTrace();
+  trace.events.insert(trace.events.end(), updates.events.begin(), updates.events.end());
+  return trace;
+}
+
+TraceEvent RichEvent(net::SimTime at) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.update.attrs.as_path = bgp::AsPath({{bgp::AsSegmentType::kAsSequence, {65000, 9}},
+                                         {bgp::AsSegmentType::kAsSet, {11, 12}}});
+  ev.update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+  ev.update.attrs.origin = bgp::Origin::kIgp;
+  ev.update.attrs.med = 50;
+  ev.update.attrs.local_pref = 200;
+  ev.update.attrs.atomic_aggregate = true;
+  ev.update.attrs.aggregator = bgp::Aggregator{9, *bgp::Ipv4Address::Parse("192.0.2.1")};
+  ev.update.attrs.communities = {(65000u << 16) | 666u};
+  ev.update.attrs.unknown.push_back(bgp::UnknownAttribute{0xc0, 32, {1, 2, 3}});
+  ev.update.withdrawn.push_back(P("192.0.2.0/24"));
+  ev.update.nlri.push_back(P("198.51.100.0/24"));
+  return ev;
+}
+
+TEST(DtrcTest, EmptyTraceRoundTrips) {
+  auto bytes = SerializeTraceBinary(Trace{});
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseTraceBinary(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->events.empty());
+}
+
+TEST(DtrcTest, RichEventRoundTripsExactly) {
+  Trace trace;
+  trace.events.push_back(RichEvent(7));
+  trace.events.push_back(RichEvent(7));    // same time is legal (delta 0)
+  trace.events.push_back(RichEvent(123));
+  auto bytes = SerializeTraceBinary(trace);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseTraceBinary(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 3u);
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(parsed->events[i], trace.events[i]) << "event " << i;
+  }
+}
+
+TEST(DtrcTest, GeneratedCorpusRoundTripsExactly) {
+  Trace trace = CorpusTrace();
+  auto bytes = SerializeTraceBinary(trace);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto parsed = ParseTraceBinary(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), trace.events.size());
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    ASSERT_EQ(parsed->events[i], trace.events[i]) << "event " << i;
+  }
+}
+
+// Text -> binary -> text fidelity: both serializations describe the same
+// events, so a corpus can move between formats without changing a verdict.
+TEST(DtrcTest, TextAndBinaryAgreeOnGeneratedCorpus) {
+  Trace trace = CorpusTrace(3);
+  auto from_text = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(from_text.ok()) << from_text.status();
+  auto bytes = SerializeTraceBinary(trace);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto from_binary = ParseTraceBinary(*bytes);
+  ASSERT_TRUE(from_binary.ok()) << from_binary.status();
+  ASSERT_EQ(from_text->events.size(), from_binary->events.size());
+  for (size_t i = 0; i < from_text->events.size(); ++i) {
+    ASSERT_EQ(from_text->events[i], from_binary->events[i]) << "event " << i;
+  }
+}
+
+TEST(DtrcTest, InterningStoresEachDistinctAttrSetOnce) {
+  // 1000 events sharing one attribute set: the table must hold exactly one
+  // entry, and the file must undercut the text rendering by a wide margin.
+  TraceWriter writer;
+  TraceEvent ev = RichEvent(0);
+  Trace trace;
+  for (int i = 0; i < 1000; ++i) {
+    ev.at = i;
+    ASSERT_TRUE(writer.Append(ev).ok());
+    trace.events.push_back(ev);
+  }
+  EXPECT_EQ(writer.attr_count(), 1u);
+  EXPECT_EQ(writer.event_count(), 1000u);
+  Bytes bytes = writer.Finish();
+  EXPECT_LT(bytes.size(), SerializeTrace(trace).size() / 3);
+  auto parsed = ParseTraceBinary(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 1000u);
+  EXPECT_EQ(parsed->events.back(), trace.events.back());
+}
+
+TEST(DtrcTest, WriterRejectsOutOfOrderEvents) {
+  TraceWriter writer;
+  ASSERT_TRUE(writer.Append(RichEvent(100)).ok());
+  Status out_of_order = writer.Append(RichEvent(99));
+  EXPECT_FALSE(out_of_order.ok());
+  EXPECT_EQ(out_of_order.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DtrcTest, ReaderStreamsAndStopsAtEnd) {
+  Trace trace = CorpusTrace(9);
+  auto bytes = SerializeTraceBinary(trace);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto reader = TraceReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->event_count(), trace.events.size());
+  size_t i = 0;
+  while (!reader->Done()) {
+    auto event = reader->Next();
+    ASSERT_TRUE(event.ok()) << event.status();
+    ASSERT_EQ(*event, trace.events[i]) << "event " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, trace.events.size());
+  EXPECT_FALSE(reader->Next().ok()) << "Next past the end must be an error";
+}
+
+TEST(DtrcTest, AutoSniffPicksTheRightParser) {
+  Trace trace = CorpusTrace(2);
+  auto bytes = SerializeTraceBinary(trace);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  EXPECT_TRUE(LooksLikeBinaryTrace(*bytes));
+  std::string binary_content(bytes->begin(), bytes->end());
+  auto from_binary = ParseTraceAuto(binary_content);
+  ASSERT_TRUE(from_binary.ok()) << from_binary.status();
+  EXPECT_EQ(from_binary->events.size(), trace.events.size());
+  auto from_text = ParseTraceAuto(SerializeTrace(trace));
+  ASSERT_TRUE(from_text.ok()) << from_text.status();
+  EXPECT_EQ(from_text->events.size(), trace.events.size());
+}
+
+// --- adversarial bytes ------------------------------------------------------
+
+class DtrcCorruption : public ::testing::Test {
+ protected:
+  DtrcCorruption() {
+    Trace trace;
+    trace.events.push_back(RichEvent(1));
+    trace.events.push_back(RichEvent(50));
+    bytes_ = *SerializeTraceBinary(trace);
+  }
+
+  static bool Loads(const Bytes& bytes) { return ParseTraceBinary(bytes).ok(); }
+
+  Bytes bytes_;
+};
+
+TEST_F(DtrcCorruption, EveryTruncationIsAnError) {
+  for (size_t len = 0; len < bytes_.size(); ++len) {
+    Bytes truncated(bytes_.begin(), bytes_.begin() + len);
+    EXPECT_FALSE(Loads(truncated)) << "length " << len << " parsed";
+  }
+}
+
+TEST_F(DtrcCorruption, EverySingleBitFlipIsAnError) {
+  for (size_t byte = 0; byte < bytes_.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = bytes_;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(Loads(flipped)) << "bit " << bit << " of byte " << byte << " parsed";
+    }
+  }
+}
+
+TEST_F(DtrcCorruption, VersionSkewMagicConfusionAndTrailingGarbage) {
+  // A future version must be rejected, not misread.
+  Bytes body(bytes_.begin() + kFrameHeaderSize, bytes_.end());
+  EXPECT_FALSE(Loads(FrameMessage(kTraceFormatMagic, kTraceFormatVersion + 1, body)));
+  // A different magic (here: a snapshot-looking one) must be rejected.
+  EXPECT_FALSE(Loads(FrameMessage(kTraceFormatMagic + 1, kTraceFormatVersion, body)));
+  // Bytes appended after the frame land inside the checksummed body.
+  Bytes trailing = bytes_;
+  trailing.push_back(0);
+  EXPECT_FALSE(Loads(trailing));
+}
+
+TEST_F(DtrcCorruption, OutOfRangeAttrReferenceIsAnError) {
+  // Hand-build a frame whose one event references attribute index 1 while
+  // the table holds a single entry — a reference the frame checksum cannot
+  // catch, only the reader's range check.
+  bgp::AttrTable table;
+  bgp::PathAttributes attrs = RichEvent(0).update.attrs;
+  ASSERT_EQ(table.IndexOf(bgp::InternedAttrs(attrs)), 0u);
+  ByteWriter body;
+  table.Serialize(body);
+  body.PutU64(1);     // one event
+  body.PutVarU64(1);  // attr index out of range
+  body.PutVarU64(0);  // delta time
+  body.PutVarU64(0);  // withdrawn count
+  body.PutVarU64(0);  // nlri count
+  auto parsed = ParseTraceBinary(FrameMessage(kTraceFormatMagic, kTraceFormatVersion,
+                                              body.bytes()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DtrcCorruption, TrailingBytesInsideTheBodyAreAnError) {
+  // Valid events followed by garbage inside the (correctly checksummed)
+  // frame body: the reader must notice the leftovers after the last event.
+  Bytes body(bytes_.begin() + kFrameHeaderSize, bytes_.end());
+  body.push_back(0xee);
+  EXPECT_FALSE(Loads(FrameMessage(kTraceFormatMagic, kTraceFormatVersion, body)));
+}
+
+TEST_F(DtrcCorruption, EventCountBeyondBufferIsAnError) {
+  bgp::AttrTable table;
+  bgp::PathAttributes attrs;
+  (void)table.IndexOf(bgp::InternedAttrs(attrs));
+  ByteWriter body;
+  table.Serialize(body);
+  body.PutU64(1u << 30);  // claims a billion events in a tiny buffer
+  auto parsed = ParseTraceBinary(FrameMessage(kTraceFormatMagic, kTraceFormatVersion,
+                                              body.bytes()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dice::trace

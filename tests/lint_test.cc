@@ -311,6 +311,22 @@ TEST(LintRepo, TransportFilesIntroduceNoFindings) {
       << "transport code must not need unordered-iteration suppressions";
 }
 
+TEST(LintRepo, TraceFilesIntroduceNoFindings) {
+  // The trace corpus feeds deterministic replay: a wall clock or unordered
+  // map iteration in src/trace would break the bit-identical gen|replay
+  // round-trip, so the directory is pinned to zero findings with no
+  // suppressions at all.
+  LintOptions options;
+  options.root = DICE_REPO_ROOT;
+  options.paths = {"src/trace"};
+  auto report = RunLint(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  EXPECT_GE(report->files_scanned, 6u);  // trace, feed, dtrc — header + impl each
+  EXPECT_TRUE(report->suppressed.empty())
+      << "trace code must not need unordered-iteration suppressions";
+}
+
 TEST(LintRepo, RealTreeIsClean) {
   // The ratchet: the shipped tree has zero findings, and every suppressed
   // site carries a reviewed reason. DICE_REPO_ROOT is the source dir.

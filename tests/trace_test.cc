@@ -125,6 +125,125 @@ TEST(TraceTextTest, SerializeParseRoundTrip) {
   }
 }
 
+// Regression: SerializeTrace used to drop med/local_pref (and every other
+// optional attribute) — a round-trip silently lost routing-relevant state.
+TEST(TraceTextTest, OptionalAttributesSurviveRoundTrip) {
+  Trace trace;
+  TraceEvent ev;
+  ev.at = 42;
+  ev.update.attrs.as_path = bgp::AsPath::Sequence({65000, 7});
+  ev.update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+  ev.update.attrs.origin = bgp::Origin::kIgp;
+  ev.update.attrs.med = 50;
+  ev.update.attrs.local_pref = 200;
+  ev.update.attrs.atomic_aggregate = true;
+  ev.update.attrs.aggregator = bgp::Aggregator{7, *bgp::Ipv4Address::Parse("192.0.2.1")};
+  ev.update.attrs.communities = {(65000u << 16) | 666u, (65000u << 16) | 1u};
+  ev.update.nlri.push_back(*bgp::Prefix::Parse("203.0.113.0/24"));
+  trace.events.push_back(ev);
+
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0], ev);
+}
+
+// Regression: AsPath::ToString emits "{a,b}" for AS_SET but the parser only
+// accepted plain ASNs, so any aggregated route failed to reparse.
+TEST(TraceTextTest, AsSetSurvivesRoundTrip) {
+  Trace trace;
+  TraceEvent ev;
+  ev.at = 1;
+  ev.update.attrs.as_path =
+      bgp::AsPath({{bgp::AsSegmentType::kAsSequence, {65000, 9}},
+                   {bgp::AsSegmentType::kAsSet, {11, 12, 13}}});
+  ev.update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+  ev.update.attrs.origin = bgp::Origin::kIncomplete;
+  ev.update.nlri.push_back(*bgp::Prefix::Parse("198.51.100.0/24"));
+  trace.events.push_back(ev);
+
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0], ev);
+}
+
+TEST(TraceTextTest, ParseRejectsMalformedAsSet) {
+  // Unterminated set, empty set, junk inside a set.
+  EXPECT_FALSE(ParseTrace("A|1|65000 {1,2|10.0.0.1|i|10.0.0.0/8").ok());
+  EXPECT_FALSE(ParseTrace("A|1|65000 {}|10.0.0.1|i|10.0.0.0/8").ok());
+  EXPECT_FALSE(ParseTrace("A|1|65000 {1,x}|10.0.0.1|i|10.0.0.0/8").ok());
+}
+
+// Regression: an event carrying both withdrawn routes and NLRI serialized as
+// a W line plus an A line, so one UPDATE reparsed as two events.
+TEST(TraceTextTest, CombinedWithdrawAndAnnounceStaysOneEvent) {
+  Trace trace;
+  TraceEvent ev;
+  ev.at = 9;
+  ev.update.attrs.as_path = bgp::AsPath::Sequence({65000, 4});
+  ev.update.attrs.next_hop = *bgp::Ipv4Address::Parse("10.0.0.9");
+  ev.update.attrs.origin = bgp::Origin::kEgp;
+  ev.update.withdrawn.push_back(*bgp::Prefix::Parse("192.0.2.0/24"));
+  ev.update.nlri.push_back(*bgp::Prefix::Parse("198.51.100.0/24"));
+  trace.events.push_back(ev);
+
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 1u) << "one UPDATE must stay one event";
+  EXPECT_EQ(parsed->events[0], ev);
+}
+
+// Full-fidelity guarantee on generated corpora: with every attribute now
+// serialized, text round-trips are exact TraceEvent equality, not a
+// spot-check of a few fields.
+TEST(TraceTextTest, GeneratedCorpusRoundTripsExactly) {
+  TraceGenerator gen(SmallOptions(5));
+  Trace trace = gen.FullDump();
+  Trace updates = gen.UpdateTrace();
+  trace.events.insert(trace.events.end(), updates.events.begin(), updates.events.end());
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), trace.events.size());
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(parsed->events[i], trace.events[i]) << "event " << i;
+  }
+}
+
+// Regression: MakeAttrs retried forever when as_count was too small to fill
+// max_path_len distinct hops — as_count=1 hung the generator.
+TEST(TraceGeneratorTest, TinyAsCountTerminates) {
+  TraceGeneratorOptions options = SmallOptions();
+  options.prefix_count = 50;
+  options.as_count = 1;
+  options.max_path_len = 6;
+  TraceGenerator gen(options);  // must not hang
+  ASSERT_EQ(gen.table().size(), 50u);
+  for (const auto& route : gen.table()) {
+    auto flat = route.attrs.as_path.Flatten();
+    EXPECT_EQ(flat.size(), 2u) << "one AS can only yield feed_as + origin";
+  }
+}
+
+// Regression: "no martians" only excluded 127/8; RFC1918 and link-local
+// space leaked into generated tables.
+TEST(TraceGeneratorTest, GeneratedPrefixesAvoidReservedSpace) {
+  TraceGeneratorOptions options = SmallOptions(11);
+  options.prefix_count = 5000;
+  TraceGenerator gen(options);
+  const bgp::Prefix reserved[] = {
+      *bgp::Prefix::Parse("10.0.0.0/8"),     *bgp::Prefix::Parse("127.0.0.0/8"),
+      *bgp::Prefix::Parse("169.254.0.0/16"), *bgp::Prefix::Parse("172.16.0.0/12"),
+      *bgp::Prefix::Parse("192.168.0.0/16"),
+  };
+  for (const auto& route : gen.table()) {
+    for (const bgp::Prefix& block : reserved) {
+      EXPECT_FALSE(block.Covers(route.prefix))
+          << route.prefix.ToString() << " lies in reserved " << block.ToString();
+    }
+  }
+}
+
 TEST(TraceTextTest, ParseSkipsCommentsAndBlankLines) {
   auto parsed = ParseTrace("# comment\n\nA|100|65000 65001|10.0.0.1|i|10.0.0.0/8\n");
   ASSERT_TRUE(parsed.ok()) << parsed.status();

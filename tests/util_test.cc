@@ -126,6 +126,65 @@ TEST(BytesTest, SkipAndReadBytes) {
   EXPECT_EQ(r.remaining(), 1u);
 }
 
+TEST(BytesTest, VarintRoundTripsAcrossMagnitudes) {
+  const uint64_t values[] = {0,           1,          0x7f,
+                             0x80,        0x3fff,     0x4000,
+                             1234567890u, UINT32_MAX, UINT64_MAX};
+  ByteWriter w;
+  for (uint64_t v : values) {
+    w.PutVarU64(v);
+  }
+  ByteReader r(w.bytes());
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.ReadVarU64().value(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintSizesMatchLeb128) {
+  auto encoded_size = [](uint64_t v) {
+    ByteWriter w;
+    w.PutVarU64(v);
+    return w.bytes().size();
+  };
+  EXPECT_EQ(encoded_size(0), 1u);
+  EXPECT_EQ(encoded_size(0x7f), 1u);
+  EXPECT_EQ(encoded_size(0x80), 2u);
+  EXPECT_EQ(encoded_size(0x3fff), 2u);
+  EXPECT_EQ(encoded_size(0x4000), 3u);
+  EXPECT_EQ(encoded_size(UINT64_MAX), 10u);
+}
+
+TEST(BytesTest, VarintTruncationIsError) {
+  ByteWriter w;
+  w.PutVarU64(UINT64_MAX);
+  for (size_t len = 0; len < w.bytes().size(); ++len) {
+    Bytes truncated(w.bytes().begin(), w.bytes().begin() + len);
+    ByteReader r(truncated);
+    EXPECT_FALSE(r.ReadVarU64().ok()) << "length " << len << " decoded";
+  }
+}
+
+TEST(BytesTest, VarintRejectsOverlongAndOverflowingEncodings) {
+  // Eleven continuation bytes: no 64-bit value needs more than ten.
+  Bytes overlong(11, 0x80);
+  ByteReader r1(overlong);
+  EXPECT_FALSE(r1.ReadVarU64().ok());
+
+  // Ten bytes whose terminal byte sets more than the one bit a 64-bit value
+  // has left: the encoding claims a 65-bit value.
+  Bytes overflow(9, 0x80);
+  overflow.push_back(0x02);
+  ByteReader r2(overflow);
+  EXPECT_FALSE(r2.ReadVarU64().ok());
+
+  // The same shape with terminal byte 0x01 is the canonical UINT64_MAX tail.
+  Bytes max(9, 0xff);
+  max.push_back(0x01);
+  ByteReader r3(max);
+  EXPECT_EQ(r3.ReadVarU64().value(), UINT64_MAX);
+}
+
 TEST(BytesTest, HexDump) {
   EXPECT_EQ(HexDump({0x00, 0xff, 0x10}), "00 ff 10");
   EXPECT_EQ(HexDump({}), "");

@@ -2,7 +2,8 @@
 //
 // The downstream-operator entry point: feed it your router's configuration
 // (the BIRD-style language of src/bgp/config.h) and a BGP trace (the
-// MRT-lite text format of src/trace/trace.h, or a synthetic table), and it
+// MRT-lite text format of src/trace/trace.h or the binary .dtrc format of
+// src/trace/dtrc.h, sniffed by magic; or a synthetic table), and it
 // reports which prefix ranges a misconfigured policy would let a peer leak.
 //
 // Usage:
@@ -74,6 +75,7 @@
 #include "src/bgp/router.h"
 #include "src/dice/distributed.h"
 #include "src/net/sharded_event_loop.h"
+#include "src/trace/dtrc.h"
 #include "src/trace/feed.h"
 #include "src/persist/query_cache_snapshot.h"
 #include "src/persist/router_state_snapshot.h"
@@ -88,7 +90,7 @@ namespace dice {
 namespace {
 
 StatusOr<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);  // --trace may be a binary .dtrc
   if (!in) {
     return NotFoundError("cannot open " + path);
   }
@@ -585,7 +587,7 @@ int Run(int argc, char** argv) {
       // router's checkpoint.
       trace::Trace dump;
       if (!trace_path.empty()) {
-        auto trace = trace::ParseTrace(trace_text_str);
+        auto trace = trace::ParseTraceAuto(trace_text_str);
         if (!trace.ok()) {
           std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
           return 1;
@@ -641,7 +643,7 @@ int Run(int argc, char** argv) {
       std::printf("loaded table through the simulator: %zu events, %zu announced prefixes\n",
                   dump.events.size(), loaded);
     } else if (!trace_path.empty()) {
-      auto trace = trace::ParseTrace(trace_text_str);
+      auto trace = trace::ParseTraceAuto(trace_text_str);
       if (!trace.ok()) {
         std::fprintf(stderr, "trace error: %s\n", trace.status().ToString().c_str());
         return 1;
@@ -725,6 +727,11 @@ int Run(int argc, char** argv) {
     }
   }
   explorer.AddChecker(std::move(checker));
+  // Valley-free route-leak checking, armed by `relationship` annotations in
+  // the config; inert (and free) on unannotated configurations.
+  auto leak_checker = std::make_unique<RouteLeakChecker>();
+  const RouteLeakChecker* leak_view = leak_checker.get();
+  explorer.AddChecker(std::move(leak_checker));
 
   // Federated remote domains. A config-file entry builds the domain in
   // process behind the wire-serialized narrow interface; a socket entry
@@ -782,6 +789,9 @@ int Run(int argc, char** argv) {
   }
 
   explorer.TakeCheckpoint(state, {table_view, explore_view}, 0);
+  if (leak_view->armed()) {
+    std::printf("route-leak checker armed by relationship annotations\n");
+  }
 
   bgp::UpdateMessage seed_update;
   auto seed_prefix = bgp::Prefix::Parse(flags.GetString("seed-prefix", "10.1.7.0/24"));
